@@ -1,0 +1,309 @@
+// Package aurora's root benchmark suite: one testing.B benchmark per
+// paper table, figure, and quantitative claim, plus the design
+// ablations DESIGN.md calls out.
+//
+// Each benchmark reports two kinds of numbers: Go's wall-clock ns/op
+// (the real cost of running the simulation) and custom metrics in
+// virtual microseconds (the cost-model results that correspond to the
+// paper's measurements). EXPERIMENTS.md records paper-vs-measured.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The paper-scale working set (2 GiB) is exercised by
+// cmd/aurora-bench -ws 2147483648; benchmarks default to a scaled
+// 64 MiB so the suite stays fast.
+package aurora
+
+import (
+	"testing"
+
+	"aurora/internal/bench"
+	"aurora/internal/core"
+	"aurora/internal/vm"
+)
+
+const benchWS = 64 << 20 // scaled working set (paper: 2 GiB)
+
+func vus(d int64) float64 { return float64(d) / 1e3 }
+
+// BenchmarkTable3_FullCheckpoint regenerates Table 3's "Full" column.
+func BenchmarkTable3_FullCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table3(benchWS, 0.125)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.Full.MetadataCopy)), "vus-metadata")
+		b.ReportMetric(vus(int64(r.Full.LazyDataCopy)), "vus-datacopy")
+		b.ReportMetric(vus(int64(r.Full.StopTime)), "vus-stop")
+	}
+}
+
+// BenchmarkTable3_IncrementalCheckpoint regenerates the "Incremental"
+// column: the sub-millisecond stop time.
+func BenchmarkTable3_IncrementalCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table3(benchWS, 0.125)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.Incr.MetadataCopy)), "vus-metadata")
+		b.ReportMetric(vus(int64(r.Incr.LazyDataCopy)), "vus-datacopy")
+		b.ReportMetric(vus(int64(r.Incr.StopTime)), "vus-stop")
+	}
+}
+
+// BenchmarkTable4_RedisMemoryRestore regenerates Table 4 column 1.
+func BenchmarkTable4_RedisMemoryRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table4(benchWS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.RedisMem.MemoryState)), "vus-memory")
+		b.ReportMetric(vus(int64(r.RedisMem.MetadataState)), "vus-metadata")
+		b.ReportMetric(vus(int64(r.RedisMem.Total)), "vus-total")
+	}
+}
+
+// BenchmarkTable4_ServerlessRestores regenerates Table 4 columns 2-3.
+func BenchmarkTable4_ServerlessRestores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table4(benchWS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.ServerlessMem.Total)), "vus-mem-total")
+		b.ReportMetric(vus(int64(r.ServerlessDisk.ObjectStoreRead)), "vus-disk-read")
+		b.ReportMetric(vus(int64(r.ServerlessDisk.Total)), "vus-disk-total")
+	}
+}
+
+// BenchmarkCheckpointFrequency covers the §3 claim: 100 checkpoints
+// per second with modest overhead.
+func BenchmarkCheckpointFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Freq(100, 50, benchWS/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.AvgStop)), "vus-avgstop")
+		b.ReportMetric(r.Overhead*100, "overhead-%")
+	}
+}
+
+// BenchmarkServerlessDensity covers the §4 claim: functions stored as
+// small deltas over a shared runtime image.
+func BenchmarkServerlessDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Density(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.BytesPerFn), "bytes/function")
+		b.ReportMetric(float64(r.NaiveBytesPerFn), "naive-bytes/function")
+	}
+}
+
+// BenchmarkRedisPersistence covers the §4 claim: the Aurora port's
+// durability path beats fork+AOF.
+func BenchmarkRedisPersistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RedisPersistence(200, 8<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.AOFPerOp)), "vus-aof/op")
+		b.ReportMetric(vus(int64(r.AuroraPerOp)), "vus-aurora/op")
+	}
+}
+
+// BenchmarkCRIUBaseline covers the §2 claim: syscall-boundary
+// checkpointing is prohibitive next to Aurora's in-kernel COW.
+func BenchmarkCRIUBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.CRIUCompare(benchWS / 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.CRIUStop)), "vus-criu-stop")
+		b.ReportMetric(vus(int64(r.AuroraStop)), "vus-aurora-stop")
+	}
+}
+
+// BenchmarkWarmStart covers the §4 claim: restore beats cold boot.
+func BenchmarkWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.WarmStart()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(r.Cold)), "vus-cold")
+		b.ReportMetric(vus(int64(r.WarmMem)), "vus-warm-mem")
+		b.ReportMetric(vus(int64(r.WarmDisk)), "vus-warm-disk")
+	}
+}
+
+// BenchmarkRecordReplay covers the §4 claim: checkpoints bound the
+// record log.
+func BenchmarkRecordReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bench.NewMachine()
+		ri, err := bench.NewRedisInstance(m, 4<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.O.Attach(ri.Group, m.Store)
+		// 100 inputs, checkpoint every 25: the log never exceeds 25.
+		logHighWater := 0
+		events := 0
+		for j := 0; j < 100; j++ {
+			events++
+			if events > logHighWater {
+				logHighWater = events
+			}
+			if j%25 == 24 {
+				if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
+					b.Fatal(err)
+				}
+				events = 0
+			}
+		}
+		b.ReportMetric(float64(logHighWater), "log-high-water")
+	}
+}
+
+// --- ablations ---
+
+// BenchmarkAblationSharedCOW: Aurora's shared-page COW preserves
+// shared-memory semantics at one fault per first write.
+func BenchmarkAblationSharedCOW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationSharedCOW()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.SharedFaults), "cow-faults")
+	}
+}
+
+// BenchmarkAblationDedup: content-hash dedup across checkpoints.
+func BenchmarkAblationDedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationDedup(5, 16<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SavedFrac*100, "saved-%")
+	}
+}
+
+// BenchmarkAblationLazyRestore contrasts eager, lazy, and
+// lazy+prefetch restores of the same image.
+func BenchmarkAblationLazyRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bench.NewMachine()
+		ri, err := bench.NewRedisInstance(m, 16<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.O.Attach(ri.Group, m.Store)
+		if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
+			b.Fatal(err)
+		}
+		img, rt, err := m.Store.Load(ri.Group.ID, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, eager, err := m.O.RestoreImage(img, rt, core.RestoreOpts{Lazy: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		img2, rt2, _ := m.Store.Load(ri.Group.ID, 0)
+		_, lazy, err := m.O.RestoreImage(img2, rt2, core.RestoreOpts{Lazy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		img3, rt3, _ := m.Store.Load(ri.Group.ID, 0)
+		_, pf, err := m.O.RestoreImage(img3, rt3, core.RestoreOpts{Lazy: true, Prefetch: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vus(int64(eager.Total)), "vus-eager")
+		b.ReportMetric(vus(int64(lazy.Total)), "vus-lazy")
+		b.ReportMetric(vus(int64(pf.Total)), "vus-lazy-prefetch")
+	}
+}
+
+// BenchmarkAblationIncrementalInterval sweeps the dirty fraction:
+// stop time scales with the dirty set, not the working set.
+func BenchmarkAblationIncrementalInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, frac := range []float64{0.01, 0.05, 0.25} {
+			r, err := bench.Table3(benchWS/2, frac)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch frac {
+			case 0.01:
+				b.ReportMetric(vus(int64(r.Incr.StopTime)), "vus-stop-1%")
+			case 0.05:
+				b.ReportMetric(vus(int64(r.Incr.StopTime)), "vus-stop-5%")
+			case 0.25:
+				b.ReportMetric(vus(int64(r.Incr.StopTime)), "vus-stop-25%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationExternalConsistency measures the latency cost the
+// sls_fdctl escape hatch removes: gated output waits for the covering
+// checkpoint.
+func BenchmarkAblationExternalConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bench.NewMachine()
+		srv, err := m.K.Spawn(0, "srv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		idle := func() {}
+		_ = idle
+		g, _ := m.O.Persist("srv", srv)
+		m.O.Attach(g, m.Store)
+		if _, err := m.O.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+			b.Fatal(err)
+		}
+		ext, _ := m.K.Spawn(0, "client")
+		a, bb, _ := m.K.NewSocketPair(srv)
+		fd, _ := srv.FDs.Get(bb)
+		extFD, _ := ext.FDs.Install(m.K, fd.File, 4 /* ORdWr */)
+
+		// Gated: write, then the wait is one checkpoint period away.
+		gatedFrom := m.Clock.Now()
+		m.K.Write(srv, a, []byte("reply"))
+		if _, err := m.O.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 8)
+		if _, err := m.K.Read(ext, extFD, buf); err != nil {
+			b.Fatal(err)
+		}
+		gated := m.Clock.Now() - gatedFrom
+
+		// Ungated (sls_fdctl off): delivery is immediate.
+		m.K.FDCtl(srv, a, false)
+		unFrom := m.Clock.Now()
+		m.K.Write(srv, a, []byte("reply"))
+		if _, err := m.K.Read(ext, extFD, buf); err != nil {
+			b.Fatal(err)
+		}
+		ungated := m.Clock.Now() - unFrom
+
+		b.ReportMetric(vus(int64(gated)), "vus-gated")
+		b.ReportMetric(vus(int64(ungated)), "vus-ungated")
+	}
+}
+
+var _ = vm.PageSize // keep the import for documentation cross-reference

@@ -1,0 +1,107 @@
+// Command aurora-bench regenerates the paper's evaluation: Table 3
+// (checkpoint stop-time breakdown), Table 4 (restore-time breakdown),
+// and the quantitative claims of §2-§4, plus the design ablations.
+//
+// Usage:
+//
+//	aurora-bench                 # everything at the scaled working set
+//	aurora-bench -table 3        # just Table 3
+//	aurora-bench -table 4 -ws 2147483648   # Table 4 at the paper's 2 GiB
+//	aurora-bench -claim freq     # one claim: freq|density|redis|criu|warm
+//	aurora-bench -ablation cow   # one ablation: cow|dedup
+//
+// Times are virtual (cost-model) microseconds; see DESIGN.md §5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aurora/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce one paper table (3 or 4); 0 = all")
+	claim := flag.String("claim", "", "reproduce one claim: freq|density|redis|criu|warm")
+	ablation := flag.String("ablation", "", "run one ablation: cow|dedup")
+	ws := flag.Int64("ws", 64<<20, "Redis working-set bytes (paper: 2 GiB = 2147483648)")
+	dirty := flag.Float64("dirty", 0.125, "fraction of the working set dirtied between checkpoints")
+	funcs := flag.Int("funcs", 16, "functions deployed for the density claim")
+	ops := flag.Int("ops", 500, "operations for the Redis persistence claim")
+	flag.Parse()
+
+	all := *table == 0 && *claim == "" && *ablation == ""
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "aurora-bench:", err)
+		os.Exit(1)
+	}
+
+	if all || *table == 3 {
+		r, err := bench.Table3(*ws, *dirty)
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *table == 4 {
+		r, err := bench.Table4(*ws)
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *claim == "freq" {
+		r, err := bench.Freq(100, 100, *ws/4)
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *claim == "density" {
+		r, err := bench.Density(*funcs)
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *claim == "redis" {
+		r, err := bench.RedisPersistence(*ops, 16<<20)
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *claim == "criu" {
+		r, err := bench.CRIUCompare(*ws / 2)
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *claim == "warm" {
+		r, err := bench.WarmStart()
+		if err != nil {
+			fail(err)
+		}
+		r.Print()
+	}
+	if all || *ablation == "cow" {
+		r, err := bench.AblationSharedCOW()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Ablation: shared-COW checkpointing\n")
+		fmt.Printf("  post-checkpoint shared write: %d COW fault(s), sharing preserved\n", r.SharedFaults)
+		fmt.Printf("  fork-style COW would have privatized the page (see vm fork tests)\n\n")
+	}
+	if all || *ablation == "dedup" {
+		r, err := bench.AblationDedup(5, *ws/4)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Ablation: object-store dedup, %d identical full checkpoints\n", r.Checkpoints)
+		fmt.Printf("  %d logical pages -> %d physical blocks (%.0f%% saved)\n\n",
+			r.LogicalPages, r.BlocksStored, r.SavedFrac*100)
+	}
+}

@@ -1,0 +1,413 @@
+// Command sls is the Aurora command-line interface of the paper's
+// Table 1, operating a simulated Aurora machine. The machine boots
+// with the sls session; demo applications are spawned with `boot`,
+// and checkpoints can be exported to real files with `send` and
+// imported with `recv` — moving applications between sls sessions the
+// way `sls send | ssh ... sls recv` moves them between hosts.
+//
+// Usage:
+//
+//	sls                      # interactive REPL
+//	sls -c "boot counter; persist 1 app; attach app nvme; checkpoint app"
+//	echo "script" | sls
+//
+// Commands (Table 1 plus session helpers):
+//
+//	persist <pid> <name>      add a process tree to a persistence group
+//	attach <group> <backend>  attach a backend: memory|nvme|ssd|hdd
+//	detach <group> <backend>  detach a backend
+//	checkpoint <group> [name] checkpoint an application
+//	restore <group> [epoch]   restore an application from an image
+//	ps                        list applications in Aurora
+//	send <group> <file>       export an application to a file
+//	recv <file>               import an application and restore it
+//	boot <counter|redis>      spawn a demo application
+//	run <n>                   run the scheduler for n quanta
+//	stat <pid>                show one process
+//	help, exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aurora/internal/apps/redis"
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// session is one simulated Aurora machine under CLI control.
+type session struct {
+	clock *storage.Clock
+	k     *kernel.Kernel
+	o     *core.Orchestrator
+	api   *core.API
+	objs  *objstore.Store
+	mem   *core.MemoryBackend
+
+	backends map[string]core.Backend
+	out      *bufio.Writer
+}
+
+func newSession(out *bufio.Writer) *session {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	objs := objstore.Create(storage.NewOptaneArray(4, clock), clock)
+	s := &session{
+		clock:    clock,
+		k:        k,
+		o:        o,
+		api:      core.NewAPI(o),
+		objs:     objs,
+		mem:      core.NewMemoryBackend(k.Mem, 8),
+		backends: make(map[string]core.Backend),
+		out:      out,
+	}
+	s.backends["memory"] = s.mem
+	s.backends["nvme"] = core.NewStoreBackend(objs, k.Mem, clock)
+	ssd := objstore.Create(storage.NewMemDevice(storage.ParamsSATASSD, clock), clock)
+	s.backends["ssd"] = core.NewStoreBackend(ssd, k.Mem, clock)
+	hdd := objstore.Create(storage.NewMemDevice(storage.ParamsHDD, clock), clock)
+	s.backends["hdd"] = core.NewStoreBackend(hdd, k.Mem, clock)
+	return s
+}
+
+func (s *session) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+// counterProg is the demo workload: it increments a heap counter.
+type counterProg struct{ addr vm.Addr }
+
+func (c *counterProg) ProgName() string { return "sls-counter" }
+func (c *counterProg) Snapshot() []byte {
+	e := kernel.NewEncoder()
+	e.U64(uint64(c.addr))
+	return e.Bytes()
+}
+func (c *counterProg) Step(k *kernel.Kernel, p *kernel.Process, t *kernel.Thread) error {
+	var b [8]byte
+	if err := p.ReadMem(c.addr, b[:]); err != nil {
+		return err
+	}
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16
+	v++
+	b[0], b[1], b[2] = byte(v), byte(v>>8), byte(v>>16)
+	return p.WriteMem(c.addr, b[:])
+}
+
+func init() {
+	kernel.RegisterProgram("sls-counter", func(k *kernel.Kernel, p *kernel.Process, state []byte) (kernel.Program, error) {
+		d := kernel.NewDecoder(state)
+		return &counterProg{addr: vm.Addr(d.U64())}, nil
+	})
+}
+
+func (s *session) groupArg(name string) (*core.Group, error) {
+	if id, err := strconv.ParseUint(name, 10, 64); err == nil {
+		if g, err := s.o.Group(id); err == nil {
+			return g, nil
+		}
+	}
+	return s.o.GroupByName(name)
+}
+
+// exec runs one command line; returns false to exit.
+func (s *session) exec(line string) bool {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return true
+	}
+	cmd, args := fields[0], fields[1:]
+	fail := func(err error) bool {
+		s.printf("error: %v\n", err)
+		return true
+	}
+
+	switch cmd {
+	case "help":
+		s.printf("%s\n", helpText)
+
+	case "boot":
+		kind := "counter"
+		if len(args) > 0 {
+			kind = args[0]
+		}
+		switch kind {
+		case "counter":
+			p, err := s.k.Spawn(0, "counter")
+			if err != nil {
+				return fail(err)
+			}
+			p.SetProgram(&counterProg{addr: p.HeapBase()})
+			s.printf("booted counter, pid %d\n", p.PID)
+		case "redis":
+			p, _, err := redis.Spawn(s.k, 0, fmt.Sprintf("/redis-%d.sock", s.clock.Now()), 1024, 8<<20, nil)
+			if err != nil {
+				return fail(err)
+			}
+			s.printf("booted mini-redis, pid %d\n", p.PID)
+		default:
+			s.printf("unknown app %q (counter|redis)\n", kind)
+		}
+
+	case "persist":
+		if len(args) < 2 {
+			s.printf("usage: persist <pid> <name>\n")
+			return true
+		}
+		pid, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		p, err := s.k.Process(pid)
+		if err != nil {
+			return fail(err)
+		}
+		g, err := s.o.Persist(args[1], p)
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("persistence group %d (%s): pids %v\n", g.ID, g.Name, g.PIDs())
+
+	case "attach":
+		if len(args) < 2 {
+			s.printf("usage: attach <group> <memory|nvme|ssd|hdd>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		b, ok := s.backends[args[1]]
+		if !ok {
+			s.printf("unknown backend %q\n", args[1])
+			return true
+		}
+		s.o.Attach(g, b)
+		s.printf("attached %s to group %d\n", b.Name(), g.ID)
+
+	case "detach":
+		if len(args) < 2 {
+			s.printf("usage: detach <group> <backend-name>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		b, ok := s.backends[args[1]]
+		name := args[1]
+		if ok {
+			name = b.Name()
+		}
+		if err := s.o.Detach(g, name); err != nil {
+			return fail(err)
+		}
+		s.printf("detached %s\n", name)
+
+	case "checkpoint":
+		if len(args) < 1 {
+			s.printf("usage: checkpoint <group> [name]\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		name := ""
+		if len(args) > 1 {
+			name = args[1]
+		}
+		bd, err := s.o.Checkpoint(g, core.CheckpointOpts{Name: name})
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("%s\n", bd)
+
+	case "restore":
+		if len(args) < 1 {
+			s.printf("usage: restore <group> [epoch]\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		var epoch uint64
+		if len(args) > 1 {
+			epoch, _ = strconv.ParseUint(args[1], 10, 64)
+		}
+		ng, bd, err := s.o.Restore(g, epoch, core.RestoreOpts{Lazy: true})
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("restored as group %d, pids %v\n%s\n", ng.ID, ng.PIDs(), bd)
+
+	case "ps":
+		s.printf("%-6s %-6s %-14s %-10s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "PIDS")
+		for _, g := range s.o.Groups() {
+			s.printf("%-6d %-6d %-14s %-10d %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.PIDs())
+		}
+		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
+		for _, p := range s.k.Processes() {
+			s.printf("%-6d %-6s %-14s %v\n", p.PID, p.State(), p.Name, p.FDs.Numbers())
+		}
+
+	case "send":
+		if len(args) < 2 {
+			s.printf("usage: send <group> <file>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		img := g.LastImage()
+		if img == nil || img.Released() {
+			for _, b := range g.Backends() {
+				if li, _, err := b.Load(g.ID, 0); err == nil {
+					img = li
+					break
+				}
+			}
+		}
+		if img == nil {
+			return fail(core.ErrNoImage)
+		}
+		payload := img.Encode()
+		if err := os.WriteFile(args[1], payload, 0o644); err != nil {
+			return fail(err)
+		}
+		s.printf("sent group %d epoch %d: %d bytes -> %s\n", g.ID, img.Epoch, len(payload), args[1])
+
+	case "recv":
+		if len(args) < 1 {
+			s.printf("usage: recv <file>\n")
+			return true
+		}
+		payload, err := os.ReadFile(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		img, err := core.DecodeImage(payload, s.k.Mem)
+		if err != nil {
+			return fail(err)
+		}
+		ng, bd, err := s.o.RestoreImage(img, 0, core.RestoreOpts{Lazy: true})
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("received as group %d, pids %v\n%s\n", ng.ID, ng.PIDs(), bd)
+
+	case "run":
+		n := 100
+		if len(args) > 0 {
+			n, _ = strconv.Atoi(args[0])
+		}
+		ran, err := s.k.Run(n)
+		if err != nil {
+			s.printf("ran %d quanta, error: %v\n", ran, err)
+		} else {
+			s.printf("ran %d quanta (virtual time %s)\n", ran, s.clock.Now())
+		}
+
+	case "stat":
+		if len(args) < 1 {
+			s.printf("usage: stat <pid>\n")
+			return true
+		}
+		pid, _ := strconv.Atoi(args[0])
+		p, err := s.k.Process(pid)
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("pid %d (%s) state=%s container=%d threads=%d\n",
+			p.PID, p.Name, p.State(), p.Container, len(p.Threads))
+		for _, m := range p.Space.Mappings() {
+			s.printf("  %-10s %#x-%#x resident=%d pages\n", m.Name, m.Start, m.End, m.Obj.ResidentCount())
+		}
+
+	case "exit", "quit":
+		return false
+
+	default:
+		s.printf("unknown command %q (try help)\n", cmd)
+	}
+	return true
+}
+
+const helpText = `Aurora single level store (Table 1):
+  persist <pid> <name>       add an application to a persistence group
+  attach <group> <backend>   attach a group to a backend (memory|nvme|ssd|hdd)
+  detach <group> <backend>   detach a persistence group from a backend
+  checkpoint <group> [name]  checkpoint an application
+  restore <group> [epoch]    restore an application from an image
+  ps                         list applications in Aurora
+  send <group> <file>        send an application to a file (or remote)
+  recv <file>                receive an application and restore it
+session helpers:
+  boot <counter|redis>       spawn a demo application
+  run <n>                    run the scheduler for n quanta
+  stat <pid>                 inspect a process
+  help | exit`
+
+func main() {
+	script := flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	s := newSession(out)
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			if !s.exec(strings.TrimSpace(line)) {
+				break
+			}
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	if interactive {
+		s.printf("aurora sls — type 'help'\n")
+	}
+	for {
+		if interactive {
+			s.printf("sls> ")
+			out.Flush()
+		}
+		if !sc.Scan() {
+			return
+		}
+		stop := false
+		for _, line := range strings.Split(sc.Text(), ";") {
+			if !s.exec(strings.TrimSpace(line)) {
+				stop = true
+				break
+			}
+		}
+		out.Flush()
+		if stop {
+			return
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

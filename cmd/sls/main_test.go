@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runScript executes semicolon-separated commands in one session and
+// returns the combined output.
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	out := bufio.NewWriter(&buf)
+	s := newSession(out)
+	for _, line := range strings.Split(script, ";") {
+		if !s.exec(strings.TrimSpace(line)) {
+			break
+		}
+	}
+	out.Flush()
+	return buf.String()
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	got := runScript(t,
+		"boot counter; run 20; persist 1 app; attach app nvme; checkpoint app first; ps")
+	for _, want := range []string{
+		"booted counter, pid 1",
+		"persistence group 1 (app)",
+		"attached store:",
+		"ckpt[full]",
+		"GROUP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCLIRestore(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app memory; checkpoint app; run 50; restore app")
+	if !strings.Contains(got, "restored as group 2") {
+		t.Fatalf("restore output:\n%s", got)
+	}
+}
+
+func TestCLISendRecv(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "app.aur")
+	got := runScript(t,
+		"boot counter; run 7; persist 1 app; attach app nvme; checkpoint app; send app "+file)
+	if !strings.Contains(got, "sent group 1") {
+		t.Fatalf("send output:\n%s", got)
+	}
+	// A brand new session receives and resumes the application.
+	got2 := runScript(t, "recv "+file+"; ps; run 10")
+	if !strings.Contains(got2, "received as group 1") {
+		t.Fatalf("recv output:\n%s", got2)
+	}
+	if !strings.Contains(got2, "counter") {
+		t.Fatalf("received process missing from ps:\n%s", got2)
+	}
+}
+
+func TestCLIDetach(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; detach app nvme; checkpoint app")
+	if !strings.Contains(got, "detached") {
+		t.Fatalf("detach output:\n%s", got)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	got := runScript(t, "persist 99 x; attach nope nvme; checkpoint nope; restore nope; frobnicate")
+	if strings.Count(got, "error:") < 3 {
+		t.Fatalf("expected errors for bad arguments:\n%s", got)
+	}
+	if !strings.Contains(got, "unknown command") {
+		t.Fatalf("unknown command not reported:\n%s", got)
+	}
+}
+
+func TestCLIUsageLines(t *testing.T) {
+	got := runScript(t, "persist; attach; detach; checkpoint; restore; send; recv; stat; help")
+	if strings.Count(got, "usage:") < 6 {
+		t.Fatalf("usage hints missing:\n%s", got)
+	}
+	if !strings.Contains(got, "single level store") {
+		t.Fatalf("help text missing:\n%s", got)
+	}
+}
+
+func TestCLIRedisBoot(t *testing.T) {
+	got := runScript(t, "boot redis; stat 1")
+	if !strings.Contains(got, "booted mini-redis") || !strings.Contains(got, "heap") {
+		t.Fatalf("redis boot output:\n%s", got)
+	}
+}

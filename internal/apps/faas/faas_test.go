@@ -1,0 +1,209 @@
+package faas
+
+import (
+	"fmt"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+type rig struct {
+	clock *storage.Clock
+	k     *kernel.Kernel
+	o     *core.Orchestrator
+	store *core.StoreBackend
+	mem   *core.MemoryBackend
+	objs  *objstore.Store
+	rt    *Runtime
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	objs := objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock)
+	store := core.NewStoreBackend(objs, k.Mem, clock)
+	mem := core.NewMemoryBackend(k.Mem, 8)
+	rt := NewRuntime(o, store, mem)
+	rt.RuntimePages = 40 // scaled for tests
+	rt.InitLoops = 100_000
+	return &rig{clock: clock, k: k, o: o, store: store, mem: mem, objs: objs, rt: rt}
+}
+
+func TestColdStartProducesResult(t *testing.T) {
+	r := newRig(t)
+	got, err := r.rt.ColdStart(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.rt.Expected(21); got != want {
+		t.Fatalf("cold start result = %d, want %d", got, want)
+	}
+}
+
+func TestDeployAndWarmInvoke(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.rt.Deploy("hello", []byte("cfg")); err != nil {
+		t.Fatal(err)
+	}
+	got, bd, err := r.rt.Invoke("hello", 100, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.rt.Expected(100); got != want {
+		t.Fatalf("warm result = %d, want %d", got, want)
+	}
+	if bd.Total <= 0 {
+		t.Fatal("restore breakdown empty")
+	}
+	if _, _, err := r.rt.Invoke("nope", 1, core.RestoreOpts{}); err != ErrNoFunction {
+		t.Fatalf("missing function err = %v", err)
+	}
+}
+
+func TestScaleOutRepeatedRestores(t *testing.T) {
+	r := newRig(t)
+	r.rt.Deploy("scale", nil)
+	// Scaling out is just restoring the same checkpoint repeatedly.
+	for i := 0; i < 5; i++ {
+		got, _, err := r.rt.Invoke("scale", uint64(i+1), core.RestoreOpts{Lazy: true})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if want := r.rt.Expected(uint64(i + 1)); got != want {
+			t.Fatalf("instance %d result = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDensityFunctionsShareRuntimePages(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.rt.BuildBase(); err != nil {
+		t.Fatal(err)
+	}
+	baseBlocks := r.objs.Stats().Blocks
+
+	perFn := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		before := r.objs.Stats().Blocks
+		if _, err := r.rt.Deploy(fmt.Sprintf("fn-%d", i), []byte(fmt.Sprintf("config-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		perFn = append(perFn, r.objs.Stats().Blocks-before)
+	}
+	// Each function's delta must be tiny next to the runtime image.
+	for i, d := range perFn {
+		if d > baseBlocks/4 {
+			t.Fatalf("function %d added %d blocks (runtime image is %d): no dedup", i, d, baseBlocks)
+		}
+	}
+	// Dedup hits prove the sharing.
+	if r.objs.Stats().DedupHits == 0 {
+		t.Fatal("no dedup hits across function images")
+	}
+}
+
+func TestWarmStartBeatsColdStart(t *testing.T) {
+	r := newRig(t)
+	r.rt.Deploy("timed", nil)
+
+	// Cold start cost: virtual time for boot + run.
+	coldStart := r.clock.Now()
+	if _, err := r.rt.ColdStart(5); err != nil {
+		t.Fatal(err)
+	}
+	coldTime := r.clock.Now() - coldStart
+
+	// Warm start: restore latency only (the run cost is identical).
+	_, bd, err := r.rt.Invoke("timed", 5, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total >= coldTime {
+		t.Fatalf("warm restore %v not below cold start %v", bd.Total, coldTime)
+	}
+}
+
+func TestInvokeFromDiskIncludesStoreRead(t *testing.T) {
+	r := newRig(t)
+	r.rt.Deploy("disk", nil)
+	// Force the disk path by dropping the memory backend's images:
+	// detach memory from the function group.
+	fn, _ := r.rt.Function("disk")
+	if err := r.o.Detach(fn.Group, "memory"); err != nil {
+		t.Skipf("memory backend not attached: %v", err)
+	}
+	_, bd, err := r.rt.Invoke("disk", 9, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.ObjectStoreRead <= 0 {
+		t.Fatal("disk invoke must pay the object store read")
+	}
+}
+
+func TestRestoredInstanceResumesMidSpin(t *testing.T) {
+	// The function parks mid-execution (PC inside the ready loop);
+	// restore must resume exactly there — CPU state fidelity.
+	r := newRig(t)
+	r.rt.Deploy("spin", nil)
+	fn, _ := r.rt.Function("spin")
+	ng, _, err := r.o.Restore(fn.Group, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := r.k.Process(ng.PIDs()[0])
+	pc := p.Threads[0].Regs.PC
+	if pc == 0x0040_0000 {
+		t.Fatal("restored PC is at program start, not mid-spin")
+	}
+	if p.Threads[0].Regs.GPR[2] != uint64(r.rt.InitLoops) {
+		t.Fatal("init-loop register state lost")
+	}
+}
+
+func TestCooperativeWarmupSharesFrames(t *testing.T) {
+	// The paper: instances of the same function share unmodified pages
+	// via COW, so a page faulted in by one warms the others. With the
+	// memory backend, restored instances COW-share the image's frames
+	// directly: N instances cost ~zero additional resident frames.
+	r := newRig(t)
+	r.rt.Deploy("shared", nil)
+	fn, _ := r.rt.Function("shared")
+
+	img, _, err := r.mem.Load(fn.Group.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident := r.k.Mem.Resident()
+	groups := make([]*core.Group, 0, 4)
+	for i := 0; i < 4; i++ {
+		ng, bd, err := r.o.RestoreImage(img, 0, core.RestoreOpts{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bd.Shared == 0 {
+			t.Fatalf("instance %d shared no frames (restored via %v)", i, bd)
+		}
+		groups = append(groups, ng)
+	}
+	if grew := r.k.Mem.Resident() - resident; grew > 8 {
+		t.Fatalf("4 warm instances allocated %d frames — frames not shared", grew)
+	}
+	// Each instance still computes independently (COW on write).
+	for i, ng := range groups {
+		p, _ := r.k.Process(ng.PIDs()[0])
+		res, err := r.rt.RunInstance(p, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.rt.Expected(uint64(i + 1)); res != want {
+			t.Fatalf("instance %d result = %d, want %d", i, res, want)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+// Package kvlsm implements a RocksDB-style log-structured merge-tree
+// key-value store over the Aurora file system: a sorted in-memory
+// memtable, a write-ahead log for durability, immutable sorted
+// string tables (SSTables) flushed from the memtable, and leveled
+// compaction.
+//
+// Two durability engines mirror the paper's database discussion:
+//
+//   - WAL mode (baseline): every write appends to the log and
+//     periodically fsyncs — the classic design whose fsync semantics
+//     harbor the data-loss bugs cited in §2; and
+//   - Aurora mode: the WAL is gone; writes call sls_ntflush and the
+//     memtable is persisted by checkpoints, so recovery is restore +
+//     log replay with no database-side recovery code.
+package kvlsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aurora/internal/codec"
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/slsfs"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("kvlsm: key not found")
+	ErrClosed   = errors.New("kvlsm: store closed")
+)
+
+// tombstone marks deletions inside the tree.
+var tombstone = []byte{0xde, 0xad, 0xbe, 0xef, 0x00}
+
+// Options configure a DB.
+type Options struct {
+	// MemtableLimit flushes the memtable to an SSTable at this byte
+	// size.
+	MemtableLimit int
+	// CompactAt merges all SSTables once their count reaches this.
+	CompactAt int
+	// FsyncEvery batches WAL fsyncs (WAL mode only).
+	FsyncEvery int
+	// Aurora switches durability to NTFlush + checkpoints; WAL writes
+	// are skipped entirely.
+	Aurora *AuroraHooks
+}
+
+// AuroraHooks wires the DB to libsls.
+type AuroraHooks struct {
+	API             *core.API
+	Proc            *kernel.Process
+	CheckpointEvery int
+	ops             int
+	Checkpoints     int
+}
+
+// DB is one LSM store rooted at a directory of the Aurora FS.
+type DB struct {
+	fs   *slsfs.FS
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	mem      map[string][]byte
+	memBytes int
+	tables   []string // SSTable paths, oldest first
+	seq      int      // monotonic SSTable sequence number
+	wal      *slsfs.File
+	walOps   int
+	closed   bool
+
+	idxMu    sync.Mutex
+	idxCache map[string]*tableIndex
+
+	// Stats for the comparison benches.
+	WALBytes  int64
+	WALSyncs  int64
+	Flushes   int64
+	Compacts  int64
+	NTAppends int64
+}
+
+// Open creates or reopens a DB at dir, replaying the WAL (WAL mode)
+// to rebuild the memtable.
+func Open(fs *slsfs.FS, dir string, opts Options) (*DB, error) {
+	if opts.MemtableLimit <= 0 {
+		opts.MemtableLimit = 1 << 20
+	}
+	if opts.CompactAt <= 0 {
+		opts.CompactAt = 6
+	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 1
+	}
+	if err := fs.Mkdir(dir); err != nil && err != slsfs.ErrExist {
+		return nil, err
+	}
+	db := &DB{fs: fs, dir: dir, opts: opts, mem: make(map[string][]byte), idxCache: make(map[string]*tableIndex)}
+
+	// Discover existing SSTables (sorted by sequence in the name).
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if len(n) > 4 && n[:4] == "sst-" {
+			db.tables = append(db.tables, dir+"/"+n)
+			var sn int
+			if _, err := fmt.Sscanf(n, "sst-%d", &sn); err == nil && sn >= db.seq {
+				db.seq = sn + 1
+			}
+		}
+	}
+	sort.Strings(db.tables)
+
+	if opts.Aurora == nil {
+		wal, err := fs.Open(dir + "/wal")
+		if err == slsfs.ErrNotExist {
+			wal, err = fs.Create(dir + "/wal")
+		}
+		if err != nil {
+			return nil, err
+		}
+		db.wal = wal
+		if err := db.replayWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// replayWAL rebuilds the memtable from the log after a crash.
+func (db *DB) replayWAL() error {
+	data := make([]byte, db.wal.Size())
+	if _, err := db.wal.ReadAt(data, 0); err != nil {
+		return err
+	}
+	d := codec.NewDecoder(data)
+	for d.Remaining() > 0 {
+		key := d.Str()
+		val := d.Bytes2()
+		if d.Err() != nil {
+			break // torn tail write: ignore, like real WAL recovery
+		}
+		db.applyMem(key, val)
+	}
+	return nil
+}
+
+func (db *DB) applyMem(key string, val []byte) {
+	if old, ok := db.mem[key]; ok {
+		db.memBytes -= len(key) + len(old)
+	}
+	db.mem[key] = val
+	db.memBytes += len(key) + len(val)
+}
+
+// Put inserts or updates a key.
+func (db *DB) Put(key, val []byte) error { return db.write(key, val) }
+
+// Delete removes a key (writing a tombstone).
+func (db *DB) Delete(key []byte) error { return db.write(key, tombstone) }
+
+func (db *DB) write(key, val []byte) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	// Durability first, as a WAL must.
+	e := codec.NewEncoder()
+	e.Str(string(key))
+	e.Bytes2(val)
+	rec := e.Bytes()
+	if db.opts.Aurora == nil {
+		if _, err := db.wal.WriteAt(rec, db.wal.Size()); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.WALBytes += int64(len(rec))
+		db.walOps++
+		if db.walOps >= db.opts.FsyncEvery {
+			db.walOps = 0
+			db.WALSyncs++
+			if _, err := db.fs.Snapshot(""); err != nil {
+				db.mu.Unlock()
+				return err
+			}
+		}
+	}
+
+	db.applyMem(string(key), append([]byte(nil), val...))
+	needFlush := db.memBytes >= db.opts.MemtableLimit
+	db.mu.Unlock()
+
+	if db.opts.Aurora != nil {
+		h := db.opts.Aurora
+		if err := h.API.NTFlush(h.Proc, rec); err != nil {
+			return err
+		}
+		db.mu.Lock()
+		db.NTAppends++
+		db.mu.Unlock()
+		h.ops++
+		if h.CheckpointEvery > 0 && h.ops >= h.CheckpointEvery {
+			h.ops = 0
+			if err := db.CheckpointNow(); err != nil {
+				return err
+			}
+		}
+	}
+	if needFlush {
+		return db.Flush()
+	}
+	return nil
+}
+
+// Get looks a key up: memtable first, then SSTables newest-first.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	if val, ok := db.mem[string(key)]; ok {
+		db.mu.Unlock()
+		if bytes.Equal(val, tombstone) {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), val...), nil
+	}
+	tables := make([]string, len(db.tables))
+	copy(tables, db.tables)
+	db.mu.Unlock()
+
+	for i := len(tables) - 1; i >= 0; i-- {
+		val, err := db.searchTable(tables[i], key)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(val, tombstone) {
+			return nil, ErrNotFound
+		}
+		return val, nil
+	}
+	return nil, ErrNotFound
+}
+
+// sstable format:
+//
+//	[count u64]
+//	count * [keyLen u32][valOff u64]   -- sorted index
+//	       (key bytes follow the index region, then values)
+//
+// For simplicity the index stores (key string, value offset+len)
+// sequentially via the codec; binary search runs over a decoded
+// index. Tables are immutable, so the decode is cached.
+type tableIndex struct {
+	keys []string
+	offs []int64
+	lens []int64
+}
+
+// searchTable binary-searches one SSTable.
+func (db *DB) searchTable(path string, key []byte) ([]byte, error) {
+	idx, err := db.loadIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	i := sort.SearchStrings(idx.keys, string(key))
+	if i >= len(idx.keys) || idx.keys[i] != string(key) {
+		return nil, ErrNotFound
+	}
+	f, err := db.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.CloseFile()
+	val := make([]byte, idx.lens[i])
+	if _, err := f.ReadAt(val, idx.offs[i]); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+func (db *DB) loadIndex(path string) (*tableIndex, error) {
+	db.idxMu.Lock()
+	if idx, ok := db.idxCache[path]; ok {
+		db.idxMu.Unlock()
+		return idx, nil
+	}
+	db.idxMu.Unlock()
+
+	f, err := db.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.CloseFile()
+	data := make([]byte, f.Size())
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return nil, err
+	}
+	d := codec.NewDecoder(data)
+	n := d.U64()
+	idx := &tableIndex{}
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		idx.keys = append(idx.keys, d.Str())
+		idx.offs = append(idx.offs, d.I64())
+		idx.lens = append(idx.lens, d.I64())
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("kvlsm: corrupt table %s", path)
+	}
+	db.idxMu.Lock()
+	db.idxCache[path] = idx
+	db.idxMu.Unlock()
+	return idx, nil
+}
+
+// Flush writes the memtable as a new SSTable and clears it (and the
+// WAL, whose entries the table now covers).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if len(db.mem) == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	mem := db.mem
+	db.mem = make(map[string][]byte)
+	db.memBytes = 0
+	path := fmt.Sprintf("%s/sst-%06d", db.dir, db.seq)
+	db.seq++
+	db.tables = append(db.tables, path)
+	db.Flushes++
+	db.mu.Unlock()
+
+	if err := db.writeTable(path, mem); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	wal := db.wal
+	tables := len(db.tables)
+	db.mu.Unlock()
+	if wal != nil {
+		wal.Truncate(0)
+		if _, err := db.fs.Snapshot(""); err != nil {
+			return err
+		}
+	}
+	if tables >= db.opts.CompactAt {
+		return db.Compact()
+	}
+	return nil
+}
+
+// writeTable serializes a sorted table to path.
+func (db *DB) writeTable(path string, mem map[string][]byte) error {
+	keys := make([]string, 0, len(mem))
+	for k := range mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// First pass: index with value offsets relative to the data area.
+	idx := codec.NewEncoder()
+	idx.U64(uint64(len(keys)))
+	// The index size depends on the offsets, which depend on the index
+	// size; encode with placeholder offsets to learn the length, then
+	// re-encode with real offsets (two-pass, stable because varint
+	// lengths of offsets are bounded by the final values).
+	var dataLen int64
+	for _, k := range keys {
+		idx.Str(k)
+		idx.I64(int64(1) << 40) // worst-case width placeholder
+		idx.I64(int64(len(mem[k])))
+		dataLen += int64(len(mem[k]))
+	}
+	base := int64(idx.Len())
+	final := codec.NewEncoder()
+	final.U64(uint64(len(keys)))
+	off := base
+	for _, k := range keys {
+		final.Str(k)
+		final.I64(off)
+		final.I64(int64(len(mem[k])))
+		off += int64(len(mem[k]))
+	}
+	// Pad the final index to the placeholder size so offsets hold.
+	pad := base - int64(final.Len())
+	body := final.Bytes()
+	if pad > 0 {
+		body = append(body, make([]byte, pad)...)
+	} else if pad < 0 {
+		return fmt.Errorf("kvlsm: index estimate too small")
+	}
+	for _, k := range keys {
+		body = append(body, mem[k]...)
+	}
+
+	f, err := db.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.CloseFile()
+	if _, err := f.WriteAt(body, 0); err != nil {
+		return err
+	}
+	_, err = db.fs.Snapshot("")
+	return err
+}
+
+// Compact merges every SSTable into one, dropping tombstones and
+// superseded versions.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	tables := make([]string, len(db.tables))
+	copy(tables, db.tables)
+	db.mu.Unlock()
+	if len(tables) <= 1 {
+		return nil
+	}
+
+	merged := make(map[string][]byte)
+	for _, path := range tables { // oldest first: newer wins
+		idx, err := db.loadIndex(path)
+		if err != nil {
+			return err
+		}
+		f, err := db.fs.Open(path)
+		if err != nil {
+			return err
+		}
+		for i, k := range idx.keys {
+			val := make([]byte, idx.lens[i])
+			if _, err := f.ReadAt(val, idx.offs[i]); err != nil {
+				f.CloseFile()
+				return err
+			}
+			merged[k] = val
+		}
+		f.CloseFile()
+	}
+	for k, v := range merged {
+		if bytes.Equal(v, tombstone) {
+			delete(merged, k)
+		}
+	}
+
+	db.mu.Lock()
+	out := fmt.Sprintf("%s/sst-%06d", db.dir, db.seq)
+	db.seq++
+	db.mu.Unlock()
+	if err := db.writeTable(out, merged); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	old := db.tables
+	db.tables = []string{out}
+	db.Compacts++
+	db.mu.Unlock()
+	for _, path := range old {
+		if path != out {
+			db.fs.Unlink(path)
+			db.idxMu.Lock()
+			delete(db.idxCache, path)
+			db.idxMu.Unlock()
+		}
+	}
+	_, err := db.fs.Snapshot("")
+	return err
+}
+
+// CheckpointNow materializes the memtable as an SSTable (so the file
+// system snapshot inside the checkpoint captures it), takes an SLS
+// checkpoint, and truncates the NT log the checkpoint subsumes.
+// Unlike the Redis port — whose table lives in checkpointed process
+// memory — the LSM memtable is driver state, so it must reach the
+// file system before the log can be dropped.
+func (db *DB) CheckpointNow() error {
+	h := db.opts.Aurora
+	if h == nil {
+		return ErrClosed
+	}
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	g, ok := h.API.O.GroupOfProcess(h.Proc.PID)
+	if !ok {
+		return core.ErrNotPersisted
+	}
+	seq := h.API.NTSeq(g)
+	if _, err := h.API.Checkpoint(h.Proc, ""); err != nil {
+		return err
+	}
+	h.Checkpoints++
+	return h.API.NTTruncate(g, seq)
+}
+
+// ReplayNT applies recovered NT-log entries (Aurora-mode crash
+// recovery, after the checkpoint restore brought back the memtable).
+func (db *DB) ReplayNT(entries [][]byte) (int, error) {
+	applied := 0
+	for _, rec := range entries {
+		d := codec.NewDecoder(rec)
+		key := d.Str()
+		val := d.Bytes2()
+		if d.Err() != nil {
+			return applied, d.Err()
+		}
+		db.mu.Lock()
+		db.applyMem(key, val)
+		db.mu.Unlock()
+		applied++
+	}
+	return applied, nil
+}
+
+// MemCount reports live memtable entries.
+func (db *DB) MemCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.mem)
+}
+
+// TableCount reports SSTables on disk.
+func (db *DB) TableCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.tables)
+}
+
+// Close flushes and closes the store.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.closed = true
+	wal := db.wal
+	db.mu.Unlock()
+	if wal != nil {
+		return wal.CloseFile()
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package kvlsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+func testFS(t *testing.T) *slsfs.FS {
+	if t != nil {
+		t.Helper()
+	}
+	clock := storage.NewClock()
+	store := objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock)
+	return slsfs.New(store, 1)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, err := Open(testFS(t), "/db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("alpha"))
+	if err != nil || string(v) != "one" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("missing")); err != ErrNotFound {
+		t.Fatalf("missing err = %v", err)
+	}
+	db.Put([]byte("alpha"), []byte("two"))
+	v, _ = db.Get([]byte("alpha"))
+	if string(v) != "two" {
+		t.Fatalf("update = %q", v)
+	}
+	if err := db.Delete([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("alpha")); err != ErrNotFound {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestFlushAndReadFromSSTable(t *testing.T) {
+	db, _ := Open(testFS(t), "/db", Options{MemtableLimit: 1 << 20})
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("value-%03d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.MemCount() != 0 || db.TableCount() != 1 {
+		t.Fatalf("after flush: mem=%d tables=%d", db.MemCount(), db.TableCount())
+	}
+	// Reads now come from the table.
+	v, err := db.Get([]byte("key-042"))
+	if err != nil || string(v) != "value-042" {
+		t.Fatalf("sstable get = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("key-999")); err != ErrNotFound {
+		t.Fatal("phantom key in sstable")
+	}
+}
+
+func TestNewerTableWins(t *testing.T) {
+	db, _ := Open(testFS(t), "/db", Options{})
+	db.Put([]byte("k"), []byte("old"))
+	db.Flush()
+	db.Put([]byte("k"), []byte("new"))
+	db.Flush()
+	v, _ := db.Get([]byte("k"))
+	if string(v) != "new" {
+		t.Fatalf("get = %q, newest table must win", v)
+	}
+}
+
+func TestTombstoneAcrossFlush(t *testing.T) {
+	db, _ := Open(testFS(t), "/db", Options{})
+	db.Put([]byte("gone"), []byte("x"))
+	db.Flush()
+	db.Delete([]byte("gone"))
+	db.Flush()
+	if _, err := db.Get([]byte("gone")); err != ErrNotFound {
+		t.Fatal("tombstone ignored across tables")
+	}
+}
+
+func TestAutoFlushOnMemtableLimit(t *testing.T) {
+	db, _ := Open(testFS(t), "/db", Options{MemtableLimit: 512})
+	for i := 0; i < 40; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte("v"), 32))
+	}
+	if db.Flushes == 0 {
+		t.Fatal("memtable limit never triggered a flush")
+	}
+	// Everything still readable.
+	v, err := db.Get([]byte("k00"))
+	if err != nil || !bytes.Equal(v, bytes.Repeat([]byte("v"), 32)) {
+		t.Fatalf("get after auto flush: %q, %v", v, err)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	db, _ := Open(testFS(t), "/db", Options{CompactAt: 3})
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			db.Put([]byte(fmt.Sprintf("key-%02d", i)), []byte(fmt.Sprintf("round-%d", round)))
+		}
+		db.Flush()
+	}
+	if db.Compacts == 0 {
+		t.Fatal("compaction never ran")
+	}
+	if db.TableCount() != 1 {
+		t.Fatalf("tables after compaction = %d", db.TableCount())
+	}
+	v, _ := db.Get([]byte("key-05"))
+	if string(v) != "round-2" {
+		t.Fatalf("compacted value = %q", v)
+	}
+}
+
+func TestCompactionDropsTombstones(t *testing.T) {
+	db, _ := Open(testFS(t), "/db", Options{CompactAt: 100})
+	db.Put([]byte("dead"), []byte("x"))
+	db.Flush()
+	db.Delete([]byte("dead"))
+	db.Flush()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("dead")); err != ErrNotFound {
+		t.Fatal("tombstoned key resurrected by compaction")
+	}
+}
+
+func TestWALCrashRecovery(t *testing.T) {
+	fs := testFS(t)
+	db, _ := Open(fs, "/db", Options{FsyncEvery: 1})
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	// Crash without Flush/Close: reopen replays the WAL.
+	db2, err := Open(fs, "/db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db2.Get([]byte("b"))
+	if err != nil || string(v) != "2" {
+		t.Fatalf("recovered b = %q, %v", v, err)
+	}
+	if db2.MemCount() != 2 {
+		t.Fatalf("recovered memtable = %d entries", db2.MemCount())
+	}
+}
+
+func TestReopenSeesSSTables(t *testing.T) {
+	fs := testFS(t)
+	db, _ := Open(fs, "/db", Options{})
+	db.Put([]byte("k"), []byte("v"))
+	db.Close()
+
+	db2, err := Open(fs, "/db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db2.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("reopened get = %q, %v", v, err)
+	}
+}
+
+func TestAuroraModeRecovery(t *testing.T) {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	api := core.NewAPI(o)
+	st := objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock)
+	fs := slsfs.New(st, 1000)
+	o.AttachFS(fs)
+
+	p, _ := k.Spawn(0, "lsm-db")
+	p.SetProgram(&kernel.FuncProgram{Name: "lsm", Fn: func(*kernel.Kernel, *kernel.Process, *kernel.Thread) error { return nil }})
+	kernel.RegisterProgram("lsm", func(*kernel.Kernel, *kernel.Process, []byte) (kernel.Program, error) {
+		return &kernel.FuncProgram{Name: "lsm", Fn: func(*kernel.Kernel, *kernel.Process, *kernel.Thread) error { return nil }}, nil
+	})
+	g, _ := o.Persist("lsm", p)
+	o.Attach(g, core.NewStoreBackend(st, k.Mem, clock))
+
+	hooks := &AuroraHooks{API: api, Proc: p, CheckpointEvery: 3}
+	db, err := Open(fs, "/db", Options{Aurora: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.WALBytes != 0 || db.WALSyncs != 0 {
+		t.Fatal("Aurora mode must not touch the WAL")
+	}
+	if hooks.Checkpoints != 2 {
+		t.Fatalf("checkpoints = %d", hooks.Checkpoints)
+	}
+
+	// Crash recovery: reopen the SAME directory — the checkpoint's
+	// file-system snapshot holds the flushed SSTables — then replay
+	// the NT tail.
+	fs2, err := slsfs.LoadLatest(st, fs.Group())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(fs2, "/db", Options{Aurora: &AuroraHooks{API: api, Proc: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := api.NTEntries(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := db2.ReplayNT(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 { // 7 ops, checkpoints at 3 and 6 truncate the rest
+		t.Fatalf("replayed %d entries, want 1", applied)
+	}
+	// The NT tail entry.
+	v, err := db2.Get([]byte("k6"))
+	if err != nil || string(v) != "v6" {
+		t.Fatalf("replayed k6 = %q, %v", v, err)
+	}
+	// Pre-checkpoint keys come back from the snapshotted SSTables.
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, err := db2.Get([]byte(key))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered %s = %q, %v", key, v, err)
+		}
+	}
+}
+
+func TestQuickLSMAgainstMap(t *testing.T) {
+	db, _ := Open(testFS(nil), "/db", Options{MemtableLimit: 2048, CompactAt: 4})
+	model := map[string]string{}
+	f := func(key uint8, val []byte, del, flush bool) bool {
+		k := fmt.Sprintf("key-%d", key%48)
+		if len(val) > 64 {
+			val = val[:64]
+		}
+		if del {
+			db.Delete([]byte(k))
+			delete(model, k)
+		} else {
+			if err := db.Put([]byte(k), val); err != nil {
+				return false
+			}
+			model[k] = string(val)
+		}
+		if flush {
+			if err := db.Flush(); err != nil {
+				return false
+			}
+		}
+		// Spot-check one model key.
+		for mk, mv := range model {
+			got, err := db.Get([]byte(mk))
+			if err != nil || string(got) != mv {
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	// Final full validation.
+	for mk, mv := range model {
+		got, err := db.Get([]byte(mk))
+		if err != nil || string(got) != mv {
+			t.Fatalf("final check %q = %q, %v (want %q)", mk, got, err, mv)
+		}
+	}
+}
+
+func TestWALvsAuroraCodeAndCost(t *testing.T) {
+	// WAL mode: every write hits the log and fsyncs.
+	fs := testFS(t)
+	wal, _ := Open(fs, "/wal-db", Options{FsyncEvery: 1})
+	for i := 0; i < 50; i++ {
+		wal.Put([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("v"), 100))
+	}
+	if wal.WALSyncs != 50 {
+		t.Fatalf("wal syncs = %d", wal.WALSyncs)
+	}
+	if wal.WALBytes < 50*100 {
+		t.Fatalf("wal bytes = %d", wal.WALBytes)
+	}
+}

@@ -1,0 +1,410 @@
+package redis
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/slsfs"
+	"aurora/internal/vm"
+)
+
+// Persistence abstracts the server's durability engine, making the
+// paper's comparison concrete: the baselines need code on every
+// mutation plus snapshot machinery; the Aurora engine needs almost
+// nothing.
+type Persistence interface {
+	// Name identifies the engine in driver snapshots.
+	Name() string
+	// OnMutation runs after every state-changing command.
+	OnMutation(k *kernel.Kernel, p *kernel.Process, cmd []byte) error
+	// Snapshot produces a full dump (BGSAVE).
+	Snapshot(k *kernel.Kernel, p *kernel.Process) error
+}
+
+// engine registry: restored drivers resolve their engine by name.
+var (
+	engMu   sync.Mutex
+	engines = map[string]Persistence{}
+)
+
+// RegisterEngine names a live engine instance for restore resolution.
+func RegisterEngine(e Persistence) {
+	engMu.Lock()
+	defer engMu.Unlock()
+	engines[e.Name()] = e
+}
+
+func lookupEngine(name string) Persistence {
+	engMu.Lock()
+	defer engMu.Unlock()
+	if e, ok := engines[name]; ok {
+		return e
+	}
+	return NoPersistence{}
+}
+
+// NoPersistence is the volatile mode.
+type NoPersistence struct{}
+
+// Name implements Persistence.
+func (NoPersistence) Name() string { return "none" }
+
+// OnMutation implements Persistence.
+func (NoPersistence) OnMutation(*kernel.Kernel, *kernel.Process, []byte) error { return nil }
+
+// Snapshot implements Persistence.
+func (NoPersistence) Snapshot(*kernel.Kernel, *kernel.Process) error { return nil }
+
+// AOF is the classic append-only-file engine: every mutation is
+// appended to a log file; every FsyncEvery mutations the file system
+// is synced (fsync "everysec"-style batching). This is the baseline
+// whose fsync semantics the paper's §2 catalog of data-loss bugs is
+// about.
+type AOF struct {
+	FS         *slsfs.FS
+	Path       string
+	FsyncEvery int
+
+	mu      sync.Mutex
+	file    *slsfs.File
+	pending int
+	Syncs   int64
+	Bytes   int64
+}
+
+// NewAOF opens (or creates) the log file.
+func NewAOF(fs *slsfs.FS, path string, fsyncEvery int) (*AOF, error) {
+	f, err := fs.Open(path)
+	if err == slsfs.ErrNotExist {
+		f, err = fs.Create(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if fsyncEvery < 1 {
+		fsyncEvery = 1
+	}
+	return &AOF{FS: fs, Path: path, FsyncEvery: fsyncEvery, file: f}, nil
+}
+
+// Name implements Persistence.
+func (a *AOF) Name() string { return "aof" }
+
+// OnMutation implements Persistence: append and maybe fsync.
+func (a *AOF) OnMutation(k *kernel.Kernel, p *kernel.Process, cmd []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	line := append(append([]byte(nil), cmd...), '\n')
+	if _, err := a.file.WriteAt(line, a.file.Size()); err != nil {
+		return err
+	}
+	a.Bytes += int64(len(line))
+	a.pending++
+	if a.pending >= a.FsyncEvery {
+		a.pending = 0
+		a.Syncs++
+		if _, err := a.FS.Snapshot(""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot implements Persistence: an AOF rewrite — dump the whole
+// table compactly and truncate the log.
+func (a *AOF) Snapshot(k *kernel.Kernel, p *kernel.Process) error {
+	srv, ok := p.Program().(*Server)
+	if !ok {
+		return fmt.Errorf("redis: AOF rewrite needs the server driver")
+	}
+	st := &Store{P: p, Base: srv.Base}
+	var buf bytes.Buffer
+	err := st.ForEach(func(key, val []byte) error {
+		buf.WriteString("SET ")
+		buf.Write(key)
+		buf.WriteByte(' ')
+		buf.Write(val)
+		buf.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.file.Truncate(0)
+	if _, err := a.file.WriteAt(buf.Bytes(), 0); err != nil {
+		return err
+	}
+	_, err = a.FS.Snapshot("")
+	return err
+}
+
+// Replay feeds a recovered log into a fresh table — crash recovery.
+func (a *AOF) Replay(st *Store) (int, error) {
+	data := make([]byte, a.file.Size())
+	if _, err := a.file.ReadAt(data, 0); err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		fields := bytes.SplitN(line, []byte(" "), 3)
+		switch string(bytes.ToUpper(fields[0])) {
+		case "SET":
+			if len(fields) == 3 {
+				if err := st.Set(fields[1], fields[2]); err != nil {
+					return applied, err
+				}
+				applied++
+			}
+		case "DEL":
+			if len(fields) == 2 {
+				st.Del(fields[1]) // missing key is fine during replay
+				applied++
+			}
+		}
+	}
+	return applied, nil
+}
+
+// ForkSnapshot is the BGSAVE engine: fork the server and have the
+// child walk the (COW-frozen) table, writing a dump file. The paper's
+// Redis uses exactly this fork trick; Aurora subsumes it in-kernel.
+type ForkSnapshot struct {
+	FS   *slsfs.FS
+	Path string
+
+	Snapshots int64
+	DumpBytes int64
+}
+
+// Name implements Persistence.
+func (f *ForkSnapshot) Name() string { return "fork" }
+
+// OnMutation implements Persistence: nothing per-op (durability only
+// as of the last BGSAVE — the weakness AOF exists to patch).
+func (f *ForkSnapshot) OnMutation(*kernel.Kernel, *kernel.Process, []byte) error { return nil }
+
+// Snapshot implements Persistence.
+func (f *ForkSnapshot) Snapshot(k *kernel.Kernel, p *kernel.Process) error {
+	child, err := k.Fork(p)
+	if err != nil {
+		return err
+	}
+	// The child sees the fork-frozen table; the parent keeps serving.
+	srv, ok := p.Program().(*Server)
+	if !ok {
+		return fmt.Errorf("redis: fork snapshot needs the server driver")
+	}
+	st := &Store{P: child, Base: srv.Base}
+	var buf bytes.Buffer
+	err = st.ForEach(func(key, val []byte) error {
+		var hdr [8]byte
+		putU32(hdr[0:], uint32(len(key)))
+		putU32(hdr[4:], uint32(len(val)))
+		buf.Write(hdr[:])
+		buf.Write(key)
+		buf.Write(val)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	file, ferr := f.FS.Open(f.Path)
+	if ferr == slsfs.ErrNotExist {
+		file, ferr = f.FS.Create(f.Path)
+	}
+	if ferr != nil {
+		return ferr
+	}
+	file.Truncate(0)
+	if _, err := file.WriteAt(buf.Bytes(), 0); err != nil {
+		return err
+	}
+	if _, err := f.FS.Snapshot(""); err != nil {
+		return err
+	}
+	f.Snapshots++
+	f.DumpBytes = int64(buf.Len())
+	// The child exits after dumping, like a BGSAVE worker.
+	k.Exit(child, 0)
+	k.Reap(child)
+	return nil
+}
+
+// LoadDump rebuilds a table from the newest dump file.
+func (f *ForkSnapshot) LoadDump(st *Store) (int, error) {
+	file, err := f.FS.Open(f.Path)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]byte, file.Size())
+	if _, err := file.ReadAt(data, 0); err != nil {
+		return 0, err
+	}
+	n := 0
+	for off := 0; off+8 <= len(data); {
+		klen := int(getU32(data[off:]))
+		vlen := int(getU32(data[off+4:]))
+		off += 8
+		if off+klen+vlen > len(data) {
+			break
+		}
+		if err := st.Set(data[off:off+klen], data[off+klen:off+klen+vlen]); err != nil {
+			return n, err
+		}
+		off += klen + vlen
+		n++
+	}
+	return n, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Aurora is the paper's port: sls_ntflush logs each mutation with low
+// latency; sls_checkpoint (every CheckpointEvery mutations) captures
+// the whole application, after which the log truncates. Recovery is
+// restore-plus-replay, and the data structures needed no changes at
+// all — "already faster with less code".
+type Aurora struct {
+	API             *core.API
+	CheckpointEvery int
+
+	mu          sync.Mutex
+	sinceCkpt   int
+	Checkpoints int64
+	LogAppends  int64
+}
+
+// NewAurora builds the engine over the libsls API.
+func NewAurora(api *core.API, checkpointEvery int) *Aurora {
+	if checkpointEvery < 1 {
+		checkpointEvery = 1000
+	}
+	return &Aurora{API: api, CheckpointEvery: checkpointEvery}
+}
+
+// Name implements Persistence.
+func (a *Aurora) Name() string { return "aurora" }
+
+// OnMutation implements Persistence.
+func (a *Aurora) OnMutation(k *kernel.Kernel, p *kernel.Process, cmd []byte) error {
+	if err := a.API.NTFlush(p, cmd); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.LogAppends++
+	a.sinceCkpt++
+	due := a.sinceCkpt >= a.CheckpointEvery
+	if due {
+		a.sinceCkpt = 0
+	}
+	a.mu.Unlock()
+	if due {
+		return a.checkpoint(p)
+	}
+	return nil
+}
+
+// Snapshot implements Persistence: an explicit checkpoint.
+func (a *Aurora) Snapshot(k *kernel.Kernel, p *kernel.Process) error {
+	return a.checkpoint(p)
+}
+
+func (a *Aurora) checkpoint(p *kernel.Process) error {
+	g, ok := a.API.O.GroupOfProcess(p.PID)
+	if !ok {
+		return core.ErrNotPersisted
+	}
+	seq := a.API.NTSeq(g)
+	if _, err := a.API.Checkpoint(p, ""); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.Checkpoints++
+	a.mu.Unlock()
+	// The checkpoint subsumes the log prefix.
+	return a.API.NTTruncate(g, seq)
+}
+
+// Recover restores the newest checkpoint of the group and replays the
+// NT log tail into the revived table. It returns the restored group
+// and the number of replayed commands.
+func (a *Aurora) Recover(g *core.Group) (*core.Group, int, error) {
+	ng, _, err := a.API.Restore(g, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	entries, err := a.API.NTEntries(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	np, err := a.API.O.K.Process(ng.PIDs()[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	srv, ok := np.Program().(*Server)
+	if !ok {
+		return nil, 0, fmt.Errorf("redis: restored process has no server driver")
+	}
+	st := &Store{P: np, Base: srv.Base}
+	applied := 0
+	for _, cmd := range entries {
+		fields := bytes.SplitN(cmd, []byte(" "), 3)
+		switch string(bytes.ToUpper(fields[0])) {
+		case "SET":
+			if len(fields) == 3 {
+				if err := st.Set(fields[1], fields[2]); err != nil {
+					return ng, applied, err
+				}
+				applied++
+			}
+		case "DEL":
+			if len(fields) == 2 {
+				st.Del(fields[1])
+				applied++
+			}
+		}
+	}
+	return ng, applied, nil
+}
+
+// Spawn boots a complete mini-Redis: process, table, listener, driver.
+// It returns the process and the store handle. bucketCount and arena
+// size the table; path names the unix socket.
+func Spawn(k *kernel.Kernel, container int, path string, bucketCount int, arena int64, persist Persistence) (*kernel.Process, *Store, error) {
+	p, err := k.Spawn(container, "redis-server")
+	if err != nil {
+		return nil, nil, err
+	}
+	need := ArenaSize(bucketCount, arena)
+	if _, err := p.Sbrk(need + vm.PageSize); err != nil {
+		return nil, nil, err
+	}
+	st, err := Init(p, p.HeapBase(), bucketCount, arena)
+	if err != nil {
+		return nil, nil, err
+	}
+	lfd, err := k.Listen(p, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := NewServer(p.HeapBase(), lfd, persist)
+	p.SetProgram(srv)
+	if persist != nil {
+		RegisterEngine(persist)
+	}
+	return p, st, nil
+}

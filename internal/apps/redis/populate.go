@@ -1,0 +1,18 @@
+package redis
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// PopulateDirect fills a table quickly for benchmarks and examples,
+// bypassing the socket path.
+func PopulateDirect(st *Store, keys int, valSize int) error {
+	val := bytes.Repeat([]byte("v"), valSize)
+	for i := 0; i < keys; i++ {
+		if err := st.Set([]byte(fmt.Sprintf("bench-key-%08d", i)), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+// Package redis implements a miniature Redis: an in-memory key-value
+// store whose entire dataset lives in *simulated* process memory, a
+// RESP-style text protocol served over simulated sockets, and three
+// interchangeable persistence engines:
+//
+//   - AOF: an append-only command file with periodic fsync, the
+//     classic write-ahead approach (baseline);
+//   - fork snapshot: BGSAVE-style forking with the child serializing
+//     the table to a dump file (baseline); and
+//   - Aurora: the paper's port — sls_ntflush for the operation log,
+//     sls_checkpoint for snapshots, sls_barrier for durability
+//     waits. No persistence code touches the data structures.
+//
+// Because the hash table is laid out in simulated pages, Aurora's
+// checkpointing covers it with zero application cooperation: this is
+// the paper's Redis workload.
+package redis
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+
+	"aurora/internal/kernel"
+	"aurora/internal/vm"
+)
+
+// Store errors.
+var (
+	ErrArenaFull = errors.New("redis: arena exhausted")
+	ErrNotFound  = errors.New("redis: key not found")
+	ErrTooLarge  = errors.New("redis: key or value too large")
+)
+
+// Table layout constants. All offsets are relative to the table base
+// address in the owning process's address space.
+const (
+	magic      = 0x41555252 // "AURR"
+	hdrMagic   = 0
+	hdrBuckets = 8
+	hdrCount   = 16
+	hdrAlloc   = 24
+	hdrArena   = 32
+	headerSize = 64
+
+	maxKey = 1 << 16
+	maxVal = 1 << 24
+)
+
+// Store is the driver handle to a hash table living in a process's
+// simulated memory. The driver holds no table state: everything is in
+// the pages, so checkpoints capture it and restores revive it with a
+// fresh Store handle at the same base address.
+type Store struct {
+	P    *kernel.Process
+	Base vm.Addr
+}
+
+// Init lays out an empty table at base: nbuckets chain heads plus an
+// arena of arenaBytes for entries. The region must already be mapped
+// (heap via Sbrk, or an anonymous mapping).
+func Init(p *kernel.Process, base vm.Addr, nbuckets int, arenaBytes int64) (*Store, error) {
+	s := &Store{P: p, Base: base}
+	if err := s.w64(hdrMagic, magic); err != nil {
+		return nil, err
+	}
+	if err := s.w64(hdrBuckets, uint64(nbuckets)); err != nil {
+		return nil, err
+	}
+	if err := s.w64(hdrCount, 0); err != nil {
+		return nil, err
+	}
+	alloc := int64(headerSize) + int64(nbuckets)*8
+	if err := s.w64(hdrAlloc, uint64(alloc)); err != nil {
+		return nil, err
+	}
+	if err := s.w64(hdrArena, uint64(alloc+arenaBytes)); err != nil {
+		return nil, err
+	}
+	// Zero the bucket array (fresh mappings read zero anyway, but an
+	// Init over a reused region must clear it).
+	zero := make([]byte, nbuckets*8)
+	if err := p.WriteMem(base+headerSize, zero); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Attach reopens an existing table at base (after a restore).
+func Attach(p *kernel.Process, base vm.Addr) (*Store, error) {
+	s := &Store{P: p, Base: base}
+	m, err := s.r64(hdrMagic)
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, errors.New("redis: no table at base address")
+	}
+	return s, nil
+}
+
+// ArenaSize returns the bytes needed for an Init with the given
+// geometry, for sizing Sbrk calls.
+func ArenaSize(nbuckets int, arenaBytes int64) int64 {
+	return headerSize + int64(nbuckets)*8 + arenaBytes
+}
+
+func (s *Store) r64(off int64) (uint64, error) {
+	var b [8]byte
+	if err := s.P.ReadMem(s.Base+vm.Addr(off), b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (s *Store) w64(off int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.P.WriteMem(s.Base+vm.Addr(off), b[:])
+}
+
+func (s *Store) r32(off int64) (uint32, error) {
+	var b [4]byte
+	if err := s.P.ReadMem(s.Base+vm.Addr(off), b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// bucketOff returns the table offset of a key's bucket head pointer.
+func (s *Store) bucketOff(key []byte) (int64, error) {
+	nb, err := s.r64(hdrBuckets)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(key)
+	return int64(headerSize + (h.Sum64()%nb)*8), nil
+}
+
+// entry header: [next u64][klen u32][vlen u32][key][value]
+const entryHdr = 16
+
+// findEntry walks a chain for key, returning (entryOff, prevLinkOff).
+func (s *Store) findEntry(key []byte) (int64, int64, error) {
+	bo, err := s.bucketOff(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	linkOff := bo
+	cur, err := s.r64(bo)
+	if err != nil {
+		return 0, 0, err
+	}
+	kbuf := make([]byte, len(key))
+	for cur != 0 {
+		klen, err := s.r32(int64(cur) + 8)
+		if err != nil {
+			return 0, 0, err
+		}
+		if int(klen) == len(key) {
+			if err := s.P.ReadMem(s.Base+vm.Addr(cur)+entryHdr, kbuf); err != nil {
+				return 0, 0, err
+			}
+			if string(kbuf) == string(key) {
+				return int64(cur), linkOff, nil
+			}
+		}
+		linkOff = int64(cur) // next pointer is at entry offset +0
+		next, err := s.r64(int64(cur))
+		if err != nil {
+			return 0, 0, err
+		}
+		cur = next
+	}
+	return 0, linkOff, nil
+}
+
+// Set inserts or updates a key. Same-size updates overwrite in place;
+// others allocate a fresh entry at the bucket head.
+func (s *Store) Set(key, val []byte) error {
+	if len(key) == 0 || len(key) > maxKey || len(val) > maxVal {
+		return ErrTooLarge
+	}
+	eo, _, err := s.findEntry(key)
+	if err != nil {
+		return err
+	}
+	if eo != 0 {
+		vlen, err := s.r32(eo + 12)
+		if err != nil {
+			return err
+		}
+		if int(vlen) == len(val) {
+			return s.P.WriteMem(s.Base+vm.Addr(eo)+entryHdr+vm.Addr(len(key)), val)
+		}
+		// Size changed: remove then reinsert.
+		if err := s.Del(key); err != nil {
+			return err
+		}
+	}
+
+	need := int64(entryHdr + len(key) + len(val))
+	need = (need + 7) &^ 7
+	alloc, err := s.r64(hdrAlloc)
+	if err != nil {
+		return err
+	}
+	arenaEnd, err := s.r64(hdrArena)
+	if err != nil {
+		return err
+	}
+	if alloc+uint64(need) > arenaEnd {
+		return ErrArenaFull
+	}
+	if err := s.w64(hdrAlloc, alloc+uint64(need)); err != nil {
+		return err
+	}
+
+	bo, err := s.bucketOff(key)
+	if err != nil {
+		return err
+	}
+	head, err := s.r64(bo)
+	if err != nil {
+		return err
+	}
+	// Write the entry: next, klen, vlen, key, val.
+	hdr := make([]byte, entryHdr)
+	binary.LittleEndian.PutUint64(hdr[0:], head)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(val)))
+	ea := s.Base + vm.Addr(alloc)
+	if err := s.P.WriteMem(ea, hdr); err != nil {
+		return err
+	}
+	if err := s.P.WriteMem(ea+entryHdr, key); err != nil {
+		return err
+	}
+	if err := s.P.WriteMem(ea+entryHdr+vm.Addr(len(key)), val); err != nil {
+		return err
+	}
+	if err := s.w64(bo, alloc); err != nil {
+		return err
+	}
+	count, err := s.r64(hdrCount)
+	if err != nil {
+		return err
+	}
+	return s.w64(hdrCount, count+1)
+}
+
+// Get fetches a key's value.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	eo, _, err := s.findEntry(key)
+	if err != nil {
+		return nil, err
+	}
+	if eo == 0 {
+		return nil, ErrNotFound
+	}
+	vlen, err := s.r32(eo + 12)
+	if err != nil {
+		return nil, err
+	}
+	val := make([]byte, vlen)
+	if err := s.P.ReadMem(s.Base+vm.Addr(eo)+entryHdr+vm.Addr(len(key)), val); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// Del removes a key, reporting whether it existed. Entry space is not
+// reclaimed (like Redis, memory is returned only on restart/defrag).
+func (s *Store) Del(key []byte) error {
+	eo, linkOff, err := s.findEntry(key)
+	if err != nil {
+		return err
+	}
+	if eo == 0 {
+		return ErrNotFound
+	}
+	next, err := s.r64(eo)
+	if err != nil {
+		return err
+	}
+	if err := s.w64(linkOff, next); err != nil {
+		return err
+	}
+	count, err := s.r64(hdrCount)
+	if err != nil {
+		return err
+	}
+	return s.w64(hdrCount, count-1)
+}
+
+// Count returns the live key count.
+func (s *Store) Count() (uint64, error) { return s.r64(hdrCount) }
+
+// UsedBytes returns arena bytes consumed.
+func (s *Store) UsedBytes() (int64, error) {
+	a, err := s.r64(hdrAlloc)
+	return int64(a), err
+}
+
+// ForEach visits every live entry (bucket order). The callback must
+// not mutate the table.
+func (s *Store) ForEach(fn func(key, val []byte) error) error {
+	nb, err := s.r64(hdrBuckets)
+	if err != nil {
+		return err
+	}
+	for b := uint64(0); b < nb; b++ {
+		cur, err := s.r64(int64(headerSize + b*8))
+		if err != nil {
+			return err
+		}
+		for cur != 0 {
+			klen, err := s.r32(int64(cur) + 8)
+			if err != nil {
+				return err
+			}
+			vlen, err := s.r32(int64(cur) + 12)
+			if err != nil {
+				return err
+			}
+			kv := make([]byte, int(klen)+int(vlen))
+			if err := s.P.ReadMem(s.Base+vm.Addr(cur)+entryHdr, kv); err != nil {
+				return err
+			}
+			if err := fn(kv[:klen], kv[klen:]); err != nil {
+				return err
+			}
+			cur, err = s.r64(int64(cur))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

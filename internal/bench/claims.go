@@ -1,0 +1,442 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/apps/faas"
+	"aurora/internal/apps/redis"
+	"aurora/internal/core"
+	"aurora/internal/criu"
+	"aurora/internal/slsfs"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// FreqResult quantifies the §3 claim: checkpointing up to 100×/second
+// with modest overhead.
+type FreqResult struct {
+	Hz          int
+	Checkpoints int
+	AvgStop     time.Duration
+	MaxStop     time.Duration
+	// Overhead is total stop time divided by the checkpoint period
+	// budget: the fraction of wall time the application loses.
+	Overhead float64
+}
+
+// Freq runs n checkpoints at the given rate over a Redis instance with
+// a small steady dirty rate.
+func Freq(hz, n int, wsBytes int64) (*FreqResult, error) {
+	m := NewMachine()
+	ri, err := NewRedisInstance(m, wsBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.O.Attach(ri.Group, m.Store)
+	if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
+		return nil, err
+	}
+
+	period := time.Second / time.Duration(hz)
+	var total, worst time.Duration
+	for i := 0; i < n; i++ {
+		if err := ri.DirtyFraction(0.01); err != nil {
+			return nil, err
+		}
+		bd, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{})
+		if err != nil {
+			return nil, err
+		}
+		total += bd.StopTime
+		if bd.StopTime > worst {
+			worst = bd.StopTime
+		}
+	}
+	return &FreqResult{
+		Hz:          hz,
+		Checkpoints: n,
+		AvgStop:     total / time.Duration(n),
+		MaxStop:     worst,
+		Overhead:    float64(total) / float64(time.Duration(n)*period),
+	}, nil
+}
+
+// Print renders the frequency claim.
+func (r *FreqResult) Print() {
+	fmt.Printf("Claim (§3): %d checkpoints at %d Hz\n", r.Checkpoints, r.Hz)
+	fmt.Printf("  avg stop %s, max stop %s, application overhead %.2f%%\n\n",
+		storage.Micros(r.AvgStop), storage.Micros(r.MaxStop), r.Overhead*100)
+}
+
+// DensityResult quantifies the §4 serverless-density claim.
+type DensityResult struct {
+	Functions       int
+	RuntimeBlocks   int
+	BlocksPerFn     float64
+	BytesPerFn      int64
+	DedupHits       int64
+	NaiveBytesPerFn int64 // what each function would cost without dedup
+}
+
+// Density deploys n functions over one runtime image and measures
+// store growth per function.
+func Density(n int) (*DensityResult, error) {
+	m := NewMachine()
+	rt := faas.NewRuntime(m.O, m.Store, nil) // store-only: measure disk density
+	if _, err := rt.BuildBase(); err != nil {
+		return nil, err
+	}
+	base := m.Objs.Stats()
+	for i := 0; i < n; i++ {
+		if _, err := rt.Deploy(fmt.Sprintf("fn-%04d", i), []byte(fmt.Sprintf("function-config-%04d", i))); err != nil {
+			return nil, err
+		}
+	}
+	after := m.Objs.Stats()
+	added := after.Blocks - base.Blocks
+	return &DensityResult{
+		Functions:       n,
+		RuntimeBlocks:   base.Blocks,
+		BlocksPerFn:     float64(added) / float64(n),
+		BytesPerFn:      int64(added) * 4096 / int64(n),
+		DedupHits:       after.DedupHits - base.DedupHits,
+		NaiveBytesPerFn: int64(base.Blocks) * 4096,
+	}, nil
+}
+
+// Print renders the density claim.
+func (r *DensityResult) Print() {
+	fmt.Printf("Claim (§4): serverless density, %d functions over one runtime image\n", r.Functions)
+	fmt.Printf("  runtime image: %d blocks (%s)\n", r.RuntimeBlocks, fmtBytes(int64(r.RuntimeBlocks)*4096))
+	fmt.Printf("  per function: %.1f blocks (%s) vs %s without dedup — %.0fx density\n",
+		r.BlocksPerFn, fmtBytes(r.BytesPerFn), fmtBytes(r.NaiveBytesPerFn),
+		float64(r.NaiveBytesPerFn)/float64(max64(r.BytesPerFn, 1)))
+	fmt.Printf("  dedup hits: %d\n\n", r.DedupHits)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RedisPersistenceResult compares the per-operation durability cost of
+// the three engines (the §4 database claim).
+type RedisPersistenceResult struct {
+	Ops          int
+	AOFPerOp     time.Duration
+	AuroraPerOp  time.Duration
+	ForkSnapshot time.Duration // one BGSAVE stop cost
+	AuroraCkpt   time.Duration // one sls_checkpoint stop cost
+}
+
+// RedisPersistence measures virtual time per SET under the AOF engine
+// vs the Aurora engine, plus the snapshot costs of fork vs checkpoint.
+func RedisPersistence(ops int, wsBytes int64) (*RedisPersistenceResult, error) {
+	out := &RedisPersistenceResult{Ops: ops}
+	val := make([]byte, 512)
+
+	// AOF per-op cost (fsync every op: the durable configuration).
+	{
+		m := NewMachine()
+		fs, err := newFS(m)
+		if err != nil {
+			return nil, err
+		}
+		aof, err := redis.NewAOF(fs, "/appendonly.aof", 1)
+		if err != nil {
+			return nil, err
+		}
+		p, st, err := redis.Spawn(m.K, 0, "/redis.sock", 1024, wsBytes, aof)
+		if err != nil {
+			return nil, err
+		}
+		start := m.Clock.Now()
+		for i := 0; i < ops; i++ {
+			if err := st.Set([]byte(fmt.Sprintf("k-%06d", i)), val); err != nil {
+				return nil, err
+			}
+			if err := aof.OnMutation(m.K, p, []byte(fmt.Sprintf("SET k-%06d <512B>", i))); err != nil {
+				return nil, err
+			}
+		}
+		out.AOFPerOp = (m.Clock.Now() - start) / time.Duration(ops)
+
+		// Fork snapshot cost on the same instance.
+		snapStart := m.Clock.Now()
+		fork := &redis.ForkSnapshot{FS: fs, Path: "/dump.rdb"}
+		if err := fork.Snapshot(m.K, p); err != nil {
+			return nil, err
+		}
+		out.ForkSnapshot = m.Clock.Now() - snapStart
+	}
+
+	// Aurora per-op cost (sls_ntflush each op).
+	{
+		m := NewMachine()
+		eng := redis.NewAurora(m.API, ops*10) // no auto checkpoint inside the loop
+		p, st, err := redis.Spawn(m.K, 0, "/redis.sock", 1024, wsBytes, eng)
+		if err != nil {
+			return nil, err
+		}
+		g, err := m.O.Persist("redis", p)
+		if err != nil {
+			return nil, err
+		}
+		m.O.Attach(g, m.Store)
+		if _, err := m.O.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+			return nil, err
+		}
+		start := m.Clock.Now()
+		for i := 0; i < ops; i++ {
+			if err := st.Set([]byte(fmt.Sprintf("k-%06d", i)), val); err != nil {
+				return nil, err
+			}
+			if err := eng.OnMutation(m.K, p, []byte(fmt.Sprintf("SET k-%06d <512B>", i))); err != nil {
+				return nil, err
+			}
+		}
+		out.AuroraPerOp = (m.Clock.Now() - start) / time.Duration(ops)
+
+		bd, err := m.O.Checkpoint(g, core.CheckpointOpts{})
+		if err != nil {
+			return nil, err
+		}
+		out.AuroraCkpt = bd.StopTime
+	}
+	return out, nil
+}
+
+// Print renders the database claim.
+func (r *RedisPersistenceResult) Print() {
+	fmt.Printf("Claim (§4): Redis persistence engines, %d SET operations\n", r.Ops)
+	fmt.Printf("  per-op durability:  AOF+fsync %s   Aurora ntflush %s  (%.1fx)\n",
+		storage.Micros(r.AOFPerOp), storage.Micros(r.AuroraPerOp),
+		float64(r.AOFPerOp)/float64(maxDur(r.AuroraPerOp, 1)))
+	fmt.Printf("  snapshot stop:      fork+dump %s   sls_checkpoint %s  (%.1fx)\n\n",
+		storage.Micros(r.ForkSnapshot), storage.Micros(r.AuroraCkpt),
+		float64(r.ForkSnapshot)/float64(maxDur(r.AuroraCkpt, 1)))
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CRIUResult compares the syscall-boundary baseline against Aurora's
+// incremental checkpoint (the §2 claim).
+type CRIUResult struct {
+	WorkingSet int64
+	CRIUStop   time.Duration
+	AuroraStop time.Duration
+	CRIUBytes  int64
+}
+
+// CRIUCompare checkpoints the same application both ways.
+func CRIUCompare(wsBytes int64) (*CRIUResult, error) {
+	m := NewMachine()
+	ri, err := NewRedisInstance(m, wsBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.O.Attach(ri.Group, m.Store)
+	if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
+		return nil, err
+	}
+	if err := ri.DirtyFraction(0.01); err != nil {
+		return nil, err
+	}
+	aurora, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{})
+	if err != nil {
+		return nil, err
+	}
+
+	dev := storage.NewMemDevice(storage.ParamsOptaneNVMe, m.Clock)
+	c := criu.New(m.K, dev)
+	cb, err := c.Checkpoint(ri.Proc)
+	if err != nil {
+		return nil, err
+	}
+	return &CRIUResult{
+		WorkingSet: wsBytes,
+		CRIUStop:   cb.StopTime,
+		AuroraStop: aurora.StopTime,
+		CRIUBytes:  cb.Bytes,
+	}, nil
+}
+
+// Print renders the comparison.
+func (r *CRIUResult) Print() {
+	fmt.Printf("Claim (§2): CRIU-style vs Aurora incremental, working set %s\n", fmtBytes(r.WorkingSet))
+	fmt.Printf("  CRIU stop %s (image %s, frozen throughout)\n",
+		storage.Micros(r.CRIUStop), fmtBytes(r.CRIUBytes))
+	fmt.Printf("  Aurora stop %s  (%.0fx lower)\n\n",
+		storage.Micros(r.AuroraStop), float64(r.CRIUStop)/float64(maxDur(r.AuroraStop, 1)))
+}
+
+// WarmStartResult compares cold boot with restore-based warm start.
+type WarmStartResult struct {
+	Cold     time.Duration
+	WarmMem  time.Duration
+	WarmDisk time.Duration
+}
+
+// WarmStart measures serverless start paths.
+func WarmStart() (*WarmStartResult, error) {
+	m := NewMachine()
+	rt := faas.NewRuntime(m.O, m.Store, m.Mem)
+	rt.InitLoops = 200_000
+	if _, err := rt.Deploy("ws", nil); err != nil {
+		return nil, err
+	}
+
+	coldStart := m.Clock.Now()
+	if _, err := rt.ColdStart(1); err != nil {
+		return nil, err
+	}
+	cold := m.Clock.Now() - coldStart
+
+	fn, err := rt.Function("ws")
+	if err != nil {
+		return nil, err
+	}
+	img, _, err := m.Mem.Load(fn.Group.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, memBD, err := m.O.RestoreImage(img, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	dimg, rt2, err := m.Store.Load(fn.Group.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, diskBD, err := m.O.RestoreImage(dimg, rt2, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	return &WarmStartResult{Cold: cold, WarmMem: memBD.Total, WarmDisk: diskBD.Total}, nil
+}
+
+// Print renders the warm-start comparison.
+func (r *WarmStartResult) Print() {
+	fmt.Printf("Claim (§4): serverless starts\n")
+	fmt.Printf("  cold boot %s, warm restore (memory) %s, warm restore (disk) %s\n\n",
+		storage.Micros(r.Cold), storage.Micros(r.WarmMem), storage.Micros(r.WarmDisk))
+}
+
+// --- ablations ---
+
+// AblationCOWResult contrasts Aurora's shared-COW checkpointing with a
+// fork-style private-COW alternative on a shared-memory workload.
+type AblationCOWResult struct {
+	SharedFaults   int64
+	SharedResident int64
+	// ForkBreaksSharing is always true: it documents the semantic
+	// failure (writes diverge) that motivates Aurora's design.
+	ForkBreaksSharing bool
+}
+
+// AblationSharedCOW demonstrates the design choice: two processes
+// share a segment; after an Aurora checkpoint a write by one remains
+// visible to the other, at the cost of exactly one COW fault.
+func AblationSharedCOW() (*AblationCOWResult, error) {
+	m := NewMachine()
+	p1, err := m.K.Spawn(0, "writer")
+	if err != nil {
+		return nil, err
+	}
+	p2, err := m.K.Fork(p1)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := m.K.ShmGet(1, 64*vm.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	a1, err := m.K.ShmAttach(p1, seg)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := m.K.ShmAttach(p2, seg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p1.WriteMem(a1, make([]byte, 64*vm.PageSize)); err != nil {
+		return nil, err
+	}
+
+	g, err := m.O.Persist("shm", p1)
+	if err != nil {
+		return nil, err
+	}
+	m.O.Attach(g, m.Store)
+	if _, err := m.O.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+		return nil, err
+	}
+
+	before := m.K.Meter.CowFaults.Load()
+	if err := p1.WriteMem(a1, []byte("post-ckpt")); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 9)
+	if err := p2.ReadMem(a2, buf); err != nil {
+		return nil, err
+	}
+	if string(buf) != "post-ckpt" {
+		return nil, fmt.Errorf("bench: Aurora COW broke sharing")
+	}
+	return &AblationCOWResult{
+		SharedFaults:   m.K.Meter.CowFaults.Load() - before,
+		SharedResident: m.K.Mem.Resident(),
+		// Fork-style COW gives the writer a private page: the sibling
+		// would still read the old data (see vm's fork tests).
+		ForkBreaksSharing: true,
+	}, nil
+}
+
+// AblationDedupResult measures the store with and without dedup value.
+type AblationDedupResult struct {
+	Checkpoints  int
+	BlocksStored int
+	LogicalPages int64
+	SavedFrac    float64
+}
+
+// AblationDedup checkpoints the same mostly-idle instance repeatedly;
+// dedup absorbs the unchanged pages.
+func AblationDedup(rounds int, wsBytes int64) (*AblationDedupResult, error) {
+	m := NewMachine()
+	ri, err := NewRedisInstance(m, wsBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.O.Attach(ri.Group, m.Store)
+	for i := 0; i < rounds; i++ {
+		// Full checkpoints every round: without dedup this would store
+		// the working set each time.
+		if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{Full: true}); err != nil {
+			return nil, err
+		}
+	}
+	st := m.Objs.Stats()
+	logical := st.LogicalBytes / 4096
+	return &AblationDedupResult{
+		Checkpoints:  rounds,
+		BlocksStored: st.Blocks,
+		LogicalPages: logical,
+		SavedFrac:    1 - float64(st.Blocks)/float64(logical),
+	}, nil
+}
+
+// newFS builds an Aurora FS on the machine's store.
+func newFS(m *Machine) (*slsfs.FS, error) {
+	fs := slsfs.New(m.Objs, 1000)
+	m.O.AttachFS(fs)
+	return fs, nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"aurora/internal/apps/faas"
+	"aurora/internal/core"
+	"aurora/internal/storage"
+)
+
+// Table4Result is the restore-time breakdown of Table 4: a Redis
+// instance restored from an in-memory image, and a serverless
+// workload restored from memory and from disk.
+type Table4Result struct {
+	WorkingSet     int64
+	RedisMem       core.RestoreBreakdown
+	ServerlessMem  core.RestoreBreakdown
+	ServerlessDisk core.RestoreBreakdown
+}
+
+// Table4 reproduces Table 4.
+func Table4(wsBytes int64) (*Table4Result, error) {
+	out := &Table4Result{WorkingSet: wsBytes}
+
+	// --- Redis restored from an in-memory image ---
+	m := NewMachine()
+	ri, err := NewRedisInstance(m, wsBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.O.Attach(ri.Group, m.Mem)
+	if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
+		return nil, err
+	}
+	img, _, err := m.Mem.Load(ri.Group.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, out.RedisMem, err = m.O.RestoreImage(img, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Serverless workload: hello-world function runtime ---
+	fm := NewMachine()
+	rt := faas.NewRuntime(fm.O, fm.Store, fm.Mem)
+	if _, err := rt.BuildBase(); err != nil {
+		return nil, err
+	}
+	fn, err := rt.Deploy("hello", []byte("bench"))
+	if err != nil {
+		return nil, err
+	}
+	// From memory.
+	fimg, _, err := fm.Mem.Load(fn.Group.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, out.ServerlessMem, err = fm.O.RestoreImage(fimg, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	// From disk (the object store read appears).
+	dimg, readTime, err := fm.Store.Load(fn.Group.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, out.ServerlessDisk, err = fm.O.RestoreImage(dimg, readTime, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Print renders the result like the paper's Table 4.
+func (r *Table4Result) Print() {
+	fmt.Printf("Table 4: restore time, Redis working set %s + serverless function\n", fmtBytes(r.WorkingSet))
+	fmt.Printf("  %-20s %14s %14s %14s\n", "Restore", "Redis", "Serverless", "Serverless")
+	fmt.Printf("  %-20s %14s %14s %14s\n", "Backend", "Memory", "Memory", "Disk")
+	osr := func(b core.RestoreBreakdown) string {
+		if b.ObjectStoreRead == 0 {
+			return "N/A"
+		}
+		return storage.Micros(b.ObjectStoreRead)
+	}
+	fmt.Printf("  %-20s %14s %14s %14s\n", "Object Store Read",
+		osr(r.RedisMem), osr(r.ServerlessMem), osr(r.ServerlessDisk))
+	fmt.Printf("  %-20s %14s %14s %14s\n", "Memory state",
+		storage.Micros(r.RedisMem.MemoryState), storage.Micros(r.ServerlessMem.MemoryState), storage.Micros(r.ServerlessDisk.MemoryState))
+	fmt.Printf("  %-20s %14s %14s %14s\n", "Metadata state",
+		storage.Micros(r.RedisMem.MetadataState), storage.Micros(r.ServerlessMem.MetadataState), storage.Micros(r.ServerlessDisk.MetadataState))
+	fmt.Printf("  %-20s %14s %14s %14s\n\n", "Total latency",
+		storage.Micros(r.RedisMem.Total), storage.Micros(r.ServerlessMem.Total), storage.Micros(r.ServerlessDisk.Total))
+}

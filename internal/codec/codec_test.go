@@ -1,0 +1,169 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U64(math.MaxUint64)
+	e.I64(math.MinInt64)
+	e.I64(math.MaxInt64)
+	e.U32(math.MaxUint32)
+	e.U16(math.MaxUint16)
+	e.U8(255)
+	e.Bool(true)
+	e.Bool(false)
+
+	d := NewDecoder(e.Bytes())
+	if d.U64() != math.MaxUint64 {
+		t.Fatal("u64 max")
+	}
+	if d.I64() != math.MinInt64 || d.I64() != math.MaxInt64 {
+		t.Fatal("i64 extremes")
+	}
+	if d.U32() != math.MaxUint32 || d.U16() != math.MaxUint16 || d.U8() != 255 {
+		t.Fatal("small ints")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestEmptyCollections(t *testing.T) {
+	e := NewEncoder()
+	e.Bytes2(nil)
+	e.Str("")
+	e.StrSlice(nil)
+	e.U64Slice(nil)
+	d := NewDecoder(e.Bytes())
+	if len(d.Bytes2()) != 0 || d.Str() != "" || len(d.StrSlice()) != 0 || len(d.U64Slice()) != 0 {
+		t.Fatal("empty round trip")
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	e := NewEncoder()
+	e.Str("hello world")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Str()
+		if cut < len(full) && d.Err() == nil && cut != 0 {
+			// A cut inside the payload must fail; cut==0 gives an
+			// empty buffer which also fails.
+			t.Fatalf("truncation at %d undetected", cut)
+		}
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	d := NewDecoder(nil)
+	d.U64() // fails
+	if d.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// All subsequent reads return zero values without panicking.
+	if d.U64() != 0 || d.I64() != 0 || d.U8() != 0 || d.Bool() || d.Str() != "" {
+		t.Fatal("reads after error should be zero-valued")
+	}
+	if d.Bytes2() != nil || d.StrSlice() != nil {
+		t.Fatal("collections after error should be nil")
+	}
+	if err := d.Finish("thing"); err == nil {
+		t.Fatal("Finish must surface the error")
+	}
+}
+
+func TestOversizedLengthRejected(t *testing.T) {
+	e := NewEncoder()
+	e.U64(1 << 50) // absurd length prefix
+	d := NewDecoder(e.Bytes())
+	if d.Bytes2() != nil || d.Err() == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestLenTracksBuffer(t *testing.T) {
+	e := NewEncoder()
+	if e.Len() != 0 {
+		t.Fatal("fresh encoder not empty")
+	}
+	e.U8(1)
+	e.U8(2)
+	if e.Len() != 2 {
+		t.Fatalf("len = %d", e.Len())
+	}
+}
+
+// Property: any sequence of heterogeneous fields round-trips exactly.
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(a uint64, b int64, s string, p []byte, flag bool, ss []string, us []uint64) bool {
+		e := NewEncoder()
+		e.U64(a)
+		e.Bool(flag)
+		e.I64(b)
+		e.Str(s)
+		e.Bytes2(p)
+		e.StrSlice(ss)
+		e.U64Slice(us)
+
+		d := NewDecoder(e.Bytes())
+		if d.U64() != a || d.Bool() != flag || d.I64() != b || d.Str() != s {
+			return false
+		}
+		if !bytes.Equal(d.Bytes2(), p) {
+			return false
+		}
+		gs := d.StrSlice()
+		if len(gs) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if gs[i] != ss[i] {
+				return false
+			}
+		}
+		gu := d.U64Slice()
+		if len(gu) != len(us) {
+			return false
+		}
+		for i := range us {
+			if gu[i] != us[i] {
+				return false
+			}
+		}
+		return d.Err() == nil && d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding random garbage never panics and either errors or
+// consumes bounded input.
+func TestQuickGarbageSafety(t *testing.T) {
+	f := func(garbage []byte) bool {
+		d := NewDecoder(garbage)
+		d.U64()
+		d.Str()
+		d.Bytes2()
+		d.StrSlice()
+		d.U64Slice()
+		d.I64()
+		d.Bool()
+		return true // not panicking is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// Backend errors.
+var (
+	ErrNoImage = errors.New("core: no checkpoint available")
+)
+
+// Backend receives checkpoint images. A persistence group may attach
+// several backends at once (e.g. a local NVMe store plus a remote
+// replica); an epoch is released for external consistency only when
+// every backend has it.
+type Backend interface {
+	// Name identifies the backend in the CLI.
+	Name() string
+	// Flush persists one image and returns the modeled flush time.
+	Flush(img *Image) (time.Duration, error)
+	// Load returns the image chain for (group, epoch); epoch 0 means
+	// latest. Backends that cannot serve restores return ErrNoImage.
+	Load(group, epoch uint64) (*Image, time.Duration, error)
+	// Ephemeral backends (local memory) do not make data durable;
+	// they do not satisfy external consistency on their own.
+	Ephemeral() bool
+}
+
+// MemoryBackend keeps images in RAM: the paper's local memory backend
+// for debugging and speculative execution. It retains a bounded
+// history per group.
+type MemoryBackend struct {
+	pm      *vm.PhysMem
+	history int
+
+	mu     sync.Mutex
+	images map[uint64][]*Image // group -> epoch-ordered chain
+}
+
+// NewMemoryBackend creates a memory backend retaining up to history
+// images per group (0 = unlimited).
+func NewMemoryBackend(pm *vm.PhysMem, history int) *MemoryBackend {
+	return &MemoryBackend{pm: pm, history: history, images: make(map[uint64][]*Image)}
+}
+
+// Name implements Backend.
+func (mb *MemoryBackend) Name() string { return "memory" }
+
+// Ephemeral implements Backend.
+func (mb *MemoryBackend) Ephemeral() bool { return true }
+
+// Flush implements Backend: retaining the image is free beyond a DRAM
+// write of the metadata; the frames are shared, not copied.
+func (mb *MemoryBackend) Flush(img *Image) (time.Duration, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	chain := append(mb.images[img.Group], img)
+	if mb.history > 0 && len(chain) > mb.history {
+		// Consolidate: the oldest image's pages merge into the next
+		// one by reference before release, mirroring the object
+		// store's in-place GC.
+		victim := chain[0]
+		next := chain[1]
+		mergeImageForward(victim, next, mb.pm)
+		chain = chain[1:]
+	}
+	mb.images[img.Group] = chain
+	return time.Duration(len(img.Meta)) * 100 * time.Nanosecond, nil
+}
+
+// mergeImageForward folds victim's pages and metadata into next where
+// next lacks them, then releases what remains.
+func mergeImageForward(victim, next *Image, pm *vm.PhysMem) {
+	for id, mi := range victim.Memory {
+		heir, ok := next.Memory[id]
+		if !ok {
+			next.Memory[id] = mi
+			continue
+		}
+		for idx, f := range mi.Pages {
+			if _, shadowed := heir.Pages[idx]; shadowed {
+				pm.Free(f)
+			} else if _, shadowed := heir.SwapData[idx]; shadowed {
+				pm.Free(f)
+			} else {
+				heir.Pages[idx] = f
+			}
+		}
+		for idx, d := range mi.SwapData {
+			if _, shadowed := heir.Pages[idx]; !shadowed {
+				if heir.SwapData == nil {
+					heir.SwapData = make(map[int64][]byte)
+				}
+				if _, shadowed := heir.SwapData[idx]; !shadowed {
+					heir.SwapData[idx] = d
+				}
+			}
+		}
+	}
+	seen := make(map[uint64]bool)
+	for _, m := range next.Meta {
+		seen[m.OID] = true
+	}
+	for _, m := range victim.Meta {
+		if !seen[m.OID] {
+			next.Meta = append(next.Meta, m)
+		}
+	}
+	if victim.Full {
+		next.Full = true
+	}
+	next.Prev = victim.Prev
+}
+
+// Load implements Backend.
+func (mb *MemoryBackend) Load(group, epoch uint64) (*Image, time.Duration, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	chain := mb.images[group]
+	if len(chain) == 0 {
+		return nil, 0, ErrNoImage
+	}
+	if epoch == 0 {
+		return chain[len(chain)-1], 0, nil
+	}
+	for _, img := range chain {
+		if img.Epoch == epoch {
+			return img, 0, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: group %d epoch %d", ErrNoImage, group, epoch)
+}
+
+// History lists the retained epochs of a group.
+func (mb *MemoryBackend) History(group uint64) []uint64 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]uint64, 0, len(mb.images[group]))
+	for _, img := range mb.images[group] {
+		out = append(out, img.Epoch)
+	}
+	return out
+}
+
+// StoreBackend persists images into an object store on a device: the
+// paper's locally persistent backend (NVMe flash or NVDIMM).
+type StoreBackend struct {
+	store *objstore.Store
+	pm    *vm.PhysMem
+	clock *storage.Clock
+	// History bounds the per-group epoch history kept on disk
+	// (0 = unlimited); older epochs are garbage collected in place.
+	HistoryLimit int
+}
+
+// NewStoreBackend wraps an object store as a checkpoint backend.
+func NewStoreBackend(store *objstore.Store, pm *vm.PhysMem, clock *storage.Clock) *StoreBackend {
+	return &StoreBackend{store: store, pm: pm, clock: clock}
+}
+
+// Name implements Backend.
+func (sb *StoreBackend) Name() string {
+	return fmt.Sprintf("store:%s", sb.store.Device().Params().Name)
+}
+
+// Ephemeral implements Backend.
+func (sb *StoreBackend) Ephemeral() bool { return false }
+
+// Store exposes the underlying object store.
+func (sb *StoreBackend) Store() *objstore.Store { return sb.store }
+
+// Flush implements Backend: every metadata record and captured page
+// becomes an object-store record; the modeled duration is the device
+// time consumed, with page writes overlapped at the device queue
+// depth.
+func (sb *StoreBackend) Flush(img *Image) (time.Duration, error) {
+	sw := sb.clock.Watch()
+	for _, m := range img.Meta {
+		if _, err := sb.store.PutRecord(m.OID, img.Epoch, uint16(m.Kind), img.Full, m.Data, nil, nil); err != nil {
+			return 0, err
+		}
+	}
+	var keys []objstore.RecordKey
+	for _, m := range img.Meta {
+		keys = append(keys, objstore.RecordKey{OID: m.OID, Epoch: img.Epoch})
+	}
+	for id, mi := range img.Memory {
+		pages := make(map[int64][]byte, len(mi.Pages)+len(mi.SwapData))
+		for idx, f := range mi.Pages {
+			pages[idx] = f.Data
+		}
+		for idx, d := range mi.SwapData {
+			pages[idx] = d
+		}
+		meta := encodeVMObjMeta(mi)
+		if _, err := sb.store.PutRecord(vmBit|id, img.Epoch, uint16(kernel.KindVMObject), img.Full, meta, pages, mi.Heat); err != nil {
+			return 0, err
+		}
+		keys = append(keys, objstore.RecordKey{OID: vmBit | id, Epoch: img.Epoch})
+	}
+	var prev uint64
+	if img.Prev != nil {
+		prev = img.Prev.Epoch
+	}
+	sb.store.PutManifest(&objstore.Manifest{
+		Group:   img.Group,
+		Epoch:   img.Epoch,
+		Name:    img.Name,
+		Records: keys,
+		Roots:   img.Roots,
+		Prev:    prev,
+	})
+	if sb.HistoryLimit > 0 {
+		if err := sb.store.TrimHistory(img.Group, sb.HistoryLimit); err != nil {
+			return 0, err
+		}
+	}
+	return sw.Elapsed(), nil
+}
+
+// Load implements Backend: it reads the checkpoint back from the
+// store, reconstructing a standalone full image. The returned duration
+// is the object-store read time of Table 4.
+func (sb *StoreBackend) Load(group, epoch uint64) (*Image, time.Duration, error) {
+	sw := sb.clock.Watch()
+	var m *objstore.Manifest
+	var err error
+	if epoch == 0 {
+		m, err = sb.store.LatestManifest(group)
+	} else {
+		m, err = sb.store.Manifest(group, epoch)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoImage, err)
+	}
+
+	img := &Image{
+		Group:  group,
+		Epoch:  m.Epoch,
+		Name:   m.Name,
+		Full:   true,
+		Memory: make(map[uint64]*MemImage),
+		Roots:  m.Roots,
+	}
+	// Collect the effective record set along the chain.
+	seen := make(map[uint64]bool)
+	for cur := m; cur != nil; {
+		for _, key := range cur.Records {
+			if seen[key.OID] {
+				continue
+			}
+			seen[key.OID] = true
+			rec, err := sb.store.GetRecord(key.OID, key.Epoch)
+			if err != nil {
+				return nil, 0, err
+			}
+			if key.OID&vmBit != 0 {
+				mi, err := sb.loadObject(group, key.OID, m.Epoch)
+				if err != nil {
+					return nil, 0, err
+				}
+				img.Memory[mi.ObjID] = mi
+			} else {
+				meta, kind, err := sb.store.ResolveMeta(group, key.OID, m.Epoch)
+				if err != nil {
+					return nil, 0, err
+				}
+				img.Meta = append(img.Meta, MetaRec{OID: key.OID, Kind: kernel.Kind(kind), Data: meta})
+				_ = rec
+			}
+		}
+		if cur.Prev == 0 {
+			break
+		}
+		next, err := sb.store.Manifest(group, cur.Prev)
+		if err != nil {
+			break
+		}
+		cur = next
+	}
+	return img, sw.Elapsed(), nil
+}
+
+// loadObject reads one VM object's resolved pages into a MemImage.
+func (sb *StoreBackend) loadObject(group, oid, epoch uint64) (*MemImage, error) {
+	meta, _, err := sb.store.ResolveMeta(group, oid, epoch)
+	if err != nil {
+		return nil, err
+	}
+	mi, err := decodeVMObjMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	pages, heat, err := sb.store.ResolvePages(group, oid, epoch)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int64, 0, len(pages))
+	refs := make([]objstore.BlockRef, 0, len(pages))
+	for idx, ref := range pages {
+		idxs = append(idxs, idx)
+		refs = append(refs, ref)
+	}
+	// One batched read: the device overlaps the blocks at queue depth.
+	data, err := sb.store.ReadBlocks(refs)
+	if err != nil {
+		return nil, err
+	}
+	mi.SwapData = make(map[int64][]byte, len(pages))
+	for i, idx := range idxs {
+		mi.SwapData[idx] = data[i]
+	}
+	mi.Heat = heat
+	return mi, nil
+}
+
+func encodeVMObjMeta(mi *MemImage) []byte {
+	e := kernel.NewEncoder()
+	e.U64(mi.ObjID)
+	e.Str(mi.Name)
+	e.I64(mi.Size)
+	return e.Bytes()
+}
+
+func decodeVMObjMeta(meta []byte) (*MemImage, error) {
+	d := kernel.NewDecoder(meta)
+	mi := &MemImage{
+		ObjID: d.U64(),
+		Name:  d.Str(),
+		Size:  d.I64(),
+		Pages: make(map[int64]*vm.Frame),
+	}
+	if err := d.Finish("vmobject meta"); err != nil {
+		return nil, err
+	}
+	return mi, nil
+}

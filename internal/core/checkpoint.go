@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/kernel"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// CheckpointOpts selects the checkpoint mode.
+type CheckpointOpts struct {
+	// Name labels the checkpoint for later `sls restore`.
+	Name string
+	// Full captures every resident page; otherwise only pages dirtied
+	// since the previous barrier are captured (incremental). The first
+	// checkpoint of a group is always full.
+	Full bool
+	// SkipFlush leaves the image in memory only (used by rollback
+	// points and speculation; the image is still retained in g.last).
+	SkipFlush bool
+}
+
+// Checkpoint runs a serialization barrier over the group: stop every
+// member, copy metadata, apply COW tracking (the "lazy data copy"),
+// resume, then flush asynchronously to every backend. It returns the
+// stop-time breakdown of Table 3.
+func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBreakdown, error) {
+	members := o.members(g)
+	if len(members) == 0 {
+		return CheckpointBreakdown{}, fmt.Errorf("core: group %d has no live processes", g.ID)
+	}
+	clock := o.K.Clock
+	costs := o.K.Costs
+
+	g.mu.Lock()
+	epoch := g.epoch + 1
+	full := opts.Full || !g.everFull
+	prev := g.last
+	g.mu.Unlock()
+
+	bd := CheckpointBreakdown{Epoch: epoch, Full: full}
+	total := clock.Watch()
+
+	// --- Stop phase: serialization barrier across the whole group ---
+	for _, p := range members {
+		o.K.StopProcess(p)
+	}
+
+	// --- Metadata copy ---
+	metaSW := clock.Watch()
+	meta, roots, err := o.serializeMetadata(members)
+	if err != nil {
+		o.resumeAll(members)
+		return bd, err
+	}
+	// Charge the modeled metadata walk: fixed barrier cost plus the
+	// per-page VM layout descriptors.
+	resident := int64(0)
+	objs := o.trackedObjects(members)
+	for _, to := range objs {
+		resident += int64(to.obj.ResidentCount())
+	}
+	clock.Advance(costs.CkptMetaBase + storage.PerKPage(costs.CkptMetaPerKPage, resident))
+	bd.MetadataCopy = metaSW.Elapsed()
+	bd.Objects = len(meta)
+	bd.MetaBytes = metaBytes(meta)
+
+	// --- Lazy data copy: COW-protect, no data movement ---
+	dataSW := clock.Watch()
+	pteBefore := o.K.Meter.PTEOps.Load()
+	memory := make(map[uint64]*MemImage, len(objs))
+	for _, to := range objs {
+		cs := to.obj.BeginCheckpoint(epoch, full)
+		for _, space := range to.spaces {
+			space.ProtectObject(to.obj, cs.Pages)
+		}
+		mi := &MemImage{
+			ObjID: to.obj.ID,
+			Name:  to.obj.Name,
+			Size:  to.obj.Size(),
+			Pages: cs.Pages,
+			Heat:  cs.Heat,
+		}
+		// Pages evicted to swap since the last checkpoint are
+		// incorporated directly from the swap area.
+		if len(cs.SwapPages) > 0 && o.K.Pager != nil {
+			mi.SwapData = make(map[int64][]byte, len(cs.SwapPages))
+			// Swap reads happen during the background flush in the
+			// real system; the data is immutable (the slots are
+			// frozen), so reading here preserves semantics.
+			for idx, slot := range cs.SwapPages {
+				buf := make([]byte, vm.PageSize)
+				if err := o.K.Pager.SwapRead(slot, buf); err != nil {
+					o.resumeAll(members)
+					return bd, err
+				}
+				mi.SwapData[idx] = buf
+			}
+		}
+		// Pages never faulted in since a lazy restore come straight
+		// from the restore source.
+		if len(cs.SourcePages) > 0 {
+			if mi.SwapData == nil {
+				mi.SwapData = make(map[int64][]byte, len(cs.SourcePages))
+			}
+			for idx, data := range cs.SourcePages {
+				mi.SwapData[idx] = data
+			}
+			bd.SwapPages += len(cs.SourcePages)
+		}
+		memory[to.obj.ID] = mi
+		bd.PagesCaptured += len(cs.Pages)
+		bd.SwapPages += len(cs.SwapPages)
+	}
+	clock.Advance(costs.ProtectBase)
+	bd.PTEOps = o.K.Meter.PTEOps.Load() - pteBefore
+	bd.LazyDataCopy = dataSW.Elapsed()
+
+	// --- Resume: the application runs again ---
+	o.resumeAll(members)
+	bd.StopTime = total.Elapsed()
+
+	img := &Image{
+		Group:  g.ID,
+		Epoch:  epoch,
+		Name:   opts.Name,
+		Full:   full,
+		Meta:   meta,
+		Memory: memory,
+		Roots:  roots,
+	}
+	if !full {
+		img.Prev = prev
+	}
+
+	// --- Asynchronous flush ---
+	var flush time.Duration
+	if !opts.SkipFlush {
+		d, err := o.flush(g, img)
+		if err != nil {
+			return bd, err
+		}
+		flush = d
+	}
+	bd.FlushTime = flush
+
+	g.mu.Lock()
+	g.epoch = epoch
+	g.everFull = g.everFull || full
+	g.last = img
+	if !opts.SkipFlush {
+		g.durable = epoch
+	}
+	g.ckpts = append(g.ckpts, bd)
+	g.mu.Unlock()
+	return bd, nil
+}
+
+// flush delivers the image to every backend; the modeled time is the
+// slowest backend since they flush in parallel. When no memory
+// backend retains the image, its frames are released after the flush
+// (the object store now owns the data).
+func (o *Orchestrator) flush(g *Group, img *Image) (time.Duration, error) {
+	backends := g.Backends()
+	var worst time.Duration
+	keepFrames := false
+	for _, b := range backends {
+		d, err := b.Flush(img)
+		if err != nil {
+			return worst, fmt.Errorf("core: flushing to %s: %w", b.Name(), err)
+		}
+		if d > worst {
+			worst = d
+		}
+		if b.Ephemeral() {
+			keepFrames = true
+		}
+	}
+	// Keep file state in the same store generation as process state.
+	if o.FS != nil {
+		if _, err := o.FS.Snapshot(""); err != nil {
+			return worst, fmt.Errorf("core: file system snapshot: %w", err)
+		}
+	}
+	if !keepFrames && len(backends) > 0 {
+		img.Release(o.K.Mem)
+	}
+	return worst, nil
+}
+
+func (o *Orchestrator) resumeAll(members []*kernel.Process) {
+	for _, p := range members {
+		o.K.ResumeProcess(p)
+	}
+}
+
+// trackedObject pairs a VM object with the member spaces mapping it.
+type trackedObject struct {
+	obj    *vm.Object
+	spaces []*vm.AddressSpace
+}
+
+// trackedObjects collects the distinct persistable VM objects across
+// the group, honoring sls_mctl exclusions.
+func (o *Orchestrator) trackedObjects(members []*kernel.Process) []*trackedObject {
+	index := make(map[uint64]*trackedObject)
+	var order []uint64
+	for _, p := range members {
+		for _, m := range p.Space.Mappings() {
+			if m.NoPersist {
+				continue
+			}
+			to, ok := index[m.Obj.ID]
+			if !ok {
+				to = &trackedObject{obj: m.Obj}
+				index[m.Obj.ID] = to
+				order = append(order, m.Obj.ID)
+			}
+			already := false
+			for _, s := range to.spaces {
+				if s == p.Space {
+					already = true
+					break
+				}
+			}
+			if !already {
+				to.spaces = append(to.spaces, p.Space)
+			}
+		}
+	}
+	out := make([]*trackedObject, 0, len(order))
+	for _, id := range order {
+		out = append(out, index[id])
+	}
+	return out
+}
+
+// serializeMetadata walks the group's kernel object graph, invoking
+// each object's own serialization code.
+func (o *Orchestrator) serializeMetadata(members []*kernel.Process) ([]MetaRec, []uint64, error) {
+	var meta []MetaRec
+	var roots []uint64
+	seen := make(map[uint64]bool)
+	costs := o.K.Costs
+	clock := o.K.Clock
+
+	add := func(obj kernel.Object) {
+		if obj == nil || seen[obj.OID()] {
+			return
+		}
+		seen[obj.OID()] = true
+		e := kernel.NewEncoder()
+		obj.EncodeTo(e)
+		meta = append(meta, MetaRec{OID: obj.OID(), Kind: obj.Kind(), Data: e.Bytes()})
+		clock.Advance(costs.ObjSerialize + time.Duration(e.Len())*costs.ObjSerializeByte)
+	}
+
+	containers := make(map[int]bool)
+	for _, p := range members {
+		add(p)
+		roots = append(roots, p.OID())
+		for _, t := range p.Threads {
+			add(t)
+		}
+		add(p.FDs)
+		for _, fd := range p.FDs.Descs() {
+			add(fd)
+			switch f := fd.File.(type) {
+			case *kernel.SockEnd:
+				// Endpoints serialize through their parent; record
+				// both so descriptor references resolve.
+				add(f)
+				if parent, ok := o.K.Lookup(f.ParentOID()); ok {
+					add(parent)
+				}
+			case *kernel.UnixSocket:
+				// Listeners carry their backlog: queued, unaccepted
+				// connections are application state too.
+				add(f)
+				for _, sp := range f.Backlog() {
+					add(sp)
+				}
+			case kernel.Object:
+				add(f)
+			}
+		}
+		containers[p.Container] = true
+	}
+	for id := range containers {
+		if c, ok := o.K.Container(id); ok {
+			add(c)
+		}
+	}
+	// System V objects visible to the group: shared memory segments
+	// mapped by a member, and message queues (global by key).
+	memberSpaces := make(map[*vm.AddressSpace]bool)
+	for _, p := range members {
+		memberSpaces[p.Space] = true
+	}
+	for _, seg := range o.K.ShmSegments() {
+		for _, p := range members {
+			mapped := false
+			for _, m := range p.Space.Mappings() {
+				if m.Obj == seg.Obj {
+					mapped = true
+					break
+				}
+			}
+			if mapped {
+				add(seg)
+				break
+			}
+		}
+	}
+	for _, q := range o.K.MsgQueues() {
+		add(q)
+	}
+	return meta, roots, nil
+}
+
+func metaBytes(meta []MetaRec) int {
+	n := 0
+	for _, m := range meta {
+		n += len(m.Data)
+	}
+	return n
+}

@@ -1,0 +1,407 @@
+// Package core implements the SLS orchestrator: the paper's primary
+// contribution. It maps kernel objects to the object store, manages
+// persistence groups, runs serialization barriers for full and
+// incremental checkpoints, flushes asynchronously, restores (eagerly
+// or lazily, with clock-driven prefetch), enforces external
+// consistency, and exposes the libsls developer API of Table 2.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"aurora/internal/codec"
+	"aurora/internal/kernel"
+	"aurora/internal/vm"
+)
+
+// vmBit tags VM-object IDs in the store's OID space so they never
+// collide with kernel OIDs (bit 62 is the file system's).
+const vmBit = uint64(1) << 63
+
+// MetaRec is one serialized kernel object inside an image.
+type MetaRec struct {
+	OID  uint64
+	Kind kernel.Kind
+	Data []byte
+}
+
+// MemImage is the captured memory of one VM object at one epoch.
+type MemImage struct {
+	ObjID uint64 // original vm.Object ID
+	Name  string
+	Size  int64
+	// Pages holds the captured frames. The image owns one reference
+	// per frame; restores COW-share against them without copying.
+	Pages map[int64]*vm.Frame
+	// SwapData holds pages that were on swap at the barrier, already
+	// read back as bytes.
+	SwapData map[int64][]byte
+	// Heat is the access-count snapshot driving restore prefetch.
+	Heat map[int64]uint32
+}
+
+// PageCount returns the total captured page count.
+func (mi *MemImage) PageCount() int { return len(mi.Pages) + len(mi.SwapData) }
+
+// PageData returns one page's bytes regardless of where it was
+// captured from, or nil.
+func (mi *MemImage) PageData(idx int64) []byte {
+	if f, ok := mi.Pages[idx]; ok {
+		return f.Data
+	}
+	return mi.SwapData[idx]
+}
+
+// Image is a complete in-memory checkpoint of a persistence group:
+// everything needed to recreate the application, on this machine or
+// another.
+type Image struct {
+	Group uint64
+	Epoch uint64
+	Name  string
+	Full  bool
+	// Meta holds every serialized kernel object.
+	Meta []MetaRec
+	// Memory holds per-VM-object page captures. For incremental
+	// images this is the dirty delta; Prev links the chain.
+	Memory map[uint64]*MemImage
+	// Roots are the process OIDs of the group.
+	Roots []uint64
+	// Prev is the previous image in the chain (nil for full images or
+	// when the chain was consolidated).
+	Prev *Image
+
+	mu       sync.Mutex
+	released bool
+}
+
+// MetaBytes totals the metadata payload size.
+func (img *Image) MetaBytes() int {
+	n := 0
+	for _, m := range img.Meta {
+		n += len(m.Data)
+	}
+	return n
+}
+
+// PageCount totals captured pages across all objects.
+func (img *Image) PageCount() int {
+	n := 0
+	for _, mi := range img.Memory {
+		n += mi.PageCount()
+	}
+	return n
+}
+
+// Release drops the image's frame references. Safe to call twice.
+func (img *Image) Release(pm *vm.PhysMem) {
+	img.mu.Lock()
+	if img.released {
+		img.mu.Unlock()
+		return
+	}
+	img.released = true
+	img.mu.Unlock()
+	for _, mi := range img.Memory {
+		for _, f := range mi.Pages {
+			pm.Free(f)
+		}
+	}
+}
+
+// Released reports whether the image's frames have been returned to
+// the allocator (store backends own the data now).
+func (img *Image) Released() bool {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	return img.released
+}
+
+// ResolveObject materializes an object's complete page map at this
+// image, walking the incremental chain back to a full image.
+func (img *Image) ResolveObject(objID uint64) map[int64][]byte {
+	var chain []*MemImage
+	for cur := img; cur != nil; cur = cur.Prev {
+		if mi, ok := cur.Memory[objID]; ok {
+			chain = append(chain, mi)
+		}
+		if cur.Full {
+			break
+		}
+	}
+	if len(chain) == 0 {
+		return nil
+	}
+	out := make(map[int64][]byte)
+	for i := len(chain) - 1; i >= 0; i-- {
+		mi := chain[i]
+		for idx, f := range mi.Pages {
+			out[idx] = f.Data
+		}
+		for idx, d := range mi.SwapData {
+			out[idx] = d
+		}
+	}
+	return out
+}
+
+// ResolveMeta finds the newest metadata record for an OID along the
+// image chain.
+func (img *Image) ResolveMeta(oid uint64) (MetaRec, bool) {
+	for cur := img; cur != nil; cur = cur.Prev {
+		for _, m := range cur.Meta {
+			if m.OID == oid {
+				return m, true
+			}
+		}
+		if cur.Full {
+			break
+		}
+	}
+	return MetaRec{}, false
+}
+
+// AllMeta returns the effective metadata set at this image: the newest
+// record per OID along the chain.
+func (img *Image) AllMeta() []MetaRec {
+	seen := make(map[uint64]bool)
+	var out []MetaRec
+	for cur := img; cur != nil; cur = cur.Prev {
+		for _, m := range cur.Meta {
+			if !seen[m.OID] {
+				seen[m.OID] = true
+				out = append(out, m)
+			}
+		}
+		if cur.Full {
+			break
+		}
+	}
+	return out
+}
+
+// ObjectIDs lists the VM objects captured along the chain.
+func (img *Image) ObjectIDs() []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for cur := img; cur != nil; cur = cur.Prev {
+		for id := range cur.Memory {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		if cur.Full {
+			break
+		}
+	}
+	return out
+}
+
+// ResolveHeat finds the newest heat snapshot for an object.
+func (img *Image) ResolveHeat(objID uint64) map[int64]uint32 {
+	for cur := img; cur != nil; cur = cur.Prev {
+		if mi, ok := cur.Memory[objID]; ok && len(mi.Heat) > 0 {
+			return mi.Heat
+		}
+		if cur.Full {
+			break
+		}
+	}
+	return nil
+}
+
+// Encode serializes a *consolidated* view of the image chain (the
+// effective state at this epoch) for network transfer or file export.
+func (img *Image) Encode() []byte {
+	e := codec.NewEncoder()
+	e.U64(img.Group)
+	e.U64(img.Epoch)
+	e.Str(img.Name)
+	meta := img.AllMeta()
+	e.U64(uint64(len(meta)))
+	for _, m := range meta {
+		e.U64(m.OID)
+		e.U64(uint64(m.Kind))
+		e.Bytes2(m.Data)
+	}
+	objIDs := img.ObjectIDs()
+	e.U64(uint64(len(objIDs)))
+	for _, id := range objIDs {
+		pages := img.ResolveObject(id)
+		var name string
+		var size int64
+		for cur := img; cur != nil; cur = cur.Prev {
+			if mi, ok := cur.Memory[id]; ok {
+				name, size = mi.Name, mi.Size
+				break
+			}
+		}
+		e.U64(id)
+		e.Str(name)
+		e.I64(size)
+		e.U64(uint64(len(pages)))
+		for idx, data := range pages {
+			e.I64(idx)
+			e.Bytes2(data)
+		}
+		heat := img.ResolveHeat(id)
+		e.U64(uint64(len(heat)))
+		for idx, h := range heat {
+			e.I64(idx)
+			e.U32(h)
+		}
+	}
+	e.U64Slice(img.Roots)
+	return e.Bytes()
+}
+
+// DecodeImage parses an encoded image into a standalone full image.
+// Page data is copied into fresh frames owned by the image.
+func DecodeImage(payload []byte, pm *vm.PhysMem) (*Image, error) {
+	d := codec.NewDecoder(payload)
+	img := &Image{
+		Group:  d.U64(),
+		Epoch:  d.U64(),
+		Name:   d.Str(),
+		Full:   true,
+		Memory: make(map[uint64]*MemImage),
+	}
+	nMeta := d.U64()
+	for i := uint64(0); i < nMeta && d.Err() == nil; i++ {
+		img.Meta = append(img.Meta, MetaRec{
+			OID:  d.U64(),
+			Kind: kernel.Kind(d.U64()),
+			Data: d.Bytes2(),
+		})
+	}
+	nObjs := d.U64()
+	for i := uint64(0); i < nObjs && d.Err() == nil; i++ {
+		mi := &MemImage{
+			ObjID: d.U64(),
+			Name:  d.Str(),
+			Size:  d.I64(),
+			Pages: make(map[int64]*vm.Frame),
+		}
+		nPages := d.U64()
+		for j := uint64(0); j < nPages && d.Err() == nil; j++ {
+			idx := d.I64()
+			data := d.Bytes2()
+			f, err := pm.Alloc()
+			if err != nil {
+				img.Release(pm)
+				return nil, err
+			}
+			copy(f.Data, data)
+			mi.Pages[idx] = f
+		}
+		nHeat := d.U64()
+		if nHeat > 0 {
+			mi.Heat = make(map[int64]uint32, nHeat)
+		}
+		for j := uint64(0); j < nHeat && d.Err() == nil; j++ {
+			idx := d.I64()
+			mi.Heat[idx] = d.U32()
+		}
+		img.Memory[mi.ObjID] = mi
+	}
+	img.Roots = d.U64Slice()
+	if err := d.Finish("image"); err != nil {
+		img.Release(pm)
+		return nil, err
+	}
+	return img, nil
+}
+
+// EncodeDelta serializes only this image's own records (not the
+// chain): the unit of continuous replication. The receiver links
+// deltas onto its copy of the chain.
+func (img *Image) EncodeDelta() []byte {
+	e := codec.NewEncoder()
+	e.U64(img.Group)
+	e.U64(img.Epoch)
+	e.Str(img.Name)
+	e.Bool(img.Full)
+	e.U64(uint64(len(img.Meta)))
+	for _, m := range img.Meta {
+		e.U64(m.OID)
+		e.U64(uint64(m.Kind))
+		e.Bytes2(m.Data)
+	}
+	e.U64(uint64(len(img.Memory)))
+	for id, mi := range img.Memory {
+		e.U64(id)
+		e.Str(mi.Name)
+		e.I64(mi.Size)
+		e.U64(uint64(mi.PageCount()))
+		for idx, f := range mi.Pages {
+			e.I64(idx)
+			e.Bytes2(f.Data)
+		}
+		for idx, d := range mi.SwapData {
+			e.I64(idx)
+			e.Bytes2(d)
+		}
+		e.U64(uint64(len(mi.Heat)))
+		for idx, h := range mi.Heat {
+			e.I64(idx)
+			e.U32(h)
+		}
+	}
+	e.U64Slice(img.Roots)
+	return e.Bytes()
+}
+
+// DecodeDelta parses one replication delta. The caller links Prev.
+func DecodeDelta(payload []byte, pm *vm.PhysMem) (*Image, error) {
+	d := codec.NewDecoder(payload)
+	img := &Image{
+		Group:  d.U64(),
+		Epoch:  d.U64(),
+		Name:   d.Str(),
+		Full:   d.Bool(),
+		Memory: make(map[uint64]*MemImage),
+	}
+	nMeta := d.U64()
+	for i := uint64(0); i < nMeta && d.Err() == nil; i++ {
+		img.Meta = append(img.Meta, MetaRec{OID: d.U64(), Kind: kernel.Kind(d.U64()), Data: d.Bytes2()})
+	}
+	nObjs := d.U64()
+	for i := uint64(0); i < nObjs && d.Err() == nil; i++ {
+		mi := &MemImage{ObjID: d.U64(), Name: d.Str(), Size: d.I64(), Pages: make(map[int64]*vm.Frame)}
+		nPages := d.U64()
+		for j := uint64(0); j < nPages && d.Err() == nil; j++ {
+			idx := d.I64()
+			data := d.Bytes2()
+			f, err := pm.Alloc()
+			if err != nil {
+				img.Release(pm)
+				return nil, err
+			}
+			copy(f.Data, data)
+			mi.Pages[idx] = f
+		}
+		nHeat := d.U64()
+		if nHeat > 0 {
+			mi.Heat = make(map[int64]uint32, nHeat)
+		}
+		for j := uint64(0); j < nHeat && d.Err() == nil; j++ {
+			idx := d.I64()
+			mi.Heat[idx] = d.U32()
+		}
+		img.Memory[mi.ObjID] = mi
+	}
+	img.Roots = d.U64Slice()
+	if err := d.Finish("image delta"); err != nil {
+		img.Release(pm)
+		return nil, err
+	}
+	return img, nil
+}
+
+// String summarizes the image.
+func (img *Image) String() string {
+	return fmt.Sprintf("image(group=%d epoch=%d full=%v objs=%d pages=%d)",
+		img.Group, img.Epoch, img.Full, len(img.Memory), img.PageCount())
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aurora/internal/kernel"
+	"aurora/internal/slsfs"
+)
+
+// Orchestrator errors.
+var (
+	ErrNoGroup      = errors.New("core: no such persistence group")
+	ErrNotPersisted = errors.New("core: process not in a persistence group")
+	ErrNoBackend    = errors.New("core: persistence group has no backend")
+)
+
+// Group is a persistence group: a set of processes (a process tree or
+// a container) checkpointed together with one or more backends.
+type Group struct {
+	ID   uint64
+	Name string
+
+	mu       sync.Mutex
+	pids     map[int]bool
+	backends []Backend
+	epoch    uint64 // epoch currently being built (last barrier)
+	durable  uint64 // newest epoch flushed to every backend
+	// everFull records whether a full checkpoint exists, so the first
+	// checkpoint of a group is always full.
+	everFull bool
+	last     *Image // newest image (chain head), for rollback/debug
+	ckpts    []CheckpointBreakdown
+	// excluded memory region count, for diagnostics (sls_mctl).
+	excluded int
+	// ntSeq is the group's NT-log sequence counter (sls_ntflush).
+	ntSeq uint64
+}
+
+// Epoch returns the group's current checkpoint epoch.
+func (g *Group) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// Durable returns the newest epoch flushed to all backends.
+func (g *Group) Durable() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.durable
+}
+
+// PIDs lists member processes.
+func (g *Group) PIDs() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, 0, len(g.pids))
+	for pid := range g.pids {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Breakdowns returns the recorded checkpoint breakdowns.
+func (g *Group) Breakdowns() []CheckpointBreakdown {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]CheckpointBreakdown, len(g.ckpts))
+	copy(out, g.ckpts)
+	return out
+}
+
+// LastImage returns the newest in-memory image (nil when none).
+func (g *Group) LastImage() *Image {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.last
+}
+
+// Orchestrator is the SLS orchestrator: it owns persistence groups,
+// maps kernel objects to backends, and implements the kernel's
+// GroupResolver so IPC can enforce external consistency.
+type Orchestrator struct {
+	K  *kernel.Kernel
+	FS *slsfs.FS // optional Aurora file system for file-backed state
+
+	mu       sync.Mutex
+	groups   map[uint64]*Group
+	pidGroup map[int]uint64
+	nextID   uint64
+	// DefaultFullEvery forces a full checkpoint every N incrementals
+	// (0 = only the first checkpoint is full).
+	DefaultFullEvery int
+}
+
+// NewOrchestrator attaches an orchestrator to a kernel and installs
+// itself as the kernel's group resolver.
+func NewOrchestrator(k *kernel.Kernel) *Orchestrator {
+	o := &Orchestrator{
+		K:        k,
+		groups:   make(map[uint64]*Group),
+		pidGroup: make(map[int]uint64),
+	}
+	k.SetResolver(o)
+	return o
+}
+
+// AttachFS mounts an Aurora file system for descriptor restores.
+func (o *Orchestrator) AttachFS(fs *slsfs.FS) { o.FS = fs }
+
+// Persist creates a persistence group containing the process tree
+// rooted at p (the `sls persist` command). All VM objects reachable
+// from the tree are marked tracked.
+func (o *Orchestrator) Persist(name string, p *kernel.Process) (*Group, error) {
+	tree := o.K.ProcessTree(p)
+	o.mu.Lock()
+	o.nextID++
+	g := &Group{ID: o.nextID, Name: name, pids: make(map[int]bool)}
+	o.groups[g.ID] = g
+	for _, proc := range tree {
+		g.pids[proc.PID] = true
+		o.pidGroup[proc.PID] = g.ID
+	}
+	o.mu.Unlock()
+
+	for _, proc := range tree {
+		for _, obj := range proc.Space.Objects() {
+			obj.SetTracked(true)
+		}
+	}
+	return g, nil
+}
+
+// PersistContainer creates a persistence group covering a container.
+func (o *Orchestrator) PersistContainer(name string, container int) (*Group, error) {
+	procs := o.K.ContainerProcesses(container)
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("core: container %d has no processes", container)
+	}
+	g, err := o.Persist(name, procs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range procs[1:] {
+		o.AddProcess(g, p)
+	}
+	return g, nil
+}
+
+// AddProcess adds a process (e.g. a post-persist fork child) to a
+// group.
+func (o *Orchestrator) AddProcess(g *Group, p *kernel.Process) {
+	o.mu.Lock()
+	g.mu.Lock()
+	g.pids[p.PID] = true
+	g.mu.Unlock()
+	o.pidGroup[p.PID] = g.ID
+	o.mu.Unlock()
+	for _, obj := range p.Space.Objects() {
+		obj.SetTracked(true)
+	}
+}
+
+// Unpersist removes a group entirely.
+func (o *Orchestrator) Unpersist(g *Group) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for pid := range g.pids {
+		delete(o.pidGroup, pid)
+	}
+	delete(o.groups, g.ID)
+}
+
+// Attach registers a backend with a group (`sls attach`).
+func (o *Orchestrator) Attach(g *Group, b Backend) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.backends = append(g.backends, b)
+}
+
+// Detach removes a backend from a group (`sls detach`).
+func (o *Orchestrator) Detach(g *Group, name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, b := range g.backends {
+		if b.Name() == name {
+			g.backends = append(g.backends[:i], g.backends[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: backend %q not attached", name)
+}
+
+// Backends lists a group's backends.
+func (g *Group) Backends() []Backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Backend, len(g.backends))
+	copy(out, g.backends)
+	return out
+}
+
+// Group returns a group by ID.
+func (o *Orchestrator) Group(id uint64) (*Group, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g, ok := o.groups[id]
+	if !ok {
+		return nil, ErrNoGroup
+	}
+	return g, nil
+}
+
+// GroupByName finds a group by its user-visible name.
+func (o *Orchestrator) GroupByName(name string) (*Group, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, g := range o.groups {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return nil, ErrNoGroup
+}
+
+// Groups lists all persistence groups ordered by ID (`sls ps`).
+func (o *Orchestrator) Groups() []*Group {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Group, 0, len(o.groups))
+	for _, g := range o.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GroupOfProcess returns the group containing pid, if any.
+func (o *Orchestrator) GroupOfProcess(pid int) (*Group, bool) {
+	o.mu.Lock()
+	gid, ok := o.pidGroup[pid]
+	if !ok {
+		o.mu.Unlock()
+		return nil, false
+	}
+	g := o.groups[gid]
+	o.mu.Unlock()
+	return g, g != nil
+}
+
+// --- kernel.GroupResolver ---
+
+// GroupOf implements kernel.GroupResolver.
+func (o *Orchestrator) GroupOf(pid int) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pidGroup[pid]
+}
+
+// EpochOf implements kernel.GroupResolver.
+func (o *Orchestrator) EpochOf(group uint64) uint64 {
+	o.mu.Lock()
+	g := o.groups[group]
+	o.mu.Unlock()
+	if g == nil {
+		return 0
+	}
+	return g.Epoch()
+}
+
+// Released implements kernel.GroupResolver: an epoch's output may
+// cross the group boundary once it is durable on every non-ephemeral
+// backend (or once flushed anywhere when only ephemeral backends are
+// attached — debugging setups accept that risk explicitly).
+func (o *Orchestrator) Released(group, epoch uint64) bool {
+	o.mu.Lock()
+	g := o.groups[group]
+	o.mu.Unlock()
+	if g == nil {
+		return true // group dissolved: nothing left to hold for
+	}
+	// Data written during epoch E is covered by checkpoint E+1 (the
+	// one whose barrier happens after the write). It is releasable
+	// when that epoch is durable.
+	return g.Durable() > epoch
+}
+
+// members resolves the group's live member processes.
+func (o *Orchestrator) members(g *Group) []*kernel.Process {
+	var out []*kernel.Process
+	for _, pid := range g.PIDs() {
+		if p, err := o.K.Process(pid); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// TestFullMachineRebootRestore is the single level store's defining
+// scenario: the whole machine goes down — kernel, memory, orchestrator,
+// every in-RAM structure — and only the storage device survives. On
+// reboot, the object store is remounted from its superblock, the
+// persistence groups are discovered from the manifests, and the
+// application restores and resumes.
+func TestFullMachineRebootRestore(t *testing.T) {
+	clock := storage.NewClock()
+	dev := storage.NewMemDevice(storage.ParamsOptaneNVMe, clock)
+
+	// --- first boot ---
+	var groupID uint64
+	var wantCounter uint64
+	{
+		k := kernel.NewWith(clock, vm.NewPhysMem(0))
+		o := NewOrchestrator(k)
+		store := objstore.Create(dev, clock)
+
+		p, err := k.Spawn(0, "survivor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetProgram(&counter{addr: p.HeapBase()})
+		g, err := o.Persist("survivor", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Attach(g, NewStoreBackend(store, k.Mem, clock))
+
+		k.Run(37)
+		if _, err := o.Checkpoint(g, CheckpointOpts{Name: "pre-crash"}); err != nil {
+			t.Fatal(err)
+		}
+		// Persist the store's index: the equivalent of the device
+		// being consistent when the power goes out.
+		if err := store.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		groupID = g.ID
+		wantCounter = counterValue(p)
+		// The machine now "dies": every reference to k, o, store is
+		// dropped. Only dev and the clock remain.
+	}
+
+	// --- reboot ---
+	{
+		k := kernel.NewWith(clock, vm.NewPhysMem(0))
+		o := NewOrchestrator(k)
+		store, err := objstore.Open(dev, clock)
+		if err != nil {
+			t.Fatalf("remounting the store: %v", err)
+		}
+		// The manifests name the groups that were persisted.
+		groups := store.Groups()
+		if len(groups) != 1 || groups[0] != groupID {
+			t.Fatalf("groups after reboot = %v, want [%d]", groups, groupID)
+		}
+		m, err := store.NamedManifest("pre-crash")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sb := NewStoreBackend(store, k.Mem, clock)
+		img, readTime, err := sb.Load(m.Group, m.Epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ng, bd, err := o.RestoreImage(img, readTime, RestoreOpts{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bd.ObjectStoreRead <= 0 {
+			t.Fatal("reboot restore must read the store")
+		}
+		np, err := k.Process(ng.PIDs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := counterValue(np); got != wantCounter {
+			t.Fatalf("counter after reboot = %d, want %d", got, wantCounter)
+		}
+		// The application continues, oblivious to the reboot.
+		k.Run(10)
+		if got := counterValue(np); got != wantCounter+10 {
+			t.Fatalf("counter did not advance after reboot: %d", got)
+		}
+	}
+}
+
+// TestRebootWithFileSystemState extends the reboot scenario with file
+// state: the Aurora FS snapshot taken inside the checkpoint comes back
+// from the same store, so file and process state restore together —
+// the paper's "single checkpoint covers both" property.
+func TestRebootWithFileSystemState(t *testing.T) {
+	clock := storage.NewClock()
+	dev := storage.NewMemDevice(storage.ParamsOptaneNVMe, clock)
+
+	var groupID uint64
+	var fsGroup uint64
+	{
+		k := kernel.NewWith(clock, vm.NewPhysMem(0))
+		o := NewOrchestrator(k)
+		store := objstore.Create(dev, clock)
+		fs := slsfs.New(store, 1000)
+		fsGroup = fs.Group()
+		o.AttachFS(fs)
+
+		p, _ := k.Spawn(0, "filer")
+		p.SetProgram(&counter{addr: p.HeapBase()})
+		f, err := fs.Create("/state.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt([]byte("file state at checkpoint"), 0)
+		fd, _ := p.FDs.Install(k, f, kernel.ORdWr)
+		_ = fd
+
+		g, _ := o.Persist("filer", p)
+		o.Attach(g, NewStoreBackend(store, k.Mem, clock))
+		if _, err := o.Checkpoint(g, CheckpointOpts{Name: "with-files"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		groupID = g.ID
+	}
+
+	{
+		k := kernel.NewWith(clock, vm.NewPhysMem(0))
+		o := NewOrchestrator(k)
+		store, err := objstore.Open(dev, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := slsfs.LoadLatest(store, fsGroup)
+		if err != nil {
+			t.Fatalf("remounting the file system: %v", err)
+		}
+		o.AttachFS(fs)
+
+		sb := NewStoreBackend(store, k.Mem, clock)
+		img, readTime, err := sb.Load(groupID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ng, _, err := o.RestoreImage(img, readTime, RestoreOpts{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, _ := k.Process(ng.PIDs()[0])
+
+		// The restored descriptor reads the snapshotted file contents.
+		nums := np.FDs.Numbers()
+		if len(nums) == 0 {
+			t.Fatal("file descriptor not restored")
+		}
+		buf := make([]byte, 24)
+		n, err := k.Read(np, nums[0], buf)
+		if err != nil || string(buf[:n]) != "file state at checkpoint" {
+			t.Fatalf("restored file read = %q, %v", buf[:n], err)
+		}
+	}
+}

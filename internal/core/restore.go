@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/kernel"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// RestoreOpts selects the restore strategy.
+type RestoreOpts struct {
+	// Lazy restores memory by COW-sharing against the image: nothing
+	// is copied; faults pull pages in on demand. Eager restores copy
+	// every page up front.
+	Lazy bool
+	// Prefetch eagerly pages in the N hottest pages per object
+	// (clock-derived warm-up). Only meaningful with Lazy.
+	Prefetch int
+	// Name labels the restored group.
+	Name string
+}
+
+// RestoreImage recreates a persistence group from an image: the
+// restored processes resume exactly where the barrier stopped them.
+// It returns the new group and the Table 4 latency breakdown.
+func (o *Orchestrator) RestoreImage(img *Image, readTime time.Duration, opts RestoreOpts) (*Group, RestoreBreakdown, error) {
+	clock := o.K.Clock
+	costs := o.K.Costs
+	bd := RestoreBreakdown{Lazy: opts.Lazy, ObjectStoreRead: readTime}
+	fromStore := bd.ObjectStoreRead > 0
+	total := clock.Watch()
+
+	// --- Metadata state: recreate every kernel object ---
+	metaSW := clock.Watch()
+	meta := img.AllMeta()
+
+	// VM object shells first: mappings and shm reference them.
+	objMap := make(map[uint64]*vm.Object) // old vm ID -> new object
+	imagePages := int64(0)
+	for _, oldID := range img.ObjectIDs() {
+		var name string
+		var size int64
+		for cur := img; cur != nil; cur = cur.Prev {
+			if mi, ok := cur.Memory[oldID]; ok {
+				name, size = mi.Name, mi.Size
+				break
+			}
+		}
+		obj := vm.NewObject(name, size)
+		obj.SetTracked(true)
+		objMap[oldID] = obj
+	}
+	lookupObj := func(id uint64) *vm.Object { return objMap[id] }
+
+	// Pass 1: standalone IPC objects.
+	type pendingUnix struct {
+		sock *kernel.UnixSocket
+		refs []uint64
+	}
+	var pendingUnixes []pendingUnix
+	for _, m := range meta {
+		var err error
+		switch m.Kind {
+		case kernel.KindContainer:
+			_, err = o.K.RestoreContainer(m.Data)
+		case kernel.KindPipe:
+			_, err = o.K.RestorePipe(m.Data)
+		case kernel.KindSocketPair:
+			_, err = o.K.RestoreSocketPair(m.Data)
+		case kernel.KindSysVShm:
+			_, err = o.K.RestoreShm(m.Data, lookupObj)
+		case kernel.KindSysVMsgQueue:
+			_, err = o.K.RestoreMsgQueue(m.Data)
+		}
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: restoring %s %d: %w", m.Kind, m.OID, err)
+		}
+		clock.Advance(costs.ObjRestore)
+	}
+	// Unix sockets reference socket pairs, so they come second.
+	// (Endpoint records, KindSockEnd, are rebuilt by their pairs and
+	// need no action here.)
+	for _, m := range meta {
+		if m.Kind != kernel.KindUnixSocket {
+			continue
+		}
+		sock, refs, err := o.K.RestoreUnixSocket(m.Data)
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: restoring unix socket %d: %w", m.OID, err)
+		}
+		pendingUnixes = append(pendingUnixes, pendingUnix{sock, refs})
+		clock.Advance(costs.ObjRestore)
+	}
+	for _, pu := range pendingUnixes {
+		if err := o.K.PatchUnixBacklog(pu.sock, pu.refs); err != nil {
+			return nil, bd, err
+		}
+	}
+
+	// Pass 2: processes, threads, descriptor tables.
+	type restoredProc struct {
+		proc      *kernel.Process
+		image     *kernel.ProcImage
+		fdTabOID  uint64
+		threadOID []uint64
+	}
+	var procs []restoredProc
+	threadByOID := make(map[uint64]*kernel.Thread)
+	fdTabByOID := make(map[uint64]*kernel.FDTableImage)
+	fdImgByOID := make(map[uint64]*kernel.FDImage)
+	for _, m := range meta {
+		switch m.Kind {
+		case kernel.KindThread:
+			t, err := kernel.DecodeThreadImage(m.Data)
+			if err != nil {
+				return nil, bd, err
+			}
+			threadByOID[m.OID] = t
+		case kernel.KindFDTable:
+			ti, err := kernel.DecodeFDTable(m.Data)
+			if err != nil {
+				return nil, bd, err
+			}
+			fdTabByOID[m.OID] = ti
+		case kernel.KindFileDesc:
+			fi, err := kernel.DecodeFileDesc(m.Data)
+			if err != nil {
+				return nil, bd, err
+			}
+			fdImgByOID[m.OID] = fi
+		}
+	}
+	for _, m := range meta {
+		if m.Kind != kernel.KindProcess {
+			continue
+		}
+		pi, err := kernel.DecodeProcess(m.Data)
+		if err != nil {
+			return nil, bd, err
+		}
+		p, err := o.K.RestoreProcess(pi, lookupObj)
+		if err != nil {
+			return nil, bd, err
+		}
+		procs = append(procs, restoredProc{proc: p, image: pi, fdTabOID: pi.FDTabOID, threadOID: pi.ThreadOID})
+		clock.Advance(costs.ObjRestore)
+	}
+	// Threads and descriptor tables attach to their processes; shared
+	// descriptions restore once and are shared across tables.
+	builtDescs := make(map[uint64]*kernel.FileDesc)
+	for _, rp := range procs {
+		for _, toid := range rp.threadOID {
+			if t, ok := threadByOID[toid]; ok {
+				o.K.AttachThread(rp.proc, t)
+			}
+		}
+		ti := fdTabByOID[rp.fdTabOID]
+		if ti == nil {
+			continue
+		}
+		entries := make(map[int]*kernel.FileDesc)
+		for num, descOID := range ti.Entries {
+			if fd, ok := builtDescs[descOID]; ok {
+				entries[num] = kernel.ShareFileDesc(fd)
+				continue
+			}
+			fi := fdImgByOID[descOID]
+			if fi == nil {
+				return nil, bd, fmt.Errorf("core: descriptor %d missing from image", descOID)
+			}
+			fd, err := o.buildFileDesc(fi)
+			if err != nil {
+				return nil, bd, err
+			}
+			builtDescs[descOID] = fd
+			entries[num] = fd
+		}
+		o.K.PatchFDTable(rp.proc, entries)
+	}
+	for _, mi := range img.Memory {
+		imagePages += int64(mi.PageCount())
+	}
+	metaCost := costs.RestoreMetaBase + storage.PerKPage(costs.RestoreMetaPerKPage, imagePages)
+	if fromStore {
+		// Reading the store image implicitly restored some state.
+		metaCost -= costs.ImplicitMetaCredit
+	}
+	clock.Advance(metaCost)
+	bd.MetadataState = metaSW.Elapsed()
+	bd.Objects = len(meta)
+
+	// --- Memory state: rebuild the memory hierarchy ---
+	memSW := clock.Watch()
+	// Collect per-object sls_mctl restore-policy hints from the
+	// restored mappings (RestoreEager wins over RestoreLazy when
+	// mappings disagree: someone needs the pages resident).
+	policies := make(map[*vm.Object]vm.RestorePolicy)
+	for _, rp := range procs {
+		for _, m := range rp.proc.Space.Mappings() {
+			if m.Restore == vm.RestoreDefault {
+				continue
+			}
+			if cur, ok := policies[m.Obj]; !ok || m.Restore == vm.RestoreEager && cur != vm.RestoreEager {
+				policies[m.Obj] = m.Restore
+			}
+		}
+	}
+	resolvedPages := 0
+	shareable := !img.Released()
+	for oldID, obj := range objMap {
+		effOpts := opts
+		switch policies[obj] {
+		case vm.RestoreEager:
+			effOpts.Lazy = false
+		case vm.RestoreLazy:
+			effOpts.Lazy = true
+		}
+		resolvedPages += o.restoreObjectMemory(img, oldID, obj, effOpts, shareable, &bd)
+	}
+	memCost := costs.RestoreMemBase + storage.PerKPage(costs.RestoreMemPerKPage, int64(resolvedPages))
+	if fromStore {
+		memCost -= costs.ImplicitMemCredit
+	}
+	clock.Advance(memCost)
+	bd.MemoryState = memSW.Elapsed()
+	bd.PagesRestored = resolvedPages
+
+	// --- Resume ---
+	name := opts.Name
+	if name == "" {
+		name = img.Name
+	}
+	// PID collisions during restore give processes fresh PIDs; patch
+	// the parent links so the restored tree keeps its hierarchy.
+	pidMap := make(map[int]int, len(procs))
+	for _, rp := range procs {
+		pidMap[rp.image.PID] = rp.proc.PID
+	}
+	for _, rp := range procs {
+		if np, ok := pidMap[rp.proc.PPID]; ok {
+			rp.proc.PPID = np
+		}
+		if np, ok := pidMap[rp.proc.PGID]; ok {
+			rp.proc.PGID = np
+		}
+		if np, ok := pidMap[rp.proc.SID]; ok {
+			rp.proc.SID = np
+		}
+	}
+
+	o.mu.Lock()
+	o.nextID++
+	g := &Group{ID: o.nextID, Name: name, pids: make(map[int]bool)}
+	// Anchor the group on the image it came from: rollback can reuse
+	// it, and the next checkpoint (a fresh full one) starts a new
+	// chain from this epoch.
+	g.last = img
+	g.epoch = img.Epoch
+	g.durable = img.Epoch
+	o.groups[g.ID] = g
+	for _, rp := range procs {
+		g.pids[rp.proc.PID] = true
+		o.pidGroup[rp.proc.PID] = g.ID
+	}
+	o.mu.Unlock()
+
+	for _, rp := range procs {
+		if err := o.K.ResumeRestored(rp.proc, rp.image.ProgName, rp.image.ProgState); err != nil {
+			return nil, bd, err
+		}
+	}
+	bd.Total = total.Elapsed() + bd.ObjectStoreRead
+	return g, bd, nil
+}
+
+// restoreObjectMemory rebuilds one VM object's pages. Three paths:
+//
+//   - in-memory image frames are COW-shared with the application (no
+//     copies at all: the paper's memory restore);
+//   - lazy restores of byte-backed images (loaded from the store or
+//     the network) attach a page source, with clock-driven prefetch
+//     of the hottest pages; and
+//   - eager restores copy everything up front.
+func (o *Orchestrator) restoreObjectMemory(img *Image, oldID uint64, obj *vm.Object, opts RestoreOpts, shareable bool, bd *RestoreBreakdown) int {
+	// Collect frame-backed pages along the chain (newest wins).
+	frames := make(map[int64]*vm.Frame)
+	bytesPages := make(map[int64][]byte)
+	for cur := img; cur != nil; cur = cur.Prev {
+		if mi, ok := cur.Memory[oldID]; ok {
+			for idx, f := range mi.Pages {
+				if _, seen := frames[idx]; !seen {
+					if _, seen := bytesPages[idx]; !seen {
+						frames[idx] = f
+					}
+				}
+			}
+			for idx, d := range mi.SwapData {
+				if _, seen := frames[idx]; !seen {
+					if _, seen := bytesPages[idx]; !seen {
+						bytesPages[idx] = d
+					}
+				}
+			}
+		}
+		if cur.Full {
+			break
+		}
+	}
+	total := len(frames) + len(bytesPages)
+
+	if shareable && len(frames) > 0 {
+		// Zero-copy memory state: share the image's frames under COW.
+		for idx, f := range frames {
+			obj.InstallSharedPage(o.K.Mem, idx, f)
+		}
+		bd.Shared += len(frames)
+	} else {
+		for idx, f := range frames {
+			bytesPages[idx] = f.Data
+		}
+	}
+
+	if len(bytesPages) == 0 {
+		return total
+	}
+	if opts.Lazy {
+		obj.SetSource(&imagePageSource{pages: bytesPages})
+		if opts.Prefetch > 0 {
+			heat := img.ResolveHeat(oldID)
+			hot := vm.HottestPages(heat)
+			if len(hot) > opts.Prefetch {
+				hot = hot[:opts.Prefetch]
+			}
+			for _, idx := range hot {
+				if data := bytesPages[idx]; data != nil {
+					f, err := o.K.Mem.Alloc()
+					if err != nil {
+						return total
+					}
+					copy(f.Data, data)
+					obj.InsertPage(o.K.Mem, idx, f)
+					bd.Prefetched++
+				}
+			}
+		}
+	} else {
+		for idx, data := range bytesPages {
+			f, err := o.K.Mem.Alloc()
+			if err != nil {
+				return total
+			}
+			copy(f.Data, data)
+			obj.InsertPage(o.K.Mem, idx, f)
+			o.K.Meter.ChargeCopy(1)
+		}
+	}
+	return total
+}
+
+// buildFileDesc resolves one descriptor image, handling Aurora file
+// system files (whose inodes live in the file system, not the kernel
+// object table).
+func (o *Orchestrator) buildFileDesc(fi *kernel.FDImage) (*kernel.FileDesc, error) {
+	if fi.FileOID&fsInoBit != 0 && o.FS != nil {
+		f, err := o.FS.OpenOrphan(fi.FileOID)
+		if err != nil {
+			return nil, fmt.Errorf("core: reattaching file inode %d: %w", fi.FileOID, err)
+		}
+		return o.K.BuildFileDescWith(fi, f), nil
+	}
+	return o.K.BuildFileDesc(fi)
+}
+
+// fsInoBit mirrors slsfs's inode tag bit.
+const fsInoBit = uint64(1) << 62
+
+// Restore loads the newest (or a specific) checkpoint from the first
+// backend that can serve it and restores the group. In-memory images
+// are preferred when present: they restore by COW-sharing frames with
+// zero copies, the fastest path.
+func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group, RestoreBreakdown, error) {
+	all := g.Backends()
+	backends := make([]Backend, 0, len(all))
+	for _, b := range all {
+		if b.Ephemeral() {
+			backends = append(backends, b)
+		}
+	}
+	for _, b := range all {
+		if !b.Ephemeral() {
+			backends = append(backends, b)
+		}
+	}
+	var lastErr error = ErrNoBackend
+	for _, b := range backends {
+		img, readTime, err := b.Load(g.ID, epoch)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ng, bd, err := o.RestoreImage(img, readTime, opts)
+		if err != nil {
+			return nil, bd, err
+		}
+		// The restored group inherits the source group's backends.
+		for _, back := range backends {
+			o.Attach(ng, back)
+		}
+		return ng, bd, nil
+	}
+	return nil, RestoreBreakdown{}, lastErr
+}
+
+// imagePageSource adapts a resolved image to vm.PageSource for lazy
+// restores.
+type imagePageSource struct {
+	pages map[int64][]byte
+}
+
+// FetchPage implements vm.PageSource.
+func (s *imagePageSource) FetchPage(idx int64) ([]byte, error) { return s.pages[idx], nil }
+
+// HasPage implements vm.PageSource.
+func (s *imagePageSource) HasPage(idx int64) bool {
+	_, ok := s.pages[idx]
+	return ok
+}
+
+// Pages implements vm.PageSource.
+func (s *imagePageSource) Pages() []int64 {
+	out := make([]int64, 0, len(s.pages))
+	for idx := range s.pages {
+		out = append(out, idx)
+	}
+	return out
+}

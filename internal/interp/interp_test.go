@@ -1,0 +1,251 @@
+package interp
+
+import (
+	"testing"
+
+	"aurora/internal/kernel"
+	"aurora/internal/vm"
+)
+
+// sumProgram assembles: sum = 0; for i = 1..n { sum += i }; store sum
+// at dataAddr; halt.
+func sumProgram(n, dataAddr uint32) []byte {
+	var a Asm
+	a.Emit(OpLi, 4, 0, 0)   // r4 = sum = 0
+	a.Emit(OpLi, 5, 0, 1)   // r5 = i = 1
+	a.Emit(OpLi, 6, 0, n+1) // r6 = n+1
+	loop := a.Len()
+	a.Emit(OpAdd, 4, 4, 5)        // sum += i
+	a.Emit(OpAddi, 5, 5, 1)       // i++
+	bne := a.Emit(OpBne, 5, 6, 0) // if i != n+1 goto loop
+	a.Emit(OpLi, 7, 0, dataAddr)  // r7 = dataAddr
+	a.Emit(OpSt, 4, 7, 0)         // mem[r7] = sum
+	a.Emit(OpHalt, 0, 0, 0)
+	_ = bne
+	a.Patch(bne, uint32(0x0040_0000+loop))
+	return a.Code()
+}
+
+func TestInterpRunsToCompletion(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "sum")
+	dataAddr := uint32(p.HeapBase())
+	if _, err := Load(k, p, sumProgram(100, dataAddr)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != kernel.ProcZombie {
+		t.Fatalf("program did not halt: %v", p.State())
+	}
+	var b [8]byte
+	p.ReadMem(vm.Addr(dataAddr), b[:])
+	got := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+	if got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+}
+
+func TestInterpMidExecutionStateIsInRegisters(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "sum")
+	if _, err := Load(k, p, sumProgram(1_000_000, uint32(p.HeapBase()))); err != nil {
+		t.Fatal(err)
+	}
+	// Run a few quanta: the program is mid-loop.
+	k.Run(50)
+	t0 := p.Threads[0]
+	if t0.Regs.PC == uint64(0x0040_0000) {
+		t.Fatal("PC did not advance")
+	}
+	if t0.Regs.GPR[4] == 0 {
+		t.Fatal("accumulator empty mid-loop")
+	}
+	// The full execution state is Regs + memory: copying registers to
+	// a fresh thread on a cloned space must continue identically.
+	sum := t0.Regs.GPR[4]
+	i := t0.Regs.GPR[5]
+	if sum != (i-1)*i/2 {
+		t.Fatalf("invariant broken: sum=%d i=%d", sum, i)
+	}
+}
+
+func TestInterpWriteSyscall(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "writer")
+	r, w, _ := k.NewPipe(p)
+
+	// Hand the read end to a separate reader process before the writer
+	// exits (exit closes the writer's descriptors).
+	reader, _ := k.Spawn(0, "reader")
+	rfd, _ := p.FDs.Get(r)
+	readerFD, _ := reader.FDs.Install(k, rfd.File, kernel.ORdOnly)
+
+	msgAddr := uint32(p.HeapBase())
+	p.WriteMem(vm.Addr(msgAddr), []byte("hi"))
+	var a Asm
+	a.Emit(OpLi, 1, 0, uint32(w)) // r1 = fd
+	a.Emit(OpLi, 2, 0, msgAddr)   // r2 = buf
+	a.Emit(OpLi, 3, 0, 2)         // r3 = len
+	a.Emit(OpSys, SysWrite, 0, 0)
+	a.Emit(OpHalt, 0, 0, 0)
+	if _, err := Load(k, p, a.Code()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := k.Read(reader, readerFD, buf)
+	if err != nil || string(buf[:n]) != "hi" {
+		t.Fatalf("pipe read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestInterpBadOpcodeKillsProcess(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "bad")
+	var a Asm
+	a.Emit(255, 0, 0, 0)
+	Load(k, p, a.Code())
+	if _, err := k.Run(10); err == nil {
+		t.Fatal("bad opcode should surface an error")
+	}
+	if p.State() != kernel.ProcZombie {
+		t.Fatal("process should be killed")
+	}
+}
+
+func TestInterpYield(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "yielder")
+	var a Asm
+	a.Emit(OpAddi, 4, 4, 1)
+	a.Emit(OpSys, SysYield, 0, 0)
+	a.Emit(OpJmp, 0, 0, 0x0040_0000)
+	Load(k, p, a.Code())
+	k.Run(10) // each quantum ends at the yield
+	if p.Threads[0].Regs.GPR[4] != 10 {
+		t.Fatalf("yield count = %d, want 10", p.Threads[0].Regs.GPR[4])
+	}
+}
+
+func TestInstrEncodeDecode(t *testing.T) {
+	in := Instr{Op: OpAddi, A: 3, B: 7, Imm: 0xdeadbeef}
+	got := Decode(in.Encode())
+	if got != in {
+		t.Fatalf("decode(encode) = %+v", got)
+	}
+}
+
+func TestLoad8Store8(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "bytes")
+	heap := uint32(p.HeapBase())
+	var a Asm
+	a.Emit(OpLi, 1, 0, heap)
+	a.Emit(OpLi, 2, 0, 0x41) // 'A'
+	a.Emit(OpSt8, 2, 1, 0)
+	a.Emit(OpLd8, 3, 1, 0)
+	a.Emit(OpSt8, 3, 1, 1) // copy to heap+1
+	a.Emit(OpHalt, 0, 0, 0)
+	Load(k, p, a.Code())
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 2)
+	p.ReadMem(vm.Addr(heap), b)
+	if string(b) != "AA" {
+		t.Fatalf("memory = %q", b)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "math")
+	heap := uint32(p.HeapBase())
+	var a Asm
+	a.Emit(OpLi, 1, 0, 20)
+	a.Emit(OpLi, 2, 0, 7)
+	a.Emit(OpSub, 3, 1, 2) // 13
+	a.Emit(OpMul, 4, 3, 2) // 91
+	a.Emit(OpMov, 5, 4, 0) // 91
+	a.Emit(OpLi, 6, 0, heap)
+	a.Emit(OpSt, 5, 6, 0)
+	a.Emit(OpHalt, 0, 0, 0)
+	Load(k, p, a.Code())
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	var b [8]byte
+	p.ReadMem(vm.Addr(heap), b[:])
+	if b[0] != 91 {
+		t.Fatalf("result = %d, want 91", b[0])
+	}
+}
+
+func TestBltBranch(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "blt")
+	heap := uint32(p.HeapBase())
+	var a Asm
+	a.Emit(OpLi, 1, 0, 3)
+	a.Emit(OpLi, 2, 0, 5)
+	blt := a.Emit(OpBlt, 1, 2, 0) // taken: 3 < 5
+	a.Emit(OpLi, 3, 0, 111)       // skipped
+	taken := a.Len()
+	a.Patch(blt, 0x0040_0000+uint32(taken))
+	a.Emit(OpLi, 4, 0, heap)
+	a.Emit(OpSt8, 3, 4, 0) // stores r3 = 0 (the Li was skipped)
+	a.Emit(OpHalt, 0, 0, 0)
+	Load(k, p, a.Code())
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	p.ReadMem(vm.Addr(heap), b[:])
+	if b[0] != 0 {
+		t.Fatalf("branch not taken: r3 = %d", b[0])
+	}
+}
+
+func TestBadSyscallKillsProcess(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "bad")
+	var a Asm
+	a.Emit(OpSys, 99, 0, 0)
+	Load(k, p, a.Code())
+	if _, err := k.Run(5); err == nil {
+		t.Fatal("bad syscall should error")
+	}
+}
+
+// TestDeterministicExecution: two kernels running the same program for
+// the same quanta produce bit-identical register files — the property
+// underpinning reproducible checkpoints and record/replay.
+func TestDeterministicExecution(t *testing.T) {
+	run := func() kernel.Regs {
+		k := kernel.New()
+		p, _ := k.Spawn(0, "det")
+		Load(k, p, sumProgram(1_000_000, uint32(p.HeapBase())))
+		k.Run(123)
+		return p.Threads[0].Regs
+	}
+	r1, r2 := run(), run()
+	if r1 != r2 {
+		t.Fatalf("divergent executions:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestQuantumConfigurable(t *testing.T) {
+	k := kernel.New()
+	p, _ := k.Spawn(0, "q")
+	Load(k, p, sumProgram(1_000_000, uint32(p.HeapBase())))
+	p.SetProgram(&Program{Quantum: 1})
+	before := p.Threads[0].Regs.PC
+	k.Run(1)
+	if p.Threads[0].Regs.PC != before+InstrSize {
+		t.Fatal("quantum=1 should execute exactly one instruction")
+	}
+}

@@ -1,0 +1,22 @@
+package kernel
+
+import "aurora/internal/codec"
+
+// Serialization for kernel objects reuses the shared binary codec.
+// The aliases keep kernel's Object interface self-contained while the
+// object store and file system share the same wire primitives.
+type (
+	// Encoder serializes kernel objects into the checkpoint format.
+	Encoder = codec.Encoder
+	// Decoder reads the checkpoint format back.
+	Decoder = codec.Decoder
+)
+
+// ErrCorrupt is returned when a serialized object cannot be decoded.
+var ErrCorrupt = codec.ErrCorrupt
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return codec.NewEncoder() }
+
+// NewDecoder wraps a buffer for decoding.
+func NewDecoder(p []byte) *Decoder { return codec.NewDecoder(p) }

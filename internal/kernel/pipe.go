@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"sync"
+)
+
+// segment is a unit of buffered IPC data. When external consistency is
+// enforced and the writer belongs to a persistence group, the segment
+// is gated on the writer's checkpoint epoch: a reader outside the
+// writer's group may not observe it until that epoch is durable,
+// preventing other machines (or unpersisted processes) from seeing
+// state that a crash could lose.
+type segment struct {
+	data  []byte
+	group uint64 // writer's persistence group (0 = untracked)
+	epoch uint64 // writer's checkpoint epoch at write time
+	gated bool   // requires durability before crossing group boundary
+}
+
+// segQueue is a queue of segments with external-consistency gating.
+type segQueue struct {
+	mu     sync.Mutex
+	segs   []segment
+	closed bool
+	limit  int // byte capacity; 0 = unbounded
+	size   int
+}
+
+// push appends data tagged with the writer's group/epoch.
+func (q *segQueue) push(k *Kernel, ctx IOCtx, data []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosedPipe
+	}
+	if q.limit > 0 && q.size+len(data) > q.limit {
+		if q.size >= q.limit {
+			return 0, ErrWouldBlock
+		}
+		data = data[:q.limit-q.size]
+	}
+	seg := segment{data: append([]byte(nil), data...)}
+	if ctx.Ext && ctx.Proc != nil {
+		if g := k.groupOf(ctx.Proc); g != 0 {
+			seg.group = g
+			seg.epoch = k.epochOf(g)
+			seg.gated = true
+		}
+	}
+	q.segs = append(q.segs, seg)
+	q.size += len(seg.data)
+	return len(seg.data), nil
+}
+
+// pop delivers up to len(p) bytes to a reader in group readerGroup.
+// Gated segments whose epoch is not yet durable stop delivery unless
+// the reader is in the writer's own group (intra-group state is
+// checkpointed together and therefore mutually consistent).
+func (q *segQueue) pop(k *Kernel, readerGroup uint64, p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for n < len(p) && len(q.segs) > 0 {
+		seg := &q.segs[0]
+		if seg.gated && seg.group != readerGroup && !k.released(seg.group, seg.epoch) {
+			break // held for external consistency
+		}
+		c := copy(p[n:], seg.data)
+		n += c
+		if c == len(seg.data) {
+			q.segs = q.segs[1:]
+		} else {
+			seg.data = seg.data[c:]
+		}
+		q.size -= c
+	}
+	if n == 0 {
+		if q.closed && len(q.segs) == 0 {
+			return 0, errEOF
+		}
+		return 0, ErrWouldBlock
+	}
+	return n, nil
+}
+
+// pending reports buffered bytes, and how many of them are gated.
+func (q *segQueue) pending(k *Kernel, readerGroup uint64) (total, held int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for _, seg := range q.segs {
+		total += len(seg.data)
+		if blocked || (seg.gated && seg.group != readerGroup && !k.released(seg.group, seg.epoch)) {
+			blocked = true
+			held += len(seg.data)
+		}
+	}
+	return total, held
+}
+
+// close marks the queue closed; buffered data remains readable.
+func (q *segQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// snapshot serializes the queue contents (used by checkpoint).
+func (q *segQueue) snapshot(e *Encoder) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e.Bool(q.closed)
+	e.I64(int64(q.limit))
+	e.U64(uint64(len(q.segs)))
+	for _, s := range q.segs {
+		e.Bytes2(s.data)
+		e.U64(s.group)
+		e.U64(s.epoch)
+		e.Bool(s.gated)
+	}
+}
+
+// restoreQueue rebuilds a queue from its snapshot.
+func restoreQueue(d *Decoder) *segQueue {
+	q := &segQueue{}
+	q.closed = d.Bool()
+	q.limit = int(d.I64())
+	n := d.U64()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		s := segment{data: d.Bytes2(), group: d.U64(), epoch: d.U64(), gated: d.Bool()}
+		q.segs = append(q.segs, s)
+		q.size += len(s.data)
+	}
+	return q
+}
+
+// errEOF distinguishes end-of-stream from would-block. io.EOF is not
+// used to keep the kernel deliberately dependency-light.
+var errEOF = eofError{}
+
+type eofError struct{}
+
+func (eofError) Error() string { return "EOF" }
+
+// IsEOF reports whether err marks a cleanly closed stream.
+func IsEOF(err error) bool { return err == errEOF }
+
+// Pipe is a POSIX pipe: a kernel buffer with a read end and a write
+// end. The pipe is one first-class object; its two descriptor-visible
+// ends are role-restricted views created by NewPipe.
+type Pipe struct {
+	oid    uint64
+	kernel *Kernel
+	q      *segQueue
+}
+
+// OID implements Object.
+func (p *Pipe) OID() uint64 { return p.oid }
+
+// Kind implements Object.
+func (p *Pipe) Kind() Kind { return KindPipe }
+
+// EncodeTo implements Object: the pipe serializes its buffered bytes,
+// so data in flight at checkpoint time survives a restore.
+func (p *Pipe) EncodeTo(e *Encoder) {
+	e.U64(p.oid)
+	p.q.snapshot(e)
+}
+
+// ReadFile implements OpenFile (read end).
+func (p *Pipe) ReadFile(ctx IOCtx, buf []byte) (int, error) {
+	var rg uint64
+	if ctx.Proc != nil {
+		rg = p.kernel.groupOf(ctx.Proc)
+	}
+	return p.q.pop(p.kernel, rg, buf)
+}
+
+// WriteFile implements OpenFile (write end).
+func (p *Pipe) WriteFile(ctx IOCtx, buf []byte) (int, error) {
+	return p.q.push(p.kernel, ctx, buf)
+}
+
+// CloseFile implements OpenFile.
+func (p *Pipe) CloseFile() error {
+	p.q.close()
+	p.kernel.unregister(p.oid)
+	return nil
+}
+
+// Pending reports (total, held-for-consistency) buffered byte counts
+// as seen by a reader outside any persistence group.
+func (p *Pipe) Pending() (int, int) { return p.q.pending(p.kernel, 0) }
+
+// NewPipe creates a pipe and installs its two ends in the process's
+// descriptor table, returning (readFD, writeFD).
+func (k *Kernel) NewPipe(p *Process) (int, int, error) {
+	pipe := &Pipe{oid: k.NextOID(), kernel: k, q: &segQueue{limit: 64 << 10}}
+	k.register(pipe)
+	r, _ := p.FDs.Install(k, pipe, ORdOnly)
+	w, _ := p.FDs.Install(k, pipe, OWrOnly)
+	k.Clock.Advance(k.Costs.Syscall)
+	return r, w, nil
+}
+
+// restorePipe rebuilds a pipe from its serialized form.
+func (k *Kernel) restorePipe(d *Decoder) (*Pipe, error) {
+	p := &Pipe{oid: d.U64(), kernel: k}
+	p.q = restoreQueue(d)
+	if err := d.Finish("pipe"); err != nil {
+		return nil, err
+	}
+	k.register(p)
+	return p, nil
+}

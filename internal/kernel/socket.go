@@ -1,0 +1,283 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SocketPair is a connected pair of bidirectional endpoints
+// (socketpair(2)). It is a single first-class object owning two
+// queues; the descriptor-visible endpoints are the two Ends.
+type SocketPair struct {
+	oid    uint64
+	kernel *Kernel
+	ab, ba *segQueue // a->b and b->a directions
+	ends   [2]*SockEnd
+}
+
+// OID implements Object.
+func (sp *SocketPair) OID() uint64 { return sp.oid }
+
+// Kind implements Object.
+func (sp *SocketPair) Kind() Kind { return KindSocketPair }
+
+// EncodeTo implements Object: both directions' in-flight data are part
+// of the checkpoint, exactly as Aurora persists socket buffers from
+// inside the kernel rather than reconstructing them at the syscall
+// boundary.
+func (sp *SocketPair) EncodeTo(e *Encoder) {
+	e.U64(sp.oid)
+	e.U64(sp.ends[0].oid)
+	e.U64(sp.ends[1].oid)
+	sp.ab.snapshot(e)
+	sp.ba.snapshot(e)
+}
+
+// SockEnd is one endpoint of a socket pair or accepted unix-socket
+// connection.
+type SockEnd struct {
+	oid    uint64
+	kernel *Kernel
+	in     *segQueue // data waiting for this end to read
+	out    *segQueue // data this end writes (peer's in)
+	parent Object    // the owning SocketPair or UnixSocket connection
+	side   int       // 0 or 1 within the parent
+}
+
+// OID implements Object.
+func (s *SockEnd) OID() uint64 { return s.oid }
+
+// Kind implements Object. Endpoints serialize via their parent, which
+// carries the buffered data; the endpoint record is a reference.
+func (s *SockEnd) Kind() Kind { return KindSockEnd }
+
+// EncodeTo implements Object. Endpoint state lives in the parent
+// object's encoding; the endpoint record is a reference.
+func (s *SockEnd) EncodeTo(e *Encoder) {
+	e.U64(s.oid)
+	e.U64(s.parent.OID())
+	e.I64(int64(s.side))
+}
+
+// ReadFile implements OpenFile.
+func (s *SockEnd) ReadFile(ctx IOCtx, buf []byte) (int, error) {
+	var rg uint64
+	if ctx.Proc != nil {
+		rg = s.kernel.groupOf(ctx.Proc)
+	}
+	return s.in.pop(s.kernel, rg, buf)
+}
+
+// WriteFile implements OpenFile.
+func (s *SockEnd) WriteFile(ctx IOCtx, buf []byte) (int, error) {
+	return s.out.push(s.kernel, ctx, buf)
+}
+
+// CloseFile implements OpenFile: closes this direction for the peer.
+func (s *SockEnd) CloseFile() error {
+	s.out.close()
+	s.in.close()
+	s.kernel.unregister(s.oid)
+	return nil
+}
+
+// Pending reports buffered bytes heading toward this endpoint as seen
+// by an untracked reader: (total, held for external consistency).
+func (s *SockEnd) Pending() (int, int) { return s.in.pending(s.kernel, 0) }
+
+// NewSocketPair creates a connected pair and installs both ends in the
+// process's descriptor table.
+func (k *Kernel) NewSocketPair(p *Process) (int, int, error) {
+	sp := &SocketPair{oid: k.NextOID(), kernel: k,
+		ab: &segQueue{limit: 256 << 10}, ba: &segQueue{limit: 256 << 10}}
+	a := &SockEnd{oid: k.NextOID(), kernel: k, in: sp.ba, out: sp.ab, parent: sp, side: 0}
+	b := &SockEnd{oid: k.NextOID(), kernel: k, in: sp.ab, out: sp.ba, parent: sp, side: 1}
+	sp.ends = [2]*SockEnd{a, b}
+	k.register(sp)
+	k.register(a)
+	k.register(b)
+	fa, _ := p.FDs.Install(k, a, ORdWr)
+	fb, _ := p.FDs.Install(k, b, ORdWr)
+	k.Clock.Advance(k.Costs.Syscall)
+	return fa, fb, nil
+}
+
+// Ends exposes the pair's endpoints (used by restore patching).
+func (sp *SocketPair) Ends() [2]*SockEnd { return sp.ends }
+
+// restoreSocketPair rebuilds a socket pair and its endpoints.
+func (k *Kernel) restoreSocketPair(d *Decoder) (*SocketPair, error) {
+	sp := &SocketPair{oid: d.U64(), kernel: k}
+	aOID := d.U64()
+	bOID := d.U64()
+	sp.ab = restoreQueue(d)
+	sp.ba = restoreQueue(d)
+	if err := d.Finish("socketpair"); err != nil {
+		return nil, err
+	}
+	a := &SockEnd{oid: aOID, kernel: k, in: sp.ba, out: sp.ab, parent: sp, side: 0}
+	b := &SockEnd{oid: bOID, kernel: k, in: sp.ab, out: sp.ba, parent: sp, side: 1}
+	sp.ends = [2]*SockEnd{a, b}
+	k.register(sp)
+	k.register(a)
+	k.register(b)
+	return sp, nil
+}
+
+// UnixSocket is a bound, listening Unix-domain socket. Connections
+// accepted from it are SockEnd pairs. CRIU needed seven years to
+// support these; in Aurora's object model they serialize like
+// everything else.
+type UnixSocket struct {
+	oid    uint64
+	kernel *Kernel
+	Path   string
+
+	mu      sync.Mutex
+	backlog []*SocketPair // queued, not yet accepted connections
+	closed  bool
+}
+
+// OID implements Object.
+func (u *UnixSocket) OID() uint64 { return u.oid }
+
+// Kind implements Object.
+func (u *UnixSocket) Kind() Kind { return KindUnixSocket }
+
+// EncodeTo implements Object: the bound path plus references to the
+// queued connections (each of which serializes independently).
+func (u *UnixSocket) EncodeTo(e *Encoder) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	e.U64(u.oid)
+	e.Str(u.Path)
+	e.Bool(u.closed)
+	refs := make([]uint64, len(u.backlog))
+	for i, c := range u.backlog {
+		refs[i] = c.OID()
+	}
+	e.U64Slice(refs)
+}
+
+// ReadFile implements OpenFile; listeners are not readable.
+func (u *UnixSocket) ReadFile(IOCtx, []byte) (int, error) { return 0, ErrBadFD }
+
+// WriteFile implements OpenFile; listeners are not writable.
+func (u *UnixSocket) WriteFile(IOCtx, []byte) (int, error) { return 0, ErrBadFD }
+
+// CloseFile implements OpenFile.
+func (u *UnixSocket) CloseFile() error {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	u.kernel.mu.Lock()
+	delete(u.kernel.uds, u.Path)
+	u.kernel.mu.Unlock()
+	u.kernel.unregister(u.oid)
+	return nil
+}
+
+// Listen binds a Unix-domain socket at path and installs the listener
+// descriptor.
+func (k *Kernel) Listen(p *Process, path string) (int, error) {
+	k.mu.Lock()
+	if _, exists := k.uds[path]; exists {
+		k.mu.Unlock()
+		return 0, ErrExists
+	}
+	u := &UnixSocket{oid: k.nextOIDLocked(), kernel: k, Path: path}
+	k.uds[path] = u
+	k.objects[u.oid] = u
+	k.mu.Unlock()
+	fd, _ := p.FDs.Install(k, u, ORdOnly)
+	k.Clock.Advance(k.Costs.Syscall)
+	return fd, nil
+}
+
+// Connect dials a bound Unix socket, returning the client descriptor.
+// The server side is queued for Accept.
+func (k *Kernel) Connect(p *Process, path string) (int, error) {
+	k.mu.Lock()
+	u, ok := k.uds[path]
+	k.mu.Unlock()
+	if !ok {
+		return 0, ErrNoSuchObject
+	}
+	sp := &SocketPair{oid: k.NextOID(), kernel: k,
+		ab: &segQueue{limit: 256 << 10}, ba: &segQueue{limit: 256 << 10}}
+	client := &SockEnd{oid: k.NextOID(), kernel: k, in: sp.ba, out: sp.ab, parent: sp, side: 0}
+	server := &SockEnd{oid: k.NextOID(), kernel: k, in: sp.ab, out: sp.ba, parent: sp, side: 1}
+	sp.ends = [2]*SockEnd{client, server}
+	k.register(sp)
+	k.register(client)
+	k.register(server)
+
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return 0, ErrClosedPipe
+	}
+	u.backlog = append(u.backlog, sp)
+	u.mu.Unlock()
+
+	fd, _ := p.FDs.Install(k, client, ORdWr)
+	k.Clock.Advance(k.Costs.Syscall)
+	return fd, nil
+}
+
+// Accept dequeues a pending connection on the listener descriptor.
+func (k *Kernel) Accept(p *Process, listenFD int) (int, error) {
+	fd, err := p.FDs.Get(listenFD)
+	if err != nil {
+		return 0, err
+	}
+	u, ok := fd.File.(*UnixSocket)
+	if !ok {
+		return 0, ErrBadFD
+	}
+	u.mu.Lock()
+	if len(u.backlog) == 0 {
+		u.mu.Unlock()
+		return 0, ErrWouldBlock
+	}
+	sp := u.backlog[0]
+	u.backlog = u.backlog[1:]
+	u.mu.Unlock()
+	n, _ := p.FDs.Install(k, sp.ends[1], ORdWr)
+	k.Clock.Advance(k.Costs.Syscall)
+	return n, nil
+}
+
+// restoreUnixSocket rebuilds a listener; backlog references are
+// patched by the restorer after the socket pairs are rebuilt.
+func (k *Kernel) restoreUnixSocket(d *Decoder) (*UnixSocket, []uint64, error) {
+	u := &UnixSocket{oid: d.U64(), kernel: k}
+	u.Path = d.Str()
+	u.closed = d.Bool()
+	refs := d.U64Slice()
+	if err := d.Finish("unixsocket"); err != nil {
+		return nil, nil, err
+	}
+	k.mu.Lock()
+	k.uds[u.Path] = u
+	k.objects[u.oid] = u
+	k.mu.Unlock()
+	return u, refs, nil
+}
+
+// String names the socket for ps output.
+func (u *UnixSocket) String() string { return fmt.Sprintf("unix:%s", u.Path) }
+
+// Backlog lists the pending, unaccepted connections (serialized with
+// the listener so checkpointed connections survive restore).
+func (u *UnixSocket) Backlog() []*SocketPair {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]*SocketPair, len(u.backlog))
+	copy(out, u.backlog)
+	return out
+}
+
+// ParentOID returns the OID of the endpoint's owning socket pair or
+// connection, which carries the serialized state.
+func (s *SockEnd) ParentOID() uint64 { return s.parent.OID() }

@@ -1,0 +1,313 @@
+// Package netback implements Aurora's network backend: sending and
+// receiving application checkpoints between machines (`sls send` /
+// `sls recv`), continuous replication of incremental checkpoints for
+// fault tolerance, and live migration.
+//
+// Transport is any io.ReadWriter — net.Conn in production, net.Pipe in
+// tests, a file for `sls send -o image.aur`. Frames carry consolidated
+// images (one-shot sends) or deltas (replication streams). The modeled
+// transfer cost follows a 10 GbE NIC profile.
+package netback
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// Frame types on the wire.
+const (
+	frameImage byte = iota + 1 // consolidated image (one-shot send)
+	frameDelta                 // incremental delta (replication)
+	frameBye                   // end of stream
+)
+
+// Errors.
+var (
+	ErrBadFrame = errors.New("netback: bad frame")
+	ErrClosed   = errors.New("netback: stream closed")
+)
+
+// writeFrame emits [type][len][payload].
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		// A zero-length write would block forever on synchronous
+		// pipes: the reader never issues a matching zero-byte read.
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[1:])
+	if n > 1<<32 {
+		return 0, nil, ErrBadFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Sender streams checkpoints to a remote host.
+type Sender struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock *storage.Clock
+	nic   storage.DeviceParams
+	sent  int64 // bytes
+}
+
+// NewSender wraps a connection.
+func NewSender(w io.Writer, clock *storage.Clock) *Sender {
+	return &Sender{w: w, clock: clock, nic: storage.ParamsNIC10G}
+}
+
+// SentBytes reports the bytes placed on the wire.
+func (s *Sender) SentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// charge models the NIC transfer time.
+func (s *Sender) charge(n int) time.Duration {
+	cost := s.nic.Latency + time.Duration(int64(n)*int64(time.Second)/s.nic.WriteBW)
+	if s.clock != nil {
+		s.clock.Advance(cost)
+	}
+	return cost
+}
+
+// SendImage transmits a consolidated checkpoint (`sls send`): the
+// complete state needed to recreate the application on the remote.
+func (s *Sender) SendImage(img *core.Image) (time.Duration, error) {
+	payload := img.Encode()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeFrame(s.w, frameImage, payload); err != nil {
+		return 0, err
+	}
+	s.sent += int64(len(payload))
+	return s.charge(len(payload)), nil
+}
+
+// SendDelta transmits one incremental checkpoint of a replication
+// stream.
+func (s *Sender) SendDelta(img *core.Image) (time.Duration, error) {
+	payload := img.EncodeDelta()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeFrame(s.w, frameDelta, payload); err != nil {
+		return 0, err
+	}
+	s.sent += int64(len(payload))
+	return s.charge(len(payload)), nil
+}
+
+// Close ends the stream.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeFrame(s.w, frameBye, nil)
+}
+
+// Backend adapts a Sender into a core.Backend: every checkpoint of the
+// group is replicated to the remote as it happens. Load is not served
+// (the data lives on the other machine), so a remote backend is
+// usually attached alongside a local one.
+type Backend struct {
+	sender *Sender
+}
+
+// NewBackend wraps a sender as a checkpoint backend.
+func NewBackend(s *Sender) *Backend { return &Backend{sender: s} }
+
+// Name implements core.Backend.
+func (b *Backend) Name() string { return "remote" }
+
+// Ephemeral implements core.Backend: a replica on another machine is
+// durable for external-consistency purposes.
+func (b *Backend) Ephemeral() bool { return false }
+
+// Flush implements core.Backend.
+func (b *Backend) Flush(img *core.Image) (time.Duration, error) {
+	return b.sender.SendDelta(img)
+}
+
+// Load implements core.Backend.
+func (b *Backend) Load(group, epoch uint64) (*core.Image, time.Duration, error) {
+	return nil, 0, core.ErrNoImage
+}
+
+// Receiver accepts checkpoints from a remote host (`sls recv`). It
+// maintains the newest image chain per group, ready to restore — the
+// warm-standby half of fault tolerance.
+type Receiver struct {
+	pm    *vm.PhysMem
+	clock *storage.Clock
+	nic   storage.DeviceParams
+
+	mu     sync.Mutex
+	chains map[uint64]*core.Image // group -> newest image
+	recvd  int64
+}
+
+// NewReceiver creates a receiver allocating frames from pm.
+func NewReceiver(pm *vm.PhysMem, clock *storage.Clock) *Receiver {
+	return &Receiver{pm: pm, clock: clock, nic: storage.ParamsNIC10G, chains: make(map[uint64]*core.Image)}
+}
+
+// ReceivedBytes reports bytes taken off the wire.
+func (r *Receiver) ReceivedBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recvd
+}
+
+// Serve consumes frames until the stream closes, linking deltas into
+// per-group chains. It returns the number of frames applied.
+func (r *Receiver) Serve(conn io.Reader) (int, error) {
+	applied := 0
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF && applied > 0 {
+				return applied, nil
+			}
+			return applied, err
+		}
+		r.mu.Lock()
+		r.recvd += int64(len(payload))
+		r.mu.Unlock()
+		if r.clock != nil {
+			r.clock.Advance(r.nic.Latency + time.Duration(int64(len(payload))*int64(time.Second)/r.nic.ReadBW))
+		}
+		switch typ {
+		case frameBye:
+			return applied, nil
+		case frameImage:
+			img, err := core.DecodeImage(payload, r.pm)
+			if err != nil {
+				return applied, err
+			}
+			r.install(img)
+			applied++
+		case frameDelta:
+			img, err := core.DecodeDelta(payload, r.pm)
+			if err != nil {
+				return applied, err
+			}
+			r.mu.Lock()
+			if !img.Full {
+				img.Prev = r.chains[img.Group]
+			}
+			r.chains[img.Group] = img
+			r.mu.Unlock()
+			applied++
+		default:
+			return applied, fmt.Errorf("%w: type %d", ErrBadFrame, typ)
+		}
+	}
+}
+
+func (r *Receiver) install(img *core.Image) {
+	r.mu.Lock()
+	r.chains[img.Group] = img
+	r.mu.Unlock()
+}
+
+// Latest returns the newest image of a group.
+func (r *Receiver) Latest(group uint64) (*core.Image, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	img, ok := r.chains[group]
+	if !ok {
+		return nil, core.ErrNoImage
+	}
+	return img, nil
+}
+
+// Groups lists groups with received state.
+func (r *Receiver) Groups() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, 0, len(r.chains))
+	for g := range r.chains {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Migrate performs a live migration: checkpoint the group, stream the
+// consolidated image, restore it on the destination orchestrator, and
+// kill the source. It returns the destination group and the modeled
+// transfer time.
+func Migrate(src *core.Orchestrator, g *core.Group, dst *core.Orchestrator, opts core.RestoreOpts) (*core.Group, time.Duration, error) {
+	if _, err := src.Checkpoint(g, core.CheckpointOpts{SkipFlush: true}); err != nil {
+		return nil, 0, err
+	}
+	img := g.LastImage()
+	if img == nil {
+		return nil, 0, core.ErrNoImage
+	}
+
+	pr, pw := io.Pipe()
+	sender := NewSender(pw, src.K.Clock)
+	recv := NewReceiver(dst.K.Mem, dst.K.Clock)
+
+	var xfer time.Duration
+	var sendErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		xfer, sendErr = sender.SendImage(img)
+		sender.Close()
+		pw.Close()
+	}()
+	if _, err := recv.Serve(pr); err != nil {
+		return nil, 0, err
+	}
+	<-done
+	if sendErr != nil {
+		return nil, 0, sendErr
+	}
+
+	rimg, err := recv.Latest(g.ID)
+	if err != nil {
+		return nil, 0, err
+	}
+	ng, _, err := dst.RestoreImage(rimg, 0, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Tear down the source: migration moves, it does not copy.
+	for _, pid := range g.PIDs() {
+		if p, err := src.K.Process(pid); err == nil {
+			src.K.Exit(p, 0)
+			src.K.Reap(p)
+		}
+	}
+	src.Unpersist(g)
+	return ng, xfer, nil
+}

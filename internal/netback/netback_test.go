@@ -1,0 +1,298 @@
+package netback
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// machine is one simulated host.
+type machine struct {
+	clock *storage.Clock
+	k     *kernel.Kernel
+	o     *core.Orchestrator
+}
+
+func newMachine() *machine {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	return &machine{clock: clock, k: k, o: core.NewOrchestrator(k)}
+}
+
+// counter mirrors the core test program.
+type counter struct{ addr vm.Addr }
+
+func (c *counter) ProgName() string { return "nb-counter" }
+func (c *counter) Snapshot() []byte {
+	e := kernel.NewEncoder()
+	e.U64(uint64(c.addr))
+	return e.Bytes()
+}
+func (c *counter) Step(k *kernel.Kernel, p *kernel.Process, t *kernel.Thread) error {
+	var b [8]byte
+	if err := p.ReadMem(c.addr, b[:]); err != nil {
+		return err
+	}
+	b[0]++
+	return p.WriteMem(c.addr, b[:])
+}
+
+func init() {
+	kernel.RegisterProgram("nb-counter", func(k *kernel.Kernel, p *kernel.Process, state []byte) (kernel.Program, error) {
+		d := kernel.NewDecoder(state)
+		return &counter{addr: vm.Addr(d.U64())}, nil
+	})
+}
+
+func spawn(t *testing.T, m *machine) (*kernel.Process, *core.Group) {
+	t.Helper()
+	p, err := m.k.Spawn(0, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetProgram(&counter{addr: p.HeapBase()})
+	g, err := m.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g
+}
+
+func TestSendRecvSingleImage(t *testing.T) {
+	src := newMachine()
+	dst := newMachine()
+	p, g := spawn(t, src)
+	src.o.Attach(g, core.NewMemoryBackend(src.k.Mem, 4))
+	p.WriteMem(p.HeapBase()+8, []byte("travels the wire"))
+	src.k.Run(7)
+	if _, err := src.o.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	sender := NewSender(pw, src.clock)
+	recv := NewReceiver(dst.k.Mem, dst.clock)
+	done := make(chan error, 1)
+	go func() {
+		if _, err := sender.SendImage(g.LastImage()); err != nil {
+			done <- err
+			return
+		}
+		done <- sender.Close()
+		pw.Close()
+	}()
+	if _, err := recv.Serve(pr); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if sender.SentBytes() == 0 || recv.ReceivedBytes() != sender.SentBytes() {
+		t.Fatalf("wire accounting: sent=%d recvd=%d", sender.SentBytes(), recv.ReceivedBytes())
+	}
+
+	img, err := recv.Latest(g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, _, err := dst.o.RestoreImage(img, 0, core.RestoreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := dst.k.Process(ng.PIDs()[0])
+	buf := make([]byte, 16)
+	np.ReadMem(np.HeapBase()+8, buf)
+	if string(buf) != "travels the wire" {
+		t.Fatalf("remote state = %q", buf)
+	}
+	var c [1]byte
+	np.ReadMem(np.HeapBase(), c[:])
+	if c[0] != 7 {
+		t.Fatalf("remote counter = %d, want 7", c[0])
+	}
+}
+
+func TestContinuousReplicationDeltas(t *testing.T) {
+	src := newMachine()
+	dst := newMachine()
+	p, g := spawn(t, src)
+
+	_ = p
+	pr, pw := io.Pipe()
+	sender := NewSender(pw, src.clock)
+	src.o.Attach(g, NewBackend(sender))
+	recv := NewReceiver(dst.k.Mem, dst.clock)
+
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := recv.Serve(pr)
+		serveDone <- err
+	}()
+
+	// Each checkpoint streams a delta to the standby.
+	for i := 0; i < 5; i++ {
+		src.k.Run(3)
+		if _, err := src.o.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender.Close()
+	pw.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// The source machine "fails"; the standby restores the replica.
+	img, err := recv.Latest(g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, _, err := dst.o.RestoreImage(img, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := dst.k.Process(ng.PIDs()[0])
+	var c [1]byte
+	np.ReadMem(np.HeapBase(), c[:])
+	if c[0] != 15 {
+		t.Fatalf("standby counter = %d, want 15", c[0])
+	}
+	// The standby continues where the primary died.
+	dst.k.Run(5)
+	np.ReadMem(np.HeapBase(), c[:])
+	if c[0] != 20 {
+		t.Fatalf("standby did not resume: %d", c[0])
+	}
+}
+
+func TestLiveMigration(t *testing.T) {
+	src := newMachine()
+	dst := newMachine()
+	p, g := spawn(t, src)
+	src.k.Run(9)
+
+	ng, xfer, err := Migrate(src.o, g, dst.o, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfer <= 0 {
+		t.Fatal("migration transfer time not modeled")
+	}
+	// Source is gone.
+	if p.State() != kernel.ProcZombie {
+		if _, err := src.k.Process(p.PID); err == nil {
+			t.Fatal("source process survived migration")
+		}
+	}
+	// Destination continues.
+	np, _ := dst.k.Process(ng.PIDs()[0])
+	var c [1]byte
+	np.ReadMem(np.HeapBase(), c[:])
+	if c[0] != 9 {
+		t.Fatalf("migrated counter = %d", c[0])
+	}
+	dst.k.Run(3)
+	np.ReadMem(np.HeapBase(), c[:])
+	if c[0] != 12 {
+		t.Fatal("migrated process did not resume")
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	recv := NewReceiver(vm.NewPhysMem(0), storage.NewClock())
+	if _, err := recv.Serve(bytes.NewReader([]byte{frameDelta, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if _, err := recv.Serve(bytes.NewReader([]byte{99, 1, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("unknown frame type accepted")
+	}
+}
+
+func TestReceiverGroups(t *testing.T) {
+	recv := NewReceiver(vm.NewPhysMem(0), storage.NewClock())
+	if len(recv.Groups()) != 0 {
+		t.Fatal("fresh receiver has groups")
+	}
+	if _, err := recv.Latest(1); err != core.ErrNoImage {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBackendInterface(t *testing.T) {
+	var buf bytes.Buffer
+	b := NewBackend(NewSender(&buf, storage.NewClock()))
+	if b.Name() != "remote" || b.Ephemeral() {
+		t.Fatal("backend identity wrong")
+	}
+	if _, _, err := b.Load(1, 0); err != core.ErrNoImage {
+		t.Fatalf("Load err = %v", err)
+	}
+}
+
+func TestReplicationOverRealTCP(t *testing.T) {
+	// The same replication path over a real TCP socket: the transport
+	// abstraction is an io.ReadWriter, so production deployments use
+	// net.Conn exactly like the in-memory pipe used elsewhere.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer ln.Close()
+
+	src := newMachine()
+	dst := newMachine()
+	_, g := spawn(t, src)
+
+	recv := NewReceiver(dst.k.Mem, dst.clock)
+	serveDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serveDone <- err
+			return
+		}
+		defer conn.Close()
+		_, err = recv.Serve(conn)
+		serveDone <- err
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(conn, src.clock)
+	src.o.Attach(g, NewBackend(sender))
+
+	for i := 0; i < 3; i++ {
+		src.k.Run(4)
+		if _, err := src.o.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender.Close()
+	conn.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := recv.Latest(g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, _, err := dst.o.RestoreImage(img, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := dst.k.Process(ng.PIDs()[0])
+	var c [1]byte
+	np.ReadMem(np.HeapBase(), c[:])
+	if c[0] != 12 {
+		t.Fatalf("TCP-replicated counter = %d, want 12", c[0])
+	}
+}

@@ -1,0 +1,127 @@
+package objstore
+
+import "fmt"
+
+// This file implements the store's in-place garbage collector. The
+// paper's requirement: reclaiming old checkpoints must not rewrite the
+// incremental checkpoints built on top of them. The collector
+// therefore *merges forward*: when epoch E is dropped, any page of E
+// not superseded by the next retained epoch is moved — by reference,
+// never by copying data — into that epoch's record, after which E's
+// records and superseded blocks are released in place.
+
+// DropEpoch removes one checkpoint from a group's history, merging its
+// still-live pages forward. Dropping the newest epoch of a group is
+// only allowed when it is also the oldest (a one-checkpoint history).
+func (s *Store) DropEpoch(group, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	ms := s.manifests[group]
+	pos := -1
+	for i, m := range ms {
+		if m.Epoch == epoch {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return fmt.Errorf("%w: group %d epoch %d", ErrNoManifest, group, epoch)
+	}
+	victim := ms[pos]
+	var next *Manifest
+	if pos+1 < len(ms) {
+		next = ms[pos+1]
+	}
+
+	for _, key := range victim.Records {
+		rec := s.records[key]
+		if rec == nil {
+			continue
+		}
+		if next != nil {
+			s.mergeForwardLocked(rec, next)
+		} else {
+			// Last remaining checkpoint: release everything.
+			for _, ref := range rec.Pages {
+				s.releaseBlockLocked(ref)
+			}
+		}
+		delete(s.records, key)
+		s.stats.MetaBytes -= int64(rec.metaLen)
+	}
+
+	// Relink the next manifest's history pointer and drop the victim.
+	if next != nil && next.Prev == epoch {
+		next.Prev = victim.Prev
+	}
+	s.manifests[group] = append(ms[:pos], ms[pos+1:]...)
+	if victim.Name != "" {
+		delete(s.named, victim.Name)
+	}
+	s.stats.EpochsDropped++
+	return nil
+}
+
+// mergeForwardLocked folds a dropped record into the next epoch.
+func (s *Store) mergeForwardLocked(rec *Record, next *Manifest) {
+	key := RecordKey{rec.OID, next.Epoch}
+	heir, ok := s.records[key]
+	if !ok {
+		// The object has no record at the next epoch (it was idle):
+		// the dropped record *becomes* the next epoch's record.
+		rec.Epoch = next.Epoch
+		s.records[key] = rec
+		next.Records = append(next.Records, key)
+		return
+	}
+	for idx, ref := range rec.Pages {
+		if _, shadowed := heir.Pages[idx]; shadowed {
+			// The heir rewrote this page; the old block dies.
+			s.releaseBlockLocked(ref)
+		} else {
+			// Still live: move the reference forward, in place.
+			heir.Pages[idx] = ref
+		}
+	}
+	// The heir now carries the object's complete page set as of its
+	// epoch if the dropped record did.
+	if rec.Full {
+		heir.Full = true
+	}
+}
+
+func (s *Store) releaseBlockLocked(ref BlockRef) {
+	be, ok := s.blocks[ref.Hash]
+	if !ok {
+		return
+	}
+	be.refs--
+	if be.refs <= 0 {
+		delete(s.blocks, ref.Hash)
+		s.freeList = append(s.freeList, be.ref.Off)
+		s.stats.BlocksFreed++
+	}
+}
+
+// TrimHistory keeps at most keep checkpoints per group, dropping the
+// oldest — the paper's "short execution history" maintained in free
+// disk space.
+func (s *Store) TrimHistory(group uint64, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	for {
+		s.mu.Lock()
+		ms := s.manifests[group]
+		if len(ms) <= keep {
+			s.mu.Unlock()
+			return nil
+		}
+		oldest := ms[0].Epoch
+		s.mu.Unlock()
+		if err := s.DropEpoch(group, oldest); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package objstore
+
+import (
+	"encoding/binary"
+
+	"aurora/internal/codec"
+	"aurora/internal/storage"
+)
+
+// This file persists the store's index so a store survives restart:
+// Sync serializes every map to a fresh extent and points the
+// superblock at it; Open replays that extent. Data blocks themselves
+// are already on the device — the index is the only volatile state.
+
+// Sync writes the index to the device and updates the superblock.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	e := codec.NewEncoder()
+	// Allocation state.
+	e.I64(s.nextOff)
+	e.U64(uint64(len(s.freeList)))
+	for _, off := range s.freeList {
+		e.I64(off)
+	}
+	// Block index.
+	e.U64(uint64(len(s.blocks)))
+	for h, be := range s.blocks {
+		e.Bytes2(h[:])
+		e.I64(be.ref.Off)
+		e.I64(int64(be.refs))
+	}
+	// Records.
+	e.U64(uint64(len(s.records)))
+	for key, rec := range s.records {
+		e.U64(key.OID)
+		e.U64(key.Epoch)
+		e.U64(uint64(rec.Kind))
+		e.Bool(rec.Full)
+		e.Bytes2(rec.Meta)
+		e.I64(rec.metaOff)
+		e.I64(int64(rec.metaLen))
+		e.U64(uint64(len(rec.Pages)))
+		for idx, ref := range rec.Pages {
+			e.I64(idx)
+			e.I64(ref.Off)
+			e.Bytes2(ref.Hash[:])
+		}
+		e.U64(uint64(len(rec.Heat)))
+		for idx, h := range rec.Heat {
+			e.I64(idx)
+			e.U32(h)
+		}
+	}
+	// Manifests.
+	groups := make([]uint64, 0, len(s.manifests))
+	for g := range s.manifests {
+		groups = append(groups, g)
+	}
+	e.U64(uint64(len(groups)))
+	for _, g := range groups {
+		e.U64(g)
+		ms := s.manifests[g]
+		e.U64(uint64(len(ms)))
+		for _, m := range ms {
+			e.U64(m.Epoch)
+			e.Str(m.Name)
+			e.U64(m.Prev)
+			e.U64(uint64(len(m.Records)))
+			for _, rk := range m.Records {
+				e.U64(rk.OID)
+				e.U64(rk.Epoch)
+			}
+			e.U64Slice(m.Roots)
+		}
+	}
+	// Stats that must survive restart.
+	e.I64(s.stats.LogicalBytes)
+	e.I64(s.stats.MetaBytes)
+	e.I64(s.stats.DedupHits)
+
+	idx := e.Bytes()
+	idxOff := s.allocExtent(len(idx))
+	s.mu.Unlock()
+
+	if _, err := s.dev.WriteAt(idx, idxOff); err != nil {
+		return err
+	}
+	var sb [sbSize]byte
+	binary.LittleEndian.PutUint32(sb[0:], magic)
+	binary.LittleEndian.PutUint64(sb[8:], uint64(idxOff))
+	binary.LittleEndian.PutUint64(sb[16:], uint64(len(idx)))
+	if _, err := s.dev.WriteAt(sb[:], 0); err != nil {
+		return err
+	}
+	_, err := s.dev.Sync()
+	return err
+}
+
+// Open mounts an existing store from its superblock, replaying the
+// index written by the last Sync.
+func Open(dev storage.Device, clock *storage.Clock) (*Store, error) {
+	var sb [sbSize]byte
+	if _, err := dev.ReadAt(sb[:], 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != magic {
+		return nil, ErrBadMagic
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(sb[8:]))
+	idxLen := int64(binary.LittleEndian.Uint64(sb[16:]))
+	idx := make([]byte, idxLen)
+	if _, err := dev.ReadAt(idx, idxOff); err != nil {
+		return nil, err
+	}
+
+	s := Create(dev, clock)
+	d := codec.NewDecoder(idx)
+	s.nextOff = d.I64()
+	nFree := d.U64()
+	for i := uint64(0); i < nFree && d.Err() == nil; i++ {
+		s.freeList = append(s.freeList, d.I64())
+	}
+	nBlocks := d.U64()
+	for i := uint64(0); i < nBlocks && d.Err() == nil; i++ {
+		var h Hash
+		copy(h[:], d.Bytes2())
+		be := &blockEntry{ref: BlockRef{Off: d.I64(), Hash: h}, refs: int32(d.I64())}
+		s.blocks[h] = be
+	}
+	nRecs := d.U64()
+	for i := uint64(0); i < nRecs && d.Err() == nil; i++ {
+		key := RecordKey{OID: d.U64(), Epoch: d.U64()}
+		rec := &Record{
+			OID:   key.OID,
+			Epoch: key.Epoch,
+			Kind:  uint16(d.U64()),
+			Full:  d.Bool(),
+			Meta:  d.Bytes2(),
+			Pages: make(map[int64]BlockRef),
+		}
+		rec.metaOff = d.I64()
+		rec.metaLen = int(d.I64())
+		nPages := d.U64()
+		for j := uint64(0); j < nPages && d.Err() == nil; j++ {
+			idxN := d.I64()
+			ref := BlockRef{Off: d.I64()}
+			copy(ref.Hash[:], d.Bytes2())
+			rec.Pages[idxN] = ref
+		}
+		nHeat := d.U64()
+		if nHeat > 0 {
+			rec.Heat = make(map[int64]uint32, nHeat)
+		}
+		for j := uint64(0); j < nHeat && d.Err() == nil; j++ {
+			hidx := d.I64()
+			rec.Heat[hidx] = d.U32()
+		}
+		s.records[key] = rec
+	}
+	nGroups := d.U64()
+	for i := uint64(0); i < nGroups && d.Err() == nil; i++ {
+		g := d.U64()
+		nMs := d.U64()
+		for j := uint64(0); j < nMs && d.Err() == nil; j++ {
+			m := &Manifest{Group: g, Epoch: d.U64(), Name: d.Str(), Prev: d.U64()}
+			nRks := d.U64()
+			for r := uint64(0); r < nRks && d.Err() == nil; r++ {
+				m.Records = append(m.Records, RecordKey{OID: d.U64(), Epoch: d.U64()})
+			}
+			m.Roots = d.U64Slice()
+			s.manifests[g] = append(s.manifests[g], m)
+			if m.Name != "" {
+				s.named[m.Name] = manifestID{g, m.Epoch}
+			}
+		}
+	}
+	s.stats.LogicalBytes = d.I64()
+	s.stats.MetaBytes = d.I64()
+	s.stats.DedupHits = d.I64()
+	if err := d.Finish("objstore index"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

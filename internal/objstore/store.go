@@ -1,0 +1,519 @@
+// Package objstore implements Aurora's copy-on-write object store:
+// the on-disk half of the single level store.
+//
+// The store keeps *records* — one per kernel object per checkpoint
+// epoch — consisting of a metadata extent plus page-sized data blocks.
+// Its three properties come straight from the paper:
+//
+//   - a COW layout cheap enough for hundreds of checkpoints per second
+//     (appending records never rewrites old ones, unlike WAFL/ZFS
+//     snapshots);
+//   - content-hash deduplication of data blocks, across epochs and
+//     across unrelated applications (this is what lets serverless
+//     functions be stored as small deltas over a shared runtime
+//     image); and
+//   - in-place garbage collection: dropping an old epoch merges its
+//     still-live pages forward into the next epoch by reference, never
+//     rewriting data.
+//
+// All index structures also serialize to the device (Sync/Open), so a
+// store survives the crash-restart cycle that the SLS exists to hide.
+package objstore
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// Errors returned by the store.
+var (
+	ErrNoRecord   = errors.New("objstore: no such record")
+	ErrNoManifest = errors.New("objstore: no such checkpoint")
+	ErrBadMagic   = errors.New("objstore: bad superblock magic")
+)
+
+// BlockSize is the data block granularity: one VM page.
+const BlockSize = vm.PageSize
+
+// superblock layout constants.
+const (
+	magic     = 0x41555253 // "AURS"
+	sbSize    = 64         // superblock region at device offset 0
+	dataStart = 4096       // first allocatable byte
+)
+
+// Hash is the content hash of a data block.
+type Hash [32]byte
+
+// BlockRef locates one deduplicated data block on the device.
+type BlockRef struct {
+	Off  int64
+	Hash Hash
+}
+
+// RecordKey identifies a record: one object at one checkpoint epoch.
+type RecordKey struct {
+	OID   uint64
+	Epoch uint64
+}
+
+// Record is the persisted form of one kernel object at one epoch.
+type Record struct {
+	OID   uint64
+	Epoch uint64
+	Kind  uint16
+	// Full marks a record carrying the object's complete page set;
+	// otherwise Pages is a delta over the previous epoch's record.
+	Full bool
+	// Meta is the object's serialized metadata.
+	Meta []byte
+	// Pages maps page index -> data block.
+	Pages map[int64]BlockRef
+	// Heat is the access-frequency snapshot used for restore prefetch.
+	Heat map[int64]uint32
+
+	metaOff int64
+	metaLen int
+}
+
+// Manifest describes one checkpoint of one persistence group.
+type Manifest struct {
+	Group   uint64
+	Epoch   uint64
+	Name    string // optional user-visible checkpoint name
+	Records []RecordKey
+	// Roots lists the OIDs of the group's processes, the entry points
+	// for restore.
+	Roots []uint64
+	// Prev is the previous epoch in this group's history (0 = none).
+	Prev uint64
+}
+
+// Stats summarizes store occupancy for the density experiments.
+type Stats struct {
+	Records       int
+	Manifests     int
+	Blocks        int   // distinct physical blocks
+	BlockBytes    int64 // physical bytes in data blocks
+	LogicalBytes  int64 // bytes all records reference (pre-dedup)
+	MetaBytes     int64
+	DedupHits     int64 // block writes absorbed by an existing block
+	BlocksFreed   int64
+	EpochsDropped int64
+}
+
+type blockEntry struct {
+	ref  BlockRef
+	refs int32
+}
+
+// Store is the object store over one device.
+type Store struct {
+	dev   storage.Device
+	clock *storage.Clock
+	costs storage.CostModel
+
+	mu        sync.Mutex
+	nextOff   int64
+	freeList  []int64 // freed block offsets, reusable in place
+	blocks    map[Hash]*blockEntry
+	records   map[RecordKey]*Record
+	manifests map[uint64][]*Manifest // group -> epoch-sorted manifests
+	named     map[string]manifestID  // checkpoint name -> manifest
+	stats     Stats
+}
+
+type manifestID struct {
+	Group uint64
+	Epoch uint64
+}
+
+// Create initializes an empty store on dev.
+func Create(dev storage.Device, clock *storage.Clock) *Store {
+	return &Store{
+		dev:       dev,
+		clock:     clock,
+		costs:     storage.DefaultCosts,
+		nextOff:   dataStart,
+		blocks:    make(map[Hash]*blockEntry),
+		records:   make(map[RecordKey]*Record),
+		manifests: make(map[uint64][]*Manifest),
+		named:     make(map[string]manifestID),
+	}
+}
+
+// Device exposes the backing device (used by the harness for stats).
+func (s *Store) Device() storage.Device { return s.dev }
+
+// Stats returns a snapshot of the occupancy counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = len(s.records)
+	st.Blocks = len(s.blocks)
+	st.BlockBytes = int64(len(s.blocks)) * BlockSize
+	n := 0
+	for _, ms := range s.manifests {
+		n += len(ms)
+	}
+	st.Manifests = n
+	return st
+}
+
+// allocBlock returns a device offset for one block, reusing freed
+// space in place when available.
+func (s *Store) allocBlock() int64 {
+	if n := len(s.freeList); n > 0 {
+		off := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		return off
+	}
+	off := s.nextOff
+	s.nextOff += BlockSize
+	return off
+}
+
+// allocExtent reserves a variable-sized metadata extent.
+func (s *Store) allocExtent(n int) int64 {
+	off := s.nextOff
+	s.nextOff += int64((n + BlockSize - 1) &^ (BlockSize - 1))
+	return off
+}
+
+// HashPage computes the dedup hash of a page, charging the hash cost.
+func (s *Store) HashPage(p []byte) Hash {
+	if s.clock != nil {
+		s.clock.Advance(s.costs.HashPage)
+	}
+	return sha256.Sum256(p)
+}
+
+// putBlock stores one page of data, deduplicating by content.
+func (s *Store) putBlock(data []byte) (BlockRef, error) {
+	h := s.HashPage(data)
+	s.mu.Lock()
+	if be, ok := s.blocks[h]; ok {
+		be.refs++
+		s.stats.DedupHits++
+		ref := be.ref
+		s.mu.Unlock()
+		return ref, nil
+	}
+	off := s.allocBlock()
+	be := &blockEntry{ref: BlockRef{Off: off, Hash: h}, refs: 1}
+	s.blocks[h] = be
+	s.mu.Unlock()
+
+	if _, err := s.dev.WriteAt(data, off); err != nil {
+		return BlockRef{}, err
+	}
+	return be.ref, nil
+}
+
+// releaseBlock drops one reference, freeing the space in place.
+func (s *Store) releaseBlock(ref BlockRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	be, ok := s.blocks[ref.Hash]
+	if !ok {
+		return
+	}
+	be.refs--
+	if be.refs <= 0 {
+		delete(s.blocks, ref.Hash)
+		s.freeList = append(s.freeList, be.ref.Off)
+		s.stats.BlocksFreed++
+	}
+}
+
+// ReadBlock fetches a data block's contents.
+func (s *Store) ReadBlock(ref BlockRef) ([]byte, error) {
+	buf := make([]byte, BlockSize)
+	if _, err := s.dev.ReadAt(buf, ref.Off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadBlocks fetches many blocks in one batched device operation,
+// overlapping the reads at the device queue depth (the restore path's
+// bulk image read).
+func (s *Store) ReadBlocks(refs []BlockRef) ([][]byte, error) {
+	bufs := make([][]byte, len(refs))
+	offs := make([]int64, len(refs))
+	for i, ref := range refs {
+		bufs[i] = make([]byte, BlockSize)
+		offs[i] = ref.Off
+	}
+	if _, err := s.dev.ReadBatch(bufs, offs); err != nil {
+		return nil, err
+	}
+	return bufs, nil
+}
+
+// PutRecord writes one object's record for an epoch: metadata plus the
+// given pages (complete set when full, dirty set otherwise). Page data
+// is deduplicated block by block.
+func (s *Store) PutRecord(oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, heat map[int64]uint32) (*Record, error) {
+	return s.putRecord(oid, epoch, kind, full, meta, pages, nil, heat)
+}
+
+// PutRecordRefs writes a record whose pages are existing blocks,
+// bumping their reference counts instead of rewriting data. This is
+// what makes snapshots and clones zero-copy: a clone's first full
+// record in a new group references every block of the source image
+// without moving a byte.
+func (s *Store) PutRecordRefs(oid, epoch uint64, kind uint16, full bool, meta []byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
+	return s.putRecord(oid, epoch, kind, full, meta, nil, refs, heat)
+}
+
+// PutRecordMixed writes a record combining freshly written pages with
+// zero-copy references to existing blocks (the snapshot fast path:
+// dirty pages written, clean pages re-referenced).
+func (s *Store) PutRecordMixed(oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
+	return s.putRecord(oid, epoch, kind, full, meta, pages, refs, heat)
+}
+
+func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
+	rec := &Record{
+		OID:   oid,
+		Epoch: epoch,
+		Kind:  kind,
+		Full:  full,
+		Meta:  append([]byte(nil), meta...),
+		Pages: make(map[int64]BlockRef, len(pages)+len(refs)),
+		Heat:  heat,
+	}
+	s.mu.Lock()
+	for idx, ref := range refs {
+		be, ok := s.blocks[ref.Hash]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("objstore: dangling block reference at page %d", idx)
+		}
+		be.refs++
+		rec.Pages[idx] = be.ref
+		s.stats.LogicalBytes += BlockSize
+	}
+	s.mu.Unlock()
+	for idx, data := range pages {
+		if len(data) != BlockSize {
+			padded := make([]byte, BlockSize)
+			copy(padded, data)
+			data = padded
+		}
+		ref, err := s.putBlock(data)
+		if err != nil {
+			return nil, err
+		}
+		rec.Pages[idx] = ref // fresh data wins over a stale ref
+		s.mu.Lock()
+		s.stats.LogicalBytes += BlockSize
+		s.mu.Unlock()
+	}
+	// Write the metadata extent.
+	rec.metaLen = len(meta)
+	s.mu.Lock()
+	rec.metaOff = s.allocExtent(len(meta) + 1)
+	s.records[RecordKey{oid, epoch}] = rec
+	s.stats.MetaBytes += int64(len(meta))
+	s.mu.Unlock()
+	if len(meta) > 0 {
+		if _, err := s.dev.WriteAt(meta, rec.metaOff); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// GetRecord returns the record of an object at an exact epoch.
+func (s *Store) GetRecord(oid, epoch uint64) (*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[RecordKey{oid, epoch}]
+	if !ok {
+		return nil, ErrNoRecord
+	}
+	return rec, nil
+}
+
+// PutManifest records a checkpoint: the set of records belonging to
+// (group, epoch), the root process OIDs, and an optional name.
+func (s *Store) PutManifest(m *Manifest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.manifests[m.Group]
+	ms = append(ms, m)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Epoch < ms[j].Epoch })
+	s.manifests[m.Group] = ms
+	if m.Name != "" {
+		s.named[m.Name] = manifestID{m.Group, m.Epoch}
+	}
+}
+
+// Manifest returns the checkpoint manifest of (group, epoch).
+func (s *Store) Manifest(group, epoch uint64) (*Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.manifests[group] {
+		if m.Epoch == epoch {
+			return m, nil
+		}
+	}
+	return nil, ErrNoManifest
+}
+
+// NamedManifest resolves a user-visible checkpoint name.
+func (s *Store) NamedManifest(name string) (*Manifest, error) {
+	s.mu.Lock()
+	id, ok := s.named[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoManifest
+	}
+	return s.Manifest(id.Group, id.Epoch)
+}
+
+// LatestManifest returns the most recent checkpoint of a group.
+func (s *Store) LatestManifest(group uint64) (*Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.manifests[group]
+	if len(ms) == 0 {
+		return nil, ErrNoManifest
+	}
+	return ms[len(ms)-1], nil
+}
+
+// Manifests lists a group's checkpoint history, oldest first.
+func (s *Store) Manifests(group uint64) []*Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Manifest, len(s.manifests[group]))
+	copy(out, s.manifests[group])
+	return out
+}
+
+// Groups lists the group IDs with at least one checkpoint.
+func (s *Store) Groups() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.manifests))
+	for g := range s.manifests {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResolvePages materializes the complete page map of an object at an
+// epoch by walking the record chain backwards until a full record:
+// later (dirty) pages shadow earlier ones. It also returns the most
+// recent heat snapshot.
+func (s *Store) ResolvePages(group, oid, epoch uint64) (map[int64]BlockRef, map[int64]uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolvePagesLocked(group, oid, epoch)
+}
+
+func (s *Store) resolvePagesLocked(group, oid, epoch uint64) (map[int64]BlockRef, map[int64]uint32, error) {
+	pages := make(map[int64]BlockRef)
+	var heat map[int64]uint32
+	// Collect the group's epochs <= target, newest first.
+	var chain []*Record
+	cur := epoch
+	for cur != 0 {
+		m := s.findManifestLocked(group, cur)
+		if m == nil {
+			return nil, nil, fmt.Errorf("%w: group %d epoch %d", ErrNoManifest, group, cur)
+		}
+		if rec, ok := s.records[RecordKey{oid, cur}]; ok {
+			chain = append(chain, rec)
+			if rec.Full {
+				break
+			}
+		}
+		cur = m.Prev
+	}
+	if len(chain) == 0 {
+		return nil, nil, fmt.Errorf("%w: object %d at epoch %d", ErrNoRecord, oid, epoch)
+	}
+	// Apply oldest-to-newest so newer pages win.
+	for i := len(chain) - 1; i >= 0; i-- {
+		for idx, ref := range chain[i].Pages {
+			pages[idx] = ref
+		}
+		if chain[i].Heat != nil {
+			heat = chain[i].Heat
+		}
+	}
+	return pages, heat, nil
+}
+
+// ResolveMeta returns the newest metadata of an object at or before an
+// epoch within the group's history.
+func (s *Store) ResolveMeta(group, oid, epoch uint64) ([]byte, uint16, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := epoch
+	for cur != 0 {
+		if rec, ok := s.records[RecordKey{oid, cur}]; ok {
+			return rec.Meta, rec.Kind, nil
+		}
+		m := s.findManifestLocked(group, cur)
+		if m == nil {
+			break
+		}
+		cur = m.Prev
+	}
+	return nil, 0, fmt.Errorf("%w: metadata of object %d", ErrNoRecord, oid)
+}
+
+func (s *Store) findManifestLocked(group, epoch uint64) *Manifest {
+	for _, m := range s.manifests[group] {
+		if m.Epoch == epoch {
+			return m
+		}
+	}
+	return nil
+}
+
+// RecordsOf lists every epoch's record for one OID, oldest first.
+// The NT-log uses this to replay its append-only entries at recovery.
+func (s *Store) RecordsOf(oid uint64) []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Record
+	for key, rec := range s.records {
+		if key.OID == oid {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// DeleteRecord removes one record outside the manifest-driven GC path
+// (used by the NT log, whose records do not belong to any manifest).
+// Its blocks are released in place.
+func (s *Store) DeleteRecord(oid, epoch uint64) {
+	s.mu.Lock()
+	rec, ok := s.records[RecordKey{oid, epoch}]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.records, RecordKey{oid, epoch})
+	s.stats.MetaBytes -= int64(rec.metaLen)
+	for _, ref := range rec.Pages {
+		s.releaseBlockLocked(ref)
+	}
+	s.mu.Unlock()
+}

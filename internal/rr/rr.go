@@ -1,0 +1,196 @@
+// Package rr implements the record/replay integration the paper
+// sketches for debugging: Aurora's cheap periodic checkpoints bound
+// the record log, so a production machine keeps only the
+// nondeterministic inputs since the last checkpoint. On a failure the
+// application rolls back to that checkpoint and replays the log,
+// letting a developer witness the final seconds before a crash with
+// small disk and CPU overhead.
+package rr
+
+import (
+	"errors"
+	"sync"
+
+	"aurora/internal/codec"
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+)
+
+// ErrReplayExhausted is returned when a replay consumes more inputs
+// than were recorded.
+var ErrReplayExhausted = errors.New("rr: replay log exhausted")
+
+// EventKind classifies a nondeterministic input.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvSocketData EventKind = iota + 1 // bytes arriving from outside
+	EvClock                           // a clock read
+	EvRandom                          // random input
+	EvSignal                          // asynchronous signal
+)
+
+// Event is one recorded nondeterministic input.
+type Event struct {
+	Seq     uint64
+	Kind    EventKind
+	Payload []byte
+}
+
+// Recorder captures nondeterministic inputs and cooperates with the
+// SLS: each checkpoint truncates the log to events after it.
+type Recorder struct {
+	api   *core.API
+	group *core.Group
+
+	mu      sync.Mutex
+	seq     uint64
+	events  []Event
+	ckptSeq uint64 // seq at the last checkpoint
+}
+
+// NewRecorder attaches a recorder to a persistence group.
+func NewRecorder(api *core.API, group *core.Group) *Recorder {
+	return &Recorder{api: api, group: group}
+}
+
+// Record logs one input.
+func (r *Recorder) Record(kind EventKind, payload []byte) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.events = append(r.events, Event{Seq: r.seq, Kind: kind, Payload: append([]byte(nil), payload...)})
+	return r.seq
+}
+
+// LogLen reports the number of retained events.
+func (r *Recorder) LogLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// LogBytes reports the retained log size.
+func (r *Recorder) LogBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, ev := range r.events {
+		n += int64(len(ev.Payload)) + 10
+	}
+	return n
+}
+
+// Checkpoint takes an SLS checkpoint of the group and truncates the
+// record log: everything before the checkpoint is subsumed by it.
+func (r *Recorder) Checkpoint(p *kernel.Process) (core.CheckpointBreakdown, error) {
+	bd, err := r.api.Checkpoint(p, "")
+	if err != nil {
+		return bd, err
+	}
+	r.mu.Lock()
+	r.ckptSeq = r.seq
+	r.events = r.events[:0]
+	r.mu.Unlock()
+	return bd, nil
+}
+
+// TailLog returns the inputs since the last checkpoint, the exact set
+// a replay needs.
+func (r *Recorder) TailLog() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Encode serializes the tail log for shipping to a developer machine.
+func (r *Recorder) Encode() []byte {
+	e := codec.NewEncoder()
+	events := r.TailLog()
+	e.U64(uint64(len(events)))
+	for _, ev := range events {
+		e.U64(ev.Seq)
+		e.U8(uint8(ev.Kind))
+		e.Bytes2(ev.Payload)
+	}
+	return e.Bytes()
+}
+
+// DecodeLog parses a serialized tail log.
+func DecodeLog(payload []byte) ([]Event, error) {
+	d := codec.NewDecoder(payload)
+	n := d.U64()
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		out = append(out, Event{Seq: d.U64(), Kind: EventKind(d.U8()), Payload: d.Bytes2()})
+	}
+	if err := d.Finish("rr log"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replayer feeds recorded inputs back to an application restored from
+// the bounding checkpoint. Applications built for record/replay read
+// inputs through an InputSource; live they get a recording source,
+// replaying they get this.
+type Replayer struct {
+	mu     sync.Mutex
+	events []Event
+	pos    int
+}
+
+// NewReplayer wraps a tail log.
+func NewReplayer(events []Event) *Replayer { return &Replayer{events: events} }
+
+// Next returns the next recorded input of the given kind.
+func (rp *Replayer) Next(kind EventKind) ([]byte, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for rp.pos < len(rp.events) {
+		ev := rp.events[rp.pos]
+		rp.pos++
+		if ev.Kind == kind {
+			return ev.Payload, nil
+		}
+	}
+	return nil, ErrReplayExhausted
+}
+
+// Remaining reports unconsumed events.
+func (rp *Replayer) Remaining() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.events) - rp.pos
+}
+
+// InputSource abstracts where an application's nondeterministic
+// inputs come from, so the same application code runs live and under
+// replay.
+type InputSource interface {
+	// Input returns the next input of the kind, recording or
+	// replaying as appropriate.
+	Input(kind EventKind, live func() []byte) ([]byte, error)
+}
+
+// LiveSource records fresh inputs as they happen.
+type LiveSource struct{ R *Recorder }
+
+// Input implements InputSource.
+func (s *LiveSource) Input(kind EventKind, live func() []byte) ([]byte, error) {
+	data := live()
+	s.R.Record(kind, data)
+	return data, nil
+}
+
+// ReplaySource substitutes recorded inputs; the live function is never
+// called, which is what makes the re-execution deterministic.
+type ReplaySource struct{ R *Replayer }
+
+// Input implements InputSource.
+func (s *ReplaySource) Input(kind EventKind, live func() []byte) ([]byte, error) {
+	return s.R.Next(kind)
+}

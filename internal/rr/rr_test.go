@@ -1,0 +1,191 @@
+package rr
+
+import (
+	"fmt"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+func fixture(t *testing.T) (*kernel.Kernel, *core.API, *kernel.Process, *core.Group) {
+	t.Helper()
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	api := core.NewAPI(o)
+	p, _ := k.Spawn(0, "app")
+	p.SetProgram(&kernel.FuncProgram{Name: "idle", Fn: func(*kernel.Kernel, *kernel.Process, *kernel.Thread) error { return nil }})
+	kernel.RegisterProgram("idle", func(*kernel.Kernel, *kernel.Process, []byte) (kernel.Program, error) {
+		return &kernel.FuncProgram{Name: "idle", Fn: func(*kernel.Kernel, *kernel.Process, *kernel.Thread) error { return nil }}, nil
+	})
+	g, _ := o.Persist("app", p)
+	o.Attach(g, core.NewMemoryBackend(k.Mem, 8))
+	return k, api, p, g
+}
+
+func TestRecordAndTailLog(t *testing.T) {
+	_, api, _, g := fixture(t)
+	r := NewRecorder(api, g)
+	r.Record(EvSocketData, []byte("req1"))
+	r.Record(EvClock, []byte{1, 2})
+	if r.LogLen() != 2 {
+		t.Fatalf("log len = %d", r.LogLen())
+	}
+	tail := r.TailLog()
+	if tail[0].Kind != EvSocketData || string(tail[0].Payload) != "req1" {
+		t.Fatalf("tail[0] = %+v", tail[0])
+	}
+	if tail[1].Seq != 2 {
+		t.Fatalf("seq = %d", tail[1].Seq)
+	}
+}
+
+func TestCheckpointBoundsLog(t *testing.T) {
+	_, api, p, g := fixture(t)
+	r := NewRecorder(api, g)
+	for i := 0; i < 100; i++ {
+		r.Record(EvSocketData, []byte(fmt.Sprintf("input-%d", i)))
+	}
+	if _, err := r.Checkpoint(p); err != nil {
+		t.Fatal(err)
+	}
+	if r.LogLen() != 0 {
+		t.Fatalf("log not truncated by checkpoint: %d", r.LogLen())
+	}
+	// Only post-checkpoint inputs are retained.
+	r.Record(EvSocketData, []byte("after"))
+	if r.LogLen() != 1 || r.LogBytes() <= 0 {
+		t.Fatalf("post-checkpoint log wrong: %d entries", r.LogLen())
+	}
+}
+
+func TestEncodeDecodeLog(t *testing.T) {
+	_, api, _, g := fixture(t)
+	r := NewRecorder(api, g)
+	r.Record(EvSocketData, []byte("abc"))
+	r.Record(EvRandom, []byte{0x42})
+	events, err := DecodeLog(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Kind != EvRandom || events[1].Payload[0] != 0x42 {
+		t.Fatalf("decoded = %+v", events)
+	}
+}
+
+func TestReplayerOrderAndExhaustion(t *testing.T) {
+	rp := NewReplayer([]Event{
+		{Seq: 1, Kind: EvSocketData, Payload: []byte("a")},
+		{Seq: 2, Kind: EvClock, Payload: []byte("t")},
+		{Seq: 3, Kind: EvSocketData, Payload: []byte("b")},
+	})
+	d1, _ := rp.Next(EvSocketData)
+	d2, _ := rp.Next(EvSocketData)
+	if string(d1) != "a" || string(d2) != "b" {
+		t.Fatalf("replay order: %q %q", d1, d2)
+	}
+	if rp.Remaining() != 0 {
+		t.Fatalf("remaining = %d", rp.Remaining())
+	}
+	if _, err := rp.Next(EvSocketData); err != ErrReplayExhausted {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestDeterministicReplay runs the same "application logic" live and
+// under replay and requires identical results — the core record/replay
+// property.
+func TestDeterministicReplay(t *testing.T) {
+	_, api, _, g := fixture(t)
+	rec := NewRecorder(api, g)
+
+	// Application logic: consume three inputs, fold them into a state.
+	run := func(src InputSource) (string, error) {
+		state := ""
+		inputs := []string{"x", "y", "z"} // the live world
+		for i := 0; i < 3; i++ {
+			i := i
+			data, err := src.Input(EvSocketData, func() []byte { return []byte(inputs[i]) })
+			if err != nil {
+				return "", err
+			}
+			state += string(data)
+		}
+		return state, nil
+	}
+
+	liveResult, err := run(&LiveSource{R: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayResult, err := run(&ReplaySource{R: NewReplayer(rec.TailLog())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveResult != replayResult {
+		t.Fatalf("live %q != replay %q", liveResult, replayResult)
+	}
+}
+
+// TestCrashReplayWorkflow exercises the paper's workflow: periodic
+// checkpoints bound the log; after a crash the app restores from the
+// last checkpoint and replays the tail to reach the pre-crash state.
+func TestCrashReplayWorkflow(t *testing.T) {
+	k, api, p, g := fixture(t)
+	rec := NewRecorder(api, g)
+
+	// The app accumulates inputs into simulated memory.
+	apply := func(proc *kernel.Process, data []byte) {
+		var lenb [2]byte
+		proc.ReadMem(proc.HeapBase(), lenb[:])
+		n := int(lenb[0]) | int(lenb[1])<<8
+		proc.WriteMem(proc.HeapBase()+2+vm.Addr(n), data)
+		n += len(data)
+		lenb[0], lenb[1] = byte(n), byte(n>>8)
+		proc.WriteMem(proc.HeapBase(), lenb[:])
+	}
+	read := func(proc *kernel.Process) string {
+		var lenb [2]byte
+		proc.ReadMem(proc.HeapBase(), lenb[:])
+		n := int(lenb[0]) | int(lenb[1])<<8
+		buf := make([]byte, n)
+		proc.ReadMem(proc.HeapBase()+2, buf)
+		return string(buf)
+	}
+
+	live := &LiveSource{R: rec}
+	in1, _ := live.Input(EvSocketData, func() []byte { return []byte("aa") })
+	apply(p, in1)
+	if _, err := rec.Checkpoint(p); err != nil {
+		t.Fatal(err)
+	}
+	in2, _ := live.Input(EvSocketData, func() []byte { return []byte("bb") })
+	apply(p, in2)
+	in3, _ := live.Input(EvSocketData, func() []byte { return []byte("cc") })
+	apply(p, in3)
+	preCrash := read(p)
+
+	// Crash: restore the checkpoint, then replay the bounded log.
+	ng, _, err := api.Restore(g, 0, core.RestoreOpts{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := k.Process(ng.PIDs()[0])
+	if got := read(np); got != "aa" {
+		t.Fatalf("restored state = %q, want checkpoint state", got)
+	}
+	replay := &ReplaySource{R: NewReplayer(rec.TailLog())}
+	for {
+		data, err := replay.Input(EvSocketData, nil)
+		if err != nil {
+			break
+		}
+		apply(np, data)
+	}
+	if got := read(np); got != preCrash {
+		t.Fatalf("replayed state %q != pre-crash %q", got, preCrash)
+	}
+}

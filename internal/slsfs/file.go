@@ -1,0 +1,223 @@
+package slsfs
+
+import (
+	"aurora/internal/codec"
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/vm"
+)
+
+// File is an open Aurora file. It implements kernel.OpenFile, so
+// simulated processes use ordinary descriptors; the descriptor's
+// offset lives in the kernel's open-file description, as POSIX
+// specifies.
+type File struct {
+	fs *FS
+	in *Inode
+}
+
+// OID implements kernel.Object: the inode number doubles as the
+// store OID.
+func (f *File) OID() uint64 { return f.in.Ino }
+
+// Kind implements kernel.Object.
+func (f *File) Kind() kernel.Kind { return KindFSFile }
+
+// EncodeTo implements kernel.Object. File contents live in the file
+// system's own snapshots; a descriptor checkpoint needs only the
+// inode reference.
+func (f *File) EncodeTo(e *kernel.Encoder) {
+	e.U64(f.in.Ino)
+	e.I64(f.in.Size())
+}
+
+// Ino returns the inode number.
+func (f *File) Ino() uint64 { return f.in.Ino }
+
+// Size returns the file size.
+func (f *File) Size() int64 { return f.in.Size() }
+
+// Truncate resizes the file.
+func (f *File) Truncate(size int64) {
+	f.in.truncate(size)
+	f.fs.markNSDirty()
+}
+
+// ReadAt reads at an explicit offset.
+func (f *File) ReadAt(p []byte, off int64) (int, error) { return f.fs.readAt(f.in, p, off) }
+
+// WriteAt writes at an explicit offset.
+func (f *File) WriteAt(p []byte, off int64) (int, error) { return f.fs.writeAt(f.in, p, off) }
+
+// ReadFile implements kernel.OpenFile using the description's offset.
+func (f *File) ReadFile(ctx kernel.IOCtx, p []byte) (int, error) {
+	var off int64
+	if ctx.Desc != nil {
+		off = ctx.Desc.Offset
+	}
+	n, err := f.fs.readAt(f.in, p, off)
+	if ctx.Desc != nil {
+		ctx.Desc.Offset += int64(n)
+	}
+	if n == 0 && err == nil && len(p) > 0 {
+		return 0, kernel.ErrWouldBlock // at EOF; stream callers poll
+	}
+	return n, err
+}
+
+// WriteFile implements kernel.OpenFile using the description's offset
+// (or appending with OAppend).
+func (f *File) WriteFile(ctx kernel.IOCtx, p []byte) (int, error) {
+	var off int64
+	if ctx.Desc != nil {
+		if ctx.Desc.Flags&kernel.OAppend != 0 {
+			off = f.in.Size()
+		} else {
+			off = ctx.Desc.Offset
+		}
+	}
+	n, err := f.fs.writeAt(f.in, p, off)
+	if ctx.Desc != nil && ctx.Desc.Flags&kernel.OAppend == 0 {
+		ctx.Desc.Offset += int64(n)
+	}
+	return n, err
+}
+
+// CloseFile implements kernel.OpenFile: drop the persistent open
+// reference; an unlinked inode dies with its last open reference.
+func (f *File) CloseFile() error {
+	in := f.in
+	in.mu.Lock()
+	in.OpenRefs--
+	in.metaDirty = true
+	drop := in.Nlink <= 0 && in.OpenRefs <= 0
+	in.mu.Unlock()
+	if drop {
+		f.fs.dropInode(in.Ino)
+	}
+	f.fs.markNSDirty()
+	return nil
+}
+
+// writeAt writes through the buffer cache, copying up partially
+// overwritten pages from the store backing first.
+func (fs *FS) writeAt(in *Inode, p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	first := off >> vm.PageShift
+	last := (off + int64(len(p)) - 1) >> vm.PageShift
+	if off&vm.PageMask != 0 || first == last {
+		if err := in.ensureBacking(fs, first); err != nil {
+			return 0, err
+		}
+	}
+	if (off+int64(len(p)))&vm.PageMask != 0 && last != first {
+		if err := in.ensureBacking(fs, last); err != nil {
+			return 0, err
+		}
+	}
+	return in.WriteAt(p, off)
+}
+
+// readAt reads through the buffer cache, falling back to the inode's
+// store backing for pages not yet cached (lazy clone/restore paging).
+func (fs *FS) readAt(in *Inode, p []byte, off int64) (int, error) {
+	in.mu.Lock()
+	size := in.size
+	in.mu.Unlock()
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n := 0
+	for n < len(p) {
+		idx := (off + int64(n)) >> vm.PageShift
+		po := (off + int64(n)) & vm.PageMask
+		span := int(vm.PageSize - po)
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		pg, err := fs.loadPage(in, idx)
+		if err != nil {
+			return n, err
+		}
+		if pg != nil {
+			copy(p[n:n+span], pg[po:po+int64(span)])
+		} else {
+			for i := n; i < n+span; i++ {
+				p[i] = 0
+			}
+		}
+		n += span
+	}
+	return n, nil
+}
+
+// loadPage returns the cached page, faulting it in from the store
+// backing when necessary. A nil page reads as zeros.
+func (fs *FS) loadPage(in *Inode, idx int64) ([]byte, error) {
+	in.mu.Lock()
+	if pg, ok := in.pages[idx]; ok {
+		in.mu.Unlock()
+		return pg, nil
+	}
+	ref, ok := in.backing[idx]
+	in.mu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	data, err := fs.store.ReadBlock(ref)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	// Another reader may have faulted it in meanwhile.
+	if pg, ok := in.pages[idx]; ok {
+		in.mu.Unlock()
+		return pg, nil
+	}
+	in.pages[idx] = data
+	in.mu.Unlock()
+	return data, nil
+}
+
+// ensureBacking makes WriteAt copy-up correct for lazily loaded files:
+// a partial page write must first fault the page in.
+func (in *Inode) ensureBacking(fs *FS, idx int64) error {
+	in.mu.Lock()
+	_, cached := in.pages[idx]
+	_, backed := in.backing[idx]
+	in.mu.Unlock()
+	if cached || !backed {
+		return nil
+	}
+	_, err := fs.loadPage(in, idx)
+	return err
+}
+
+// decodeFileRef parses the descriptor-checkpoint form of a file.
+func decodeFileRef(payload []byte) (uint64, error) {
+	d := codec.NewDecoder(payload)
+	ino := d.U64()
+	d.I64() // size, informational
+	if err := d.Finish("fileref"); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// blockRefs converts the inode's current state into store references:
+// cached-and-dirty pages must be written by the caller; clean backing
+// pages are returned for zero-copy re-reference.
+func (in *Inode) blockRefs() map[int64]objstore.BlockRef {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[int64]objstore.BlockRef, len(in.backing))
+	for idx, ref := range in.backing {
+		out[idx] = ref
+	}
+	return out
+}

@@ -1,0 +1,508 @@
+// Package slsfs implements the Aurora file system: a POSIX-style file
+// API layered directly over the object store.
+//
+// The file system exists to keep file state and process state in one
+// store so a single checkpoint covers both. It provides what the
+// paper highlights:
+//
+//   - zero-copy snapshots and clones: a snapshot is an object-store
+//     manifest; a clone is a new namespace resolving against an
+//     existing snapshot, sharing every data block by reference;
+//   - correct handling of unlinked-but-open (anonymous) files: an
+//     on-disk open reference count keeps their inodes alive across
+//     crash and restore, where an ordinary POSIX file system would
+//     reclaim them and strand the restored application; and
+//   - incremental flushing: only pages dirtied since the previous
+//     snapshot are rewritten.
+//
+// Files implement kernel.OpenFile, so simulated processes read and
+// write them through ordinary descriptors.
+package slsfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"aurora/internal/codec"
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/vm"
+)
+
+// Errors returned by the file system.
+var (
+	ErrNotExist = errors.New("slsfs: no such file or directory")
+	ErrExist    = errors.New("slsfs: file exists")
+	ErrIsDir    = errors.New("slsfs: is a directory")
+	ErrNotDir   = errors.New("slsfs: not a directory")
+	ErrNotEmpty = errors.New("slsfs: directory not empty")
+	ErrBadPath  = errors.New("slsfs: bad path")
+)
+
+// Object kinds used in the store for file-system records.
+const (
+	KindFSFile      kernel.Kind = 32
+	KindFSNamespace kernel.Kind = 33
+)
+
+// inoBit tags file-system OIDs so they never collide with kernel OIDs
+// in a shared store.
+const inoBit = uint64(1) << 62
+
+// nsOID is the reserved OID of the namespace record.
+const nsOID = inoBit | 1
+
+// Mode distinguishes files from directories.
+type Mode uint8
+
+// Inode modes.
+const (
+	ModeFile Mode = iota
+	ModeDir
+)
+
+// Inode is one file or directory.
+type Inode struct {
+	Ino   uint64
+	Mode  Mode
+	Nlink int // namespace links
+	// OpenRefs is the persistent open reference count: the number of
+	// descriptor-table references that survive in checkpoints. An
+	// unlinked inode stays alive while OpenRefs > 0.
+	OpenRefs int
+
+	mu    sync.Mutex
+	size  int64
+	pages map[int64][]byte // buffer cache
+	dirty map[int64]bool   // pages modified since last snapshot
+	// backing maps pages to store blocks for lazily loaded inodes
+	// (clones and snapshot restores fault data in on demand).
+	backing map[int64]objstore.BlockRef
+	// children is the directory table for ModeDir inodes.
+	children map[string]uint64
+	// flushedEpoch is the last snapshot epoch this inode was written
+	// to (0 = never flushed into the current group).
+	flushedEpoch uint64
+	// metaDirty marks metadata changes (links, open refs, size) that
+	// must reach the next snapshot even with no page writes.
+	metaDirty bool
+}
+
+// FS is a mounted Aurora file system.
+type FS struct {
+	store *objstore.Store
+	group uint64
+
+	mu      sync.Mutex
+	inodes  map[uint64]*Inode
+	nextIno uint64
+	epoch   uint64
+	rootIno uint64
+	nsDirty bool
+}
+
+// New creates an empty file system that will snapshot into the given
+// object-store group.
+func New(store *objstore.Store, group uint64) *FS {
+	fs := &FS{
+		store:   store,
+		group:   group,
+		inodes:  make(map[uint64]*Inode),
+		nextIno: 2,
+	}
+	root := fs.newInode(ModeDir)
+	root.Nlink = 1
+	fs.rootIno = root.Ino
+	fs.nsDirty = true
+	return fs
+}
+
+// Store returns the backing object store.
+func (fs *FS) Store() *objstore.Store { return fs.store }
+
+// Group returns the store group the file system snapshots into.
+func (fs *FS) Group() uint64 { return fs.group }
+
+// Epoch returns the snapshot epoch counter.
+func (fs *FS) Epoch() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.epoch
+}
+
+func (fs *FS) newInode(mode Mode) *Inode {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino := inoBit | fs.nextIno
+	fs.nextIno++
+	in := &Inode{
+		Ino:     ino,
+		Mode:    mode,
+		pages:   make(map[int64][]byte),
+		dirty:   make(map[int64]bool),
+		backing: make(map[int64]objstore.BlockRef),
+	}
+	if mode == ModeDir {
+		in.children = make(map[string]uint64)
+	}
+	fs.inodes[ino] = in
+	return in
+}
+
+func (fs *FS) inode(ino uint64) *Inode {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.inodes[ino]
+}
+
+// splitPath normalizes and splits an absolute path.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrBadPath
+	}
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			return nil, ErrBadPath
+		default:
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// walk resolves a path to (parent dir inode, leaf name, leaf inode).
+// The leaf inode is nil if the entry does not exist.
+func (fs *FS) walk(path string) (*Inode, string, *Inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	dir := fs.inode(fs.rootIno)
+	if len(parts) == 0 {
+		return nil, "", dir, nil
+	}
+	for i := 0; i < len(parts)-1; i++ {
+		dir.mu.Lock()
+		childIno, ok := dir.children[parts[i]]
+		dir.mu.Unlock()
+		if !ok {
+			return nil, "", nil, ErrNotExist
+		}
+		child := fs.inode(childIno)
+		if child == nil || child.Mode != ModeDir {
+			return nil, "", nil, ErrNotDir
+		}
+		dir = child
+	}
+	leaf := parts[len(parts)-1]
+	dir.mu.Lock()
+	childIno, ok := dir.children[leaf]
+	dir.mu.Unlock()
+	if !ok {
+		return dir, leaf, nil, nil
+	}
+	return dir, leaf, fs.inode(childIno), nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(path string) error {
+	dir, name, leaf, err := fs.walk(path)
+	if err != nil {
+		return err
+	}
+	if leaf != nil {
+		return ErrExist
+	}
+	if dir == nil {
+		return ErrBadPath
+	}
+	child := fs.newInode(ModeDir)
+	child.Nlink = 1
+	dir.mu.Lock()
+	dir.children[name] = child.Ino
+	dir.mu.Unlock()
+	fs.markNSDirty()
+	return nil
+}
+
+// Create creates (or truncates) a regular file and opens it.
+func (fs *FS) Create(path string) (*File, error) {
+	dir, name, leaf, err := fs.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if dir == nil {
+		return nil, ErrIsDir
+	}
+	if leaf != nil {
+		if leaf.Mode == ModeDir {
+			return nil, ErrIsDir
+		}
+		leaf.truncate(0)
+		fs.markNSDirty()
+		return fs.open(leaf), nil
+	}
+	in := fs.newInode(ModeFile)
+	in.Nlink = 1
+	dir.mu.Lock()
+	dir.children[name] = in.Ino
+	dir.mu.Unlock()
+	fs.markNSDirty()
+	return fs.open(in), nil
+}
+
+// Open opens an existing regular file.
+func (fs *FS) Open(path string) (*File, error) {
+	_, _, leaf, err := fs.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if leaf == nil {
+		return nil, ErrNotExist
+	}
+	if leaf.Mode == ModeDir {
+		return nil, ErrIsDir
+	}
+	return fs.open(leaf), nil
+}
+
+func (fs *FS) open(in *Inode) *File {
+	in.mu.Lock()
+	in.OpenRefs++
+	in.metaDirty = true
+	in.mu.Unlock()
+	fs.markNSDirty()
+	return &File{fs: fs, in: in}
+}
+
+// OpenOrphan reopens an unlinked-but-open inode by number; restored
+// descriptor tables use this to reattach to anonymous files.
+func (fs *FS) OpenOrphan(ino uint64) (*File, error) {
+	in := fs.inode(ino)
+	if in == nil {
+		return nil, ErrNotExist
+	}
+	return fs.open(in), nil
+}
+
+// Unlink removes a file's name. The inode survives while open
+// descriptors (including checkpointed ones) reference it.
+func (fs *FS) Unlink(path string) error {
+	dir, name, leaf, err := fs.walk(path)
+	if err != nil {
+		return err
+	}
+	if leaf == nil {
+		return ErrNotExist
+	}
+	if leaf.Mode == ModeDir {
+		return ErrIsDir
+	}
+	dir.mu.Lock()
+	delete(dir.children, name)
+	dir.mu.Unlock()
+	leaf.mu.Lock()
+	leaf.Nlink--
+	leaf.metaDirty = true
+	drop := leaf.Nlink <= 0 && leaf.OpenRefs <= 0
+	leaf.mu.Unlock()
+	if drop {
+		fs.dropInode(leaf.Ino)
+	}
+	fs.markNSDirty()
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error {
+	dir, name, leaf, err := fs.walk(path)
+	if err != nil {
+		return err
+	}
+	if leaf == nil {
+		return ErrNotExist
+	}
+	if leaf.Mode != ModeDir {
+		return ErrNotDir
+	}
+	leaf.mu.Lock()
+	empty := len(leaf.children) == 0
+	leaf.mu.Unlock()
+	if !empty {
+		return ErrNotEmpty
+	}
+	dir.mu.Lock()
+	delete(dir.children, name)
+	dir.mu.Unlock()
+	fs.dropInode(leaf.Ino)
+	fs.markNSDirty()
+	return nil
+}
+
+// Rename moves a file or directory.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	oldDir, oldName, leaf, err := fs.walk(oldPath)
+	if err != nil {
+		return err
+	}
+	if leaf == nil {
+		return ErrNotExist
+	}
+	newDir, newName, existing, err := fs.walk(newPath)
+	if err != nil {
+		return err
+	}
+	if existing != nil {
+		return ErrExist
+	}
+	if newDir == nil {
+		return ErrBadPath
+	}
+	oldDir.mu.Lock()
+	delete(oldDir.children, oldName)
+	oldDir.mu.Unlock()
+	newDir.mu.Lock()
+	newDir.children[newName] = leaf.Ino
+	newDir.mu.Unlock()
+	fs.markNSDirty()
+	return nil
+}
+
+// ReadDir lists a directory's entries in order.
+func (fs *FS) ReadDir(path string) ([]string, error) {
+	_, _, leaf, err := fs.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if leaf == nil {
+		return nil, ErrNotExist
+	}
+	if leaf.Mode != ModeDir {
+		return nil, ErrNotDir
+	}
+	leaf.mu.Lock()
+	defer leaf.mu.Unlock()
+	out := make([]string, 0, len(leaf.children))
+	for name := range leaf.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stat reports (size, mode) of a path.
+func (fs *FS) Stat(path string) (int64, Mode, error) {
+	_, _, leaf, err := fs.walk(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if leaf == nil {
+		return 0, 0, ErrNotExist
+	}
+	leaf.mu.Lock()
+	defer leaf.mu.Unlock()
+	return leaf.size, leaf.Mode, nil
+}
+
+func (fs *FS) dropInode(ino uint64) {
+	fs.mu.Lock()
+	delete(fs.inodes, ino)
+	fs.mu.Unlock()
+}
+
+func (fs *FS) markNSDirty() {
+	fs.mu.Lock()
+	fs.nsDirty = true
+	fs.mu.Unlock()
+}
+
+// --- inode data plane ---
+
+func (in *Inode) truncate(size int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if size < in.size {
+		first := (size + vm.PageSize - 1) >> vm.PageShift
+		for idx := range in.pages {
+			if idx >= first {
+				delete(in.pages, idx)
+				delete(in.dirty, idx)
+			}
+		}
+		for idx := range in.backing {
+			if idx >= first {
+				delete(in.backing, idx)
+			}
+		}
+	}
+	in.size = size
+	in.metaDirty = true
+}
+
+// WriteAt writes p at offset off, extending the file as needed.
+func (in *Inode) WriteAt(p []byte, off int64) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for n < len(p) {
+		idx := (off + int64(n)) >> vm.PageShift
+		po := (off + int64(n)) & vm.PageMask
+		span := int(vm.PageSize - po)
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		pg, ok := in.pages[idx]
+		if !ok {
+			pg = make([]byte, vm.PageSize)
+			in.pages[idx] = pg
+		}
+		copy(pg[po:po+int64(span)], p[n:n+span])
+		in.dirty[idx] = true
+		n += span
+	}
+	if end := off + int64(len(p)); end > in.size {
+		in.size = end
+	}
+	return n, nil
+}
+
+// Size returns the file size.
+func (in *Inode) Size() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.size
+}
+
+func decodeInodeMeta(meta []byte) (*Inode, error) {
+	d := codec.NewDecoder(meta)
+	in := &Inode{
+		Ino:     d.U64(),
+		Mode:    Mode(d.U8()),
+		pages:   make(map[int64][]byte),
+		dirty:   make(map[int64]bool),
+		backing: make(map[int64]objstore.BlockRef),
+	}
+	in.Nlink = int(d.I64())
+	in.OpenRefs = int(d.I64())
+	in.size = d.I64()
+	if in.Mode == ModeDir {
+		in.children = make(map[string]uint64)
+	}
+	if err := d.Finish("inode"); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// String describes the file system for diagnostics.
+func (fs *FS) String() string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fmt.Sprintf("slsfs(group=%d, %d inodes, epoch=%d)", fs.group, len(fs.inodes), fs.epoch)
+}

@@ -1,0 +1,275 @@
+package slsfs
+
+import (
+	"fmt"
+
+	"aurora/internal/codec"
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+)
+
+// This file implements snapshots: zero-copy captures of the whole
+// namespace into the object store, plus Load (mount a snapshot) and
+// Clone (fork a writable file system off a snapshot without copying
+// data).
+
+// encodeNamespace serializes the directory structure, the inode
+// liveness set (including unlinked-but-open orphans) and allocator
+// state.
+func (fs *FS) encodeNamespace() []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e := codec.NewEncoder()
+	e.U64(fs.rootIno)
+	e.U64(fs.nextIno)
+	// Live inodes (directories carry their tables).
+	e.U64(uint64(len(fs.inodes)))
+	for ino, in := range fs.inodes {
+		e.U64(ino)
+		in.mu.Lock()
+		if in.Mode == ModeDir {
+			e.U8(1)
+			e.U64(uint64(len(in.children)))
+			for name, child := range in.children {
+				e.Str(name)
+				e.U64(child)
+			}
+		} else {
+			e.U8(0)
+		}
+		in.mu.Unlock()
+	}
+	return e.Bytes()
+}
+
+// Snapshot flushes all dirty state and records a checkpoint manifest.
+// Only pages dirtied since the last snapshot are written (and even
+// those deduplicate); clean pages are re-referenced, never copied.
+// It returns the snapshot's epoch.
+func (fs *FS) Snapshot(name string) (uint64, error) {
+	fs.mu.Lock()
+	fs.epoch++
+	epoch := fs.epoch
+	prev := epoch - 1
+	inodes := make([]*Inode, 0, len(fs.inodes))
+	for _, in := range fs.inodes {
+		inodes = append(inodes, in)
+	}
+	fs.nsDirty = false
+	fs.mu.Unlock()
+
+	var recs []objstore.RecordKey
+	for _, in := range inodes {
+		key, wrote, err := fs.flushInode(in, epoch)
+		if err != nil {
+			return 0, err
+		}
+		if wrote {
+			recs = append(recs, key)
+		}
+	}
+
+	// Namespace record: always written, it is small and anchors the
+	// epoch.
+	nsMeta := fs.encodeNamespace()
+	if _, err := fs.store.PutRecord(nsOID, epoch, uint16(KindFSNamespace), true, nsMeta, nil, nil); err != nil {
+		return 0, err
+	}
+	recs = append(recs, objstore.RecordKey{OID: nsOID, Epoch: epoch})
+
+	m := &objstore.Manifest{
+		Group:   fs.group,
+		Epoch:   epoch,
+		Name:    name,
+		Records: recs,
+		Roots:   []uint64{nsOID},
+	}
+	if epoch > 1 {
+		m.Prev = prev
+	}
+	fs.store.PutManifest(m)
+	return epoch, nil
+}
+
+// flushInode writes one inode's record for the epoch. The first
+// record of an inode is full (dirty pages + re-referenced backing);
+// later records are deltas carrying only dirty pages.
+func (fs *FS) flushInode(in *Inode, epoch uint64) (objstore.RecordKey, bool, error) {
+	key := objstore.RecordKey{OID: in.Ino, Epoch: epoch}
+
+	in.mu.Lock()
+	everFlushed := in.flushedEpoch != 0
+	dirtyPages := make(map[int64][]byte, len(in.dirty))
+	for idx := range in.dirty {
+		if pg, ok := in.pages[idx]; ok {
+			dirtyPages[idx] = pg
+		}
+	}
+	meta := fs.encodeInodeMetaLocked(in)
+	nsChanged := in.metaDirty
+	in.mu.Unlock()
+
+	if everFlushed && len(dirtyPages) == 0 && !nsChanged {
+		return key, false, nil // idle inode: no record this epoch
+	}
+
+	if !everFlushed {
+		// Full record: dirty pages written, clean backing re-referenced
+		// (zero-copy).
+		clean := make(map[int64]objstore.BlockRef)
+		for idx, ref := range in.blockRefs() {
+			if _, isDirty := dirtyPages[idx]; !isDirty {
+				clean[idx] = ref
+			}
+		}
+		if _, err := fs.store.PutRecordMixed(in.Ino, epoch, uint16(KindFSFile), true, meta, dirtyPages, clean, nil); err != nil {
+			return key, false, err
+		}
+	} else {
+		if _, err := fs.store.PutRecord(in.Ino, epoch, uint16(KindFSFile), false, meta, dirtyPages, nil); err != nil {
+			return key, false, err
+		}
+	}
+
+	in.mu.Lock()
+	// Flushed pages become part of the backing image; the cache keeps
+	// them for reads but they are clean now.
+	in.dirty = make(map[int64]bool)
+	in.metaDirty = false
+	in.flushedEpoch = epoch
+	in.mu.Unlock()
+	return key, true, nil
+}
+
+// encodeInodeMetaLocked builds the metadata payload; caller holds in.mu.
+func (fs *FS) encodeInodeMetaLocked(in *Inode) []byte {
+	e := codec.NewEncoder()
+	e.U64(in.Ino)
+	e.U8(uint8(in.Mode))
+	e.I64(int64(in.Nlink))
+	e.I64(int64(in.OpenRefs))
+	e.I64(in.size)
+	return e.Bytes()
+}
+
+// Load mounts the snapshot identified by epoch from the store,
+// rebuilding the namespace and wiring every file's pages to its
+// store blocks for lazy, zero-copy access.
+func Load(store *objstore.Store, group, epoch uint64) (*FS, error) {
+	nsMeta, kind, err := store.ResolveMeta(group, nsOID, epoch)
+	if err != nil {
+		return nil, fmt.Errorf("slsfs: loading namespace: %w", err)
+	}
+	if kernel.Kind(kind) != KindFSNamespace {
+		return nil, fmt.Errorf("slsfs: namespace record has kind %d", kind)
+	}
+	fs := &FS{
+		store:  store,
+		group:  group,
+		epoch:  epoch,
+		inodes: make(map[uint64]*Inode),
+	}
+
+	d := codec.NewDecoder(nsMeta)
+	fs.rootIno = d.U64()
+	fs.nextIno = d.U64()
+	type dirTable struct {
+		ino     uint64
+		entries map[string]uint64
+	}
+	var dirs []dirTable
+	var files []uint64
+	n := d.U64()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		ino := d.U64()
+		if d.U8() == 1 {
+			dt := dirTable{ino: ino, entries: make(map[string]uint64)}
+			ne := d.U64()
+			for j := uint64(0); j < ne && d.Err() == nil; j++ {
+				name := d.Str()
+				dt.entries[name] = d.U64()
+			}
+			dirs = append(dirs, dt)
+		} else {
+			files = append(files, ino)
+		}
+	}
+	if err := d.Finish("slsfs namespace"); err != nil {
+		return nil, err
+	}
+
+	loadInode := func(ino uint64) (*Inode, error) {
+		meta, _, err := store.ResolveMeta(group, ino, epoch)
+		if err != nil {
+			return nil, fmt.Errorf("slsfs: inode %d: %w", ino, err)
+		}
+		in, err := decodeInodeMeta(meta)
+		if err != nil {
+			return nil, err
+		}
+		in.flushedEpoch = epoch
+		if in.Mode == ModeFile {
+			pages, _, err := store.ResolvePages(group, ino, epoch)
+			if err == nil {
+				in.backing = pages
+			}
+		}
+		fs.inodes[ino] = in
+		return in, nil
+	}
+	for _, ino := range files {
+		if _, err := loadInode(ino); err != nil {
+			return nil, err
+		}
+	}
+	for _, dt := range dirs {
+		in, err := loadInode(dt.ino)
+		if err != nil {
+			return nil, err
+		}
+		in.children = dt.entries
+	}
+	return fs, nil
+}
+
+// LoadNamed mounts a named snapshot.
+func LoadNamed(store *objstore.Store, name string) (*FS, error) {
+	m, err := store.NamedManifest(name)
+	if err != nil {
+		return nil, err
+	}
+	return Load(store, m.Group, m.Epoch)
+}
+
+// LoadLatest mounts a group's most recent snapshot.
+func LoadLatest(store *objstore.Store, group uint64) (*FS, error) {
+	m, err := store.LatestManifest(group)
+	if err != nil {
+		return nil, err
+	}
+	return Load(store, group, m.Epoch)
+}
+
+// Clone forks a writable file system into a new store group from an
+// existing snapshot. No file data is copied: the clone's inodes
+// reference the snapshot's blocks and copy up only on write. The
+// clone's first snapshot re-references those blocks in its own group.
+func Clone(store *objstore.Store, fromGroup, epoch, newGroup uint64) (*FS, error) {
+	src, err := Load(store, fromGroup, epoch)
+	if err != nil {
+		return nil, err
+	}
+	src.group = newGroup
+	src.epoch = 0
+	// Every inode must flush fully into the new group on the first
+	// snapshot (references, not copies).
+	src.mu.Lock()
+	for _, in := range src.inodes {
+		in.mu.Lock()
+		in.flushedEpoch = 0
+		in.mu.Unlock()
+	}
+	src.nsDirty = true
+	src.mu.Unlock()
+	return src, nil
+}

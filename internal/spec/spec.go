@@ -1,0 +1,109 @@
+// Package spec implements application-level speculation on Aurora's
+// rollback primitive (§4 of the paper): a client can execute as if an
+// operation succeeded — e.g. assume a server received its data,
+// saving a round trip — and, if the operation later fails, roll the
+// whole application back to the pre-speculation checkpoint. Aurora
+// notifies the application of the rollback so it can retry along a
+// conservative path.
+package spec
+
+import (
+	"errors"
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+)
+
+// ErrNoSpeculation is returned by Commit/Abort without a Begin.
+var ErrNoSpeculation = errors.New("spec: no speculation in progress")
+
+// Outcome reports how a speculation ended.
+type Outcome int
+
+// Outcomes.
+const (
+	Committed Outcome = iota
+	Aborted
+)
+
+// Speculator manages speculation epochs for one persistence group.
+type Speculator struct {
+	api *core.API
+
+	mu     sync.Mutex
+	active bool
+	epoch  uint64
+	// OnRollback, if set, is invoked with the rollback notice after an
+	// abort — the application's cue to take the conservative path.
+	OnRollback func(*core.RollbackNotice)
+
+	commits int
+	aborts  int
+}
+
+// New creates a speculator over the API.
+func New(api *core.API) *Speculator { return &Speculator{api: api} }
+
+// Begin opens a speculation: an ephemeral checkpoint (memory image,
+// no flush) marks the state to return to on failure.
+func (s *Speculator) Begin(p *kernel.Process) error {
+	bd, err := s.api.O.Checkpoint(mustGroup(s.api, p), core.CheckpointOpts{SkipFlush: true, Name: "speculation"})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.active = true
+	s.epoch = bd.Epoch
+	s.mu.Unlock()
+	return nil
+}
+
+func mustGroup(api *core.API, p *kernel.Process) *core.Group {
+	g, _ := api.O.GroupOfProcess(p.PID)
+	return g
+}
+
+// Commit resolves the speculation successfully; execution continues
+// and the speculation point is simply forgotten.
+func (s *Speculator) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active {
+		return ErrNoSpeculation
+	}
+	s.active = false
+	s.commits++
+	return nil
+}
+
+// Abort rolls the application back to the speculation point. The
+// restored group replaces the current one; the rollback notice is
+// delivered to OnRollback and returned.
+func (s *Speculator) Abort(p *kernel.Process) (*core.Group, *core.RollbackNotice, error) {
+	s.mu.Lock()
+	if !s.active {
+		s.mu.Unlock()
+		return nil, nil, ErrNoSpeculation
+	}
+	s.active = false
+	s.aborts++
+	cb := s.OnRollback
+	s.mu.Unlock()
+
+	ng, notice, err := s.api.Rollback(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cb != nil {
+		cb(notice)
+	}
+	return ng, notice, nil
+}
+
+// Stats reports (commits, aborts).
+func (s *Speculator) Stats() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commits, s.aborts
+}

@@ -1,0 +1,130 @@
+package spec
+
+import (
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+func fixture(t *testing.T) (*kernel.Kernel, *core.API, *kernel.Process) {
+	t.Helper()
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	api := core.NewAPI(o)
+	p, _ := k.Spawn(0, "client")
+	p.SetProgram(&kernel.FuncProgram{Name: "idle", Fn: func(*kernel.Kernel, *kernel.Process, *kernel.Thread) error { return nil }})
+	kernel.RegisterProgram("idle", func(*kernel.Kernel, *kernel.Process, []byte) (kernel.Program, error) {
+		return &kernel.FuncProgram{Name: "idle", Fn: func(*kernel.Kernel, *kernel.Process, *kernel.Thread) error { return nil }}, nil
+	})
+	g, _ := o.Persist("client", p)
+	o.Attach(g, core.NewMemoryBackend(k.Mem, 8))
+	return k, api, p
+}
+
+func TestCommitKeepsSpeculativeState(t *testing.T) {
+	_, api, p := fixture(t)
+	s := New(api)
+
+	p.WriteMem(p.HeapBase(), []byte("base"))
+	if err := s.Begin(p); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteMem(p.HeapBase(), []byte("spec")) // speculative write
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	p.ReadMem(p.HeapBase(), got)
+	if string(got) != "spec" {
+		t.Fatalf("state after commit = %q", got)
+	}
+	c, a := s.Stats()
+	if c != 1 || a != 0 {
+		t.Fatalf("stats = %d/%d", c, a)
+	}
+}
+
+func TestAbortRollsBackAndNotifies(t *testing.T) {
+	k, api, p := fixture(t)
+	s := New(api)
+	var notified *core.RollbackNotice
+	s.OnRollback = func(n *core.RollbackNotice) { notified = n }
+
+	p.WriteMem(p.HeapBase(), []byte("base"))
+	if err := s.Begin(p); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteMem(p.HeapBase(), []byte("spec"))
+
+	ng, notice, err := s.Abort(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notice == nil || notified != notice {
+		t.Fatal("rollback notification not delivered")
+	}
+	np, _ := k.Process(ng.PIDs()[0])
+	got := make([]byte, 4)
+	np.ReadMem(np.HeapBase(), got)
+	if string(got) != "base" {
+		t.Fatalf("state after abort = %q, want pre-speculation", got)
+	}
+}
+
+func TestAbortWithoutBegin(t *testing.T) {
+	_, api, p := fixture(t)
+	s := New(api)
+	if _, _, err := s.Abort(p); err != ErrNoSpeculation {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Commit(); err != ErrNoSpeculation {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSpeculativeSendPattern models the paper's example: a client
+// sends data assuming success; on failure it rolls back to before the
+// send and retries conservatively.
+func TestSpeculativeSendPattern(t *testing.T) {
+	k, api, p := fixture(t)
+	s := New(api)
+
+	attempt := func(proc *kernel.Process, transferOK bool) (*kernel.Process, bool) {
+		s.Begin(proc)
+		proc.WriteMem(proc.HeapBase(), []byte("sent-optimistically"))
+		if transferOK {
+			s.Commit()
+			return proc, true
+		}
+		ng, _, err := s.Abort(proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, _ := k.Process(ng.PIDs()[0])
+		return np, false
+	}
+
+	// First attempt fails: state rewinds.
+	np, ok := attempt(p, false)
+	if ok {
+		t.Fatal("expected failure")
+	}
+	got := make([]byte, 19)
+	np.ReadMem(np.HeapBase(), got)
+	if string(got[:4]) == "sent" {
+		t.Fatal("speculative write survived abort")
+	}
+	// Retry on the restored incarnation succeeds.
+	np2, ok := attempt(np, true)
+	if !ok {
+		t.Fatal("expected success")
+	}
+	np2.ReadMem(np2.HeapBase(), got)
+	if string(got) != "sent-optimistically" {
+		t.Fatalf("committed state = %q", got)
+	}
+}

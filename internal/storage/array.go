@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Array stripes I/O across several member devices, modeling the
+// paper's testbed of four Optane NVMe drives. Bandwidth aggregates
+// across members while latency stays that of a single device; large
+// transfers are split into per-member chunks at stripe granularity.
+type Array struct {
+	members []Device
+	stripe  int64
+	params  DeviceParams
+}
+
+// NewArray builds a striped array. All members should share a block
+// size; the stripe unit defaults to 64 KiB when stripe <= 0.
+func NewArray(members []Device, stripe int64) (*Array, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("storage: array needs at least one member")
+	}
+	if stripe <= 0 {
+		stripe = 64 << 10
+	}
+	p := members[0].Params()
+	agg := p
+	agg.Name = fmt.Sprintf("array[%dx%s]", len(members), p.Name)
+	agg.ReadBW = p.ReadBW * int64(len(members))
+	agg.WriteBW = p.WriteBW * int64(len(members))
+	agg.QueueDepth = p.QueueDepth * len(members)
+	if p.Capacity > 0 {
+		agg.Capacity = p.Capacity * int64(len(members))
+	}
+	return &Array{members: members, stripe: stripe, params: agg}, nil
+}
+
+// Params returns the aggregate performance envelope.
+func (a *Array) Params() DeviceParams { return a.params }
+
+// Stats sums the members' counters.
+func (a *Array) Stats() DeviceStats {
+	var s DeviceStats
+	for _, m := range a.members {
+		ms := m.Stats()
+		s.Reads += ms.Reads
+		s.Writes += ms.Writes
+		s.Syncs += ms.Syncs
+		s.BytesRead += ms.BytesRead
+		s.BytesWritten += ms.BytesWritten
+		if ms.Busy > s.Busy {
+			s.Busy = ms.Busy // members operate in parallel
+		}
+	}
+	return s
+}
+
+// locate maps a logical offset to (member, member offset).
+func (a *Array) locate(off int64) (int, int64) {
+	stripeIdx := off / a.stripe
+	member := int(stripeIdx % int64(len(a.members)))
+	memberStripe := stripeIdx / int64(len(a.members))
+	return member, memberStripe*a.stripe + off%a.stripe
+}
+
+// ReadAt implements Device, charging the max of the per-member costs
+// since members operate in parallel.
+func (a *Array) ReadAt(p []byte, off int64) (time.Duration, error) {
+	return a.forEachChunk(p, off, func(m Device, chunk []byte, moff int64) (time.Duration, error) {
+		return m.ReadAt(chunk, moff)
+	})
+}
+
+// WriteAt implements Device.
+func (a *Array) WriteAt(p []byte, off int64) (time.Duration, error) {
+	return a.forEachChunk(p, off, func(m Device, chunk []byte, moff int64) (time.Duration, error) {
+		return m.WriteAt(chunk, moff)
+	})
+}
+
+func (a *Array) forEachChunk(p []byte, off int64, op func(Device, []byte, int64) (time.Duration, error)) (time.Duration, error) {
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	var worst time.Duration
+	for n := 0; n < len(p); {
+		member, moff := a.locate(off + int64(n))
+		span := int(a.stripe - (off+int64(n))%a.stripe)
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		cost, err := op(a.members[member], p[n:n+span], moff)
+		if err != nil {
+			return worst, err
+		}
+		if cost > worst {
+			worst = cost
+		}
+		n += span
+	}
+	return worst, nil
+}
+
+// ReadBatch implements Device: extents scatter across members by the
+// striping function and each member overlaps its share at its own
+// queue depth; the cost is the slowest member.
+func (a *Array) ReadBatch(bufs [][]byte, offs []int64) (time.Duration, error) {
+	if len(bufs) != len(offs) {
+		return 0, ErrBadOffset
+	}
+	memberBufs := make([][][]byte, len(a.members))
+	memberOffs := make([][]int64, len(a.members))
+	for i, p := range bufs {
+		// Split each extent at stripe boundaries.
+		off := offs[i]
+		for n := 0; n < len(p); {
+			member, moff := a.locate(off + int64(n))
+			span := int(a.stripe - (off+int64(n))%a.stripe)
+			if span > len(p)-n {
+				span = len(p) - n
+			}
+			memberBufs[member] = append(memberBufs[member], p[n:n+span])
+			memberOffs[member] = append(memberOffs[member], moff)
+			n += span
+		}
+	}
+	var worst time.Duration
+	for m := range a.members {
+		if len(memberBufs[m]) == 0 {
+			continue
+		}
+		c, err := a.members[m].ReadBatch(memberBufs[m], memberOffs[m])
+		if err != nil {
+			return worst, err
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// Sync flushes every member; the modeled cost is the slowest member.
+func (a *Array) Sync() (time.Duration, error) {
+	var worst time.Duration
+	for _, m := range a.members {
+		c, err := m.Sync()
+		if err != nil {
+			return worst, err
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// NewOptaneArray builds the paper's testbed storage: n Optane 900P
+// class NVMe devices striped together on a shared clock.
+func NewOptaneArray(n int, clock *Clock) *Array {
+	members := make([]Device, n)
+	for i := range members {
+		p := ParamsOptaneNVMe
+		p.Name = fmt.Sprintf("nvme%d", i)
+		members[i] = NewMemDevice(p, clock)
+	}
+	a, err := NewArray(members, 64<<10)
+	if err != nil {
+		panic(err) // unreachable: n >= 1 enforced by callers
+	}
+	return a
+}

@@ -1,0 +1,321 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common device errors.
+var (
+	// ErrOutOfSpace is returned when a bounded device is full.
+	ErrOutOfSpace = errors.New("storage: device out of space")
+	// ErrBadOffset is returned for negative or misaligned offsets.
+	ErrBadOffset = errors.New("storage: bad offset")
+	// ErrClosed is returned after a device has been closed.
+	ErrClosed = errors.New("storage: device closed")
+)
+
+// Device is a simulated block device. Reads and writes move real bytes
+// and additionally charge a modeled cost to the device's Clock. Offsets
+// are arbitrary byte offsets; devices store data sparsely so petabyte
+// address spaces cost only what is written.
+//
+// Cost accounting: every operation returns the modeled time the
+// operation occupied the device. Callers that overlap I/O (async
+// flushers) divide by the effective queue depth themselves via the
+// Batch helper.
+type Device interface {
+	// ReadAt reads len(p) bytes at off. Unwritten regions read as zero.
+	ReadAt(p []byte, off int64) (time.Duration, error)
+	// WriteAt writes len(p) bytes at off.
+	WriteAt(p []byte, off int64) (time.Duration, error)
+	// ReadBatch reads several extents concurrently at the device's
+	// queue depth: the modeled cost divides by the effective
+	// parallelism, which is how NVMe hardware actually behaves and
+	// what makes bulk image reads fast.
+	ReadBatch(bufs [][]byte, offs []int64) (time.Duration, error)
+	// Sync models a durability barrier (e.g. a flush/FUA) and returns
+	// its cost.
+	Sync() (time.Duration, error)
+	// Params returns the device's performance envelope.
+	Params() DeviceParams
+	// Stats returns cumulative operation counters.
+	Stats() DeviceStats
+}
+
+// DeviceStats are cumulative counters for a device.
+type DeviceStats struct {
+	Reads        int64
+	Writes       int64
+	Syncs        int64
+	BytesRead    int64
+	BytesWritten int64
+	Busy         time.Duration // total modeled device-busy time
+}
+
+// MemDevice is the standard Device implementation: a sparse in-memory
+// block store plus the cost model from its DeviceParams. It is safe for
+// concurrent use.
+type MemDevice struct {
+	params DeviceParams
+	clock  *Clock
+
+	mu     sync.RWMutex
+	blocks map[int64][]byte // block index -> block contents
+	used   int64            // bytes resident
+	closed bool
+	stats  DeviceStats
+}
+
+// NewMemDevice creates a device with the given performance profile.
+// The clock may be shared among many devices; it is advanced by the
+// modeled cost of every operation performed synchronously.
+func NewMemDevice(params DeviceParams, clock *Clock) *MemDevice {
+	if params.BlockSize <= 0 {
+		params.BlockSize = 4096
+	}
+	return &MemDevice{
+		params: params,
+		clock:  clock,
+		blocks: make(map[int64][]byte),
+	}
+}
+
+// Params returns the device's performance envelope.
+func (d *MemDevice) Params() DeviceParams { return d.params }
+
+// Stats returns a snapshot of the cumulative counters.
+func (d *MemDevice) Stats() DeviceStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}
+
+// Resident returns the number of bytes physically resident on the
+// device (sparse regions excluded).
+func (d *MemDevice) Resident() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.used
+}
+
+// Close marks the device closed; subsequent operations fail.
+func (d *MemDevice) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+}
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(p []byte, off int64) (time.Duration, error) {
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	bs := int64(d.params.BlockSize)
+	for n := 0; n < len(p); {
+		blk := (off + int64(n)) / bs
+		bo := (off + int64(n)) % bs
+		span := int(bs - bo)
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		if b, ok := d.blocks[blk]; ok {
+			copy(p[n:n+span], b[bo:bo+int64(span)])
+		} else {
+			zero(p[n : n+span])
+		}
+		n += span
+	}
+	d.mu.RUnlock()
+
+	cost := d.params.readCost(len(p))
+	d.account(func(s *DeviceStats) {
+		s.Reads++
+		s.BytesRead += int64(len(p))
+		s.Busy += cost
+	})
+	d.clock.Advance(cost)
+	return cost, nil
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(p []byte, off int64) (time.Duration, error) {
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if d.params.Capacity > 0 && d.used+int64(len(p)) > d.params.Capacity {
+		d.mu.Unlock()
+		return 0, ErrOutOfSpace
+	}
+	bs := int64(d.params.BlockSize)
+	for n := 0; n < len(p); {
+		blk := (off + int64(n)) / bs
+		bo := (off + int64(n)) % bs
+		span := int(bs - bo)
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		b, ok := d.blocks[blk]
+		if !ok {
+			b = make([]byte, bs)
+			d.blocks[blk] = b
+			d.used += bs
+		}
+		copy(b[bo:bo+int64(span)], p[n:n+span])
+		n += span
+	}
+	d.mu.Unlock()
+
+	cost := d.params.writeCost(len(p))
+	d.account(func(s *DeviceStats) {
+		s.Writes++
+		s.BytesWritten += int64(len(p))
+		s.Busy += cost
+	})
+	d.clock.Advance(cost)
+	return cost, nil
+}
+
+// ReadBatch implements Device: data moves like sequential ReadAt calls
+// but the modeled time overlaps requests at the queue depth.
+func (d *MemDevice) ReadBatch(bufs [][]byte, offs []int64) (time.Duration, error) {
+	if len(bufs) != len(offs) {
+		return 0, ErrBadOffset
+	}
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	bs := int64(d.params.BlockSize)
+	var bytesTotal int64
+	for i, p := range bufs {
+		off := offs[i]
+		if off < 0 {
+			d.mu.RUnlock()
+			return 0, ErrBadOffset
+		}
+		for n := 0; n < len(p); {
+			blk := (off + int64(n)) / bs
+			bo := (off + int64(n)) % bs
+			span := int(bs - bo)
+			if span > len(p)-n {
+				span = len(p) - n
+			}
+			if b, ok := d.blocks[blk]; ok {
+				copy(p[n:n+span], b[bo:bo+int64(span)])
+			} else {
+				zero(p[n : n+span])
+			}
+			n += span
+		}
+		bytesTotal += int64(len(p))
+	}
+	d.mu.RUnlock()
+
+	per := d.params.readCost(int(bytesTotal) / len(bufs))
+	cost := Batch(d.params, len(bufs), per)
+	d.account(func(s *DeviceStats) {
+		s.Reads += int64(len(bufs))
+		s.BytesRead += bytesTotal
+		s.Busy += cost
+	})
+	d.clock.Advance(cost)
+	return cost, nil
+}
+
+// Discard drops a byte range, releasing resident blocks (TRIM). Partial
+// blocks at the edges are zeroed rather than released.
+func (d *MemDevice) Discard(off, length int64) {
+	if off < 0 || length <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bs := int64(d.params.BlockSize)
+	end := off + length
+	for pos := off; pos < end; {
+		blk := pos / bs
+		bo := pos % bs
+		span := bs - bo
+		if span > end-pos {
+			span = end - pos
+		}
+		if b, ok := d.blocks[blk]; ok {
+			if bo == 0 && span == bs {
+				delete(d.blocks, blk)
+				d.used -= bs
+			} else {
+				zero(b[bo : bo+span])
+			}
+		}
+		pos += span
+	}
+}
+
+// Sync implements Device. The cost models a full-latency round trip.
+func (d *MemDevice) Sync() (time.Duration, error) {
+	d.mu.RLock()
+	closed := d.closed
+	d.mu.RUnlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	cost := d.params.Latency
+	d.account(func(s *DeviceStats) {
+		s.Syncs++
+		s.Busy += cost
+	})
+	d.clock.Advance(cost)
+	return cost, nil
+}
+
+func (d *MemDevice) account(f func(*DeviceStats)) {
+	d.mu.Lock()
+	f(&d.stats)
+	d.mu.Unlock()
+}
+
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// Batch models a group of I/Os issued concurrently at the device's
+// queue depth: the wall-clock cost of n operations of individual cost c
+// is n*c divided by the queue depth, but never less than one operation.
+func Batch(p DeviceParams, n int, each time.Duration) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	qd := p.QueueDepth
+	if qd < 1 {
+		qd = 1
+	}
+	total := time.Duration(n) * each / time.Duration(qd)
+	if total < each {
+		total = each
+	}
+	return total
+}
+
+// String describes the device for logs and harness output.
+func (d *MemDevice) String() string {
+	return fmt.Sprintf("%s(%s)", d.params.Name, d.params.Class)
+}

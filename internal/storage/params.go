@@ -1,0 +1,142 @@
+package storage
+
+import "time"
+
+// DeviceClass identifies a storage technology. It selects a latency and
+// bandwidth profile and is reported by the experiment harness.
+type DeviceClass int
+
+const (
+	// ClassDRAM models an in-memory image "device": checkpoints held in
+	// RAM, as used for debugging and speculative execution backends.
+	ClassDRAM DeviceClass = iota
+	// ClassNVDIMM models byte-addressable persistent memory.
+	ClassNVDIMM
+	// ClassOptaneNVMe models an Intel Optane 900P-class NVMe drive
+	// (the paper's testbed has four of them).
+	ClassOptaneNVMe
+	// ClassFlashNVMe models a conventional flash NVMe drive.
+	ClassFlashNVMe
+	// ClassSATASSD models a SATA solid state drive.
+	ClassSATASSD
+	// ClassHDD models a spinning disk, the technology that made
+	// historical single level stores impractical.
+	ClassHDD
+	// ClassNIC models a network interface for remote backends.
+	ClassNIC
+)
+
+// String returns the conventional name of the device class.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassDRAM:
+		return "dram"
+	case ClassNVDIMM:
+		return "nvdimm"
+	case ClassOptaneNVMe:
+		return "optane-nvme"
+	case ClassFlashNVMe:
+		return "flash-nvme"
+	case ClassSATASSD:
+		return "sata-ssd"
+	case ClassHDD:
+		return "hdd"
+	case ClassNIC:
+		return "nic"
+	default:
+		return "unknown"
+	}
+}
+
+// DeviceParams describes the performance envelope of a simulated device.
+// The cost of an I/O is Latency + ceil(bytes/Bandwidth); queue depth
+// allows that cost to overlap across concurrent requests, modeling the
+// parallelism of NVMe hardware.
+type DeviceParams struct {
+	Name       string
+	Class      DeviceClass
+	Latency    time.Duration // fixed per-operation latency
+	ReadBW     int64         // bytes per second
+	WriteBW    int64         // bytes per second
+	QueueDepth int           // concurrent in-flight operations
+	Capacity   int64         // bytes; 0 means unbounded
+	BlockSize  int           // allocation granularity in bytes
+}
+
+// Default device profiles. Latency and bandwidth figures follow the
+// hardware cited by the paper (§2): Optane SSDs with ~10 µs latency,
+// PCIe bandwidth approaching the memory bus, and DRAM two orders of
+// magnitude faster than even Optane.
+var (
+	// ParamsDRAM is an in-memory backend: ~80 ns access, ~100 GB/s.
+	ParamsDRAM = DeviceParams{
+		Name: "dram0", Class: ClassDRAM,
+		Latency: 80 * time.Nanosecond,
+		ReadBW:  100 << 30, WriteBW: 80 << 30,
+		QueueDepth: 64, BlockSize: 4096,
+	}
+	// ParamsNVDIMM models persistent memory at near-DRAM speed.
+	ParamsNVDIMM = DeviceParams{
+		Name: "nvdimm0", Class: ClassNVDIMM,
+		Latency: 300 * time.Nanosecond,
+		ReadBW:  30 << 30, WriteBW: 10 << 30,
+		QueueDepth: 32, BlockSize: 256,
+	}
+	// ParamsOptaneNVMe models a single Intel Optane 900P: 10 µs access
+	// latency, ~2.5 GB/s read and ~2.0 GB/s write bandwidth.
+	ParamsOptaneNVMe = DeviceParams{
+		Name: "nvme0", Class: ClassOptaneNVMe,
+		Latency: 10 * time.Microsecond,
+		ReadBW:  2_500 << 20, WriteBW: 2_000 << 20,
+		QueueDepth: 16, BlockSize: 4096,
+	}
+	// ParamsFlashNVMe models a conventional flash NVMe drive: higher
+	// latency than Optane but comparable sequential bandwidth.
+	ParamsFlashNVMe = DeviceParams{
+		Name: "flash0", Class: ClassFlashNVMe,
+		Latency: 80 * time.Microsecond,
+		ReadBW:  3_000 << 20, WriteBW: 1_500 << 20,
+		QueueDepth: 32, BlockSize: 4096,
+	}
+	// ParamsSATASSD models a SATA SSD.
+	ParamsSATASSD = DeviceParams{
+		Name: "ssd0", Class: ClassSATASSD,
+		Latency: 120 * time.Microsecond,
+		ReadBW:  550 << 20, WriteBW: 500 << 20,
+		QueueDepth: 8, BlockSize: 4096,
+	}
+	// ParamsNIC10G models the paper's Intel X722 10 GbE NIC as a
+	// "device": replication streams pay its latency and line rate.
+	ParamsNIC10G = DeviceParams{
+		Name: "nic0", Class: ClassNIC,
+		Latency: 40 * time.Microsecond,
+		ReadBW:  1_250 << 20, WriteBW: 1_250 << 20,
+		QueueDepth: 8, BlockSize: 1500,
+	}
+	// ParamsHDD models a 7200 RPM spinning disk with millisecond seeks —
+	// the regime in which EROS-era single level stores struggled.
+	ParamsHDD = DeviceParams{
+		Name: "hdd0", Class: ClassHDD,
+		Latency: 5 * time.Millisecond,
+		ReadBW:  180 << 20, WriteBW: 160 << 20,
+		QueueDepth: 1, BlockSize: 4096,
+	}
+)
+
+// readCost returns the modeled duration of reading n bytes.
+func (p DeviceParams) readCost(n int) time.Duration {
+	return p.Latency + bwCost(n, p.ReadBW)
+}
+
+// writeCost returns the modeled duration of writing n bytes.
+func (p DeviceParams) writeCost(n int) time.Duration {
+	return p.Latency + bwCost(n, p.WriteBW)
+}
+
+// bwCost converts a transfer size and bandwidth into a duration.
+func bwCost(n int, bw int64) time.Duration {
+	if bw <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * int64(time.Second) / bw)
+}

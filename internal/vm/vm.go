@@ -1,0 +1,213 @@
+// Package vm implements Aurora's virtual memory substrate: physical
+// frames, Mach-style VM objects with shadow chains, simulated page
+// tables, and the two copy-on-write disciplines the paper contrasts:
+//
+//   - fork-style COW, where a write fault gives the faulting process a
+//     private copy (breaking shared-memory semantics), and
+//   - Aurora's checkpoint COW, where a write fault installs a new page
+//     shared by *all* processes mapping the object while the original
+//     frame is handed to the in-flight checkpoint for flushing.
+//
+// The package also provides per-checkpoint-epoch dirty tracking (so a
+// page is never flushed twice across incremental checkpoints), a clock
+// page-replacement algorithm with heat tracking used to drive eager
+// paging on lazy restores, and swap integration.
+//
+// All memory contents are real bytes; costs (page-table manipulation,
+// fault service, page copies) are charged to a Meter so the SLS
+// orchestrator can report modeled stop-time breakdowns.
+package vm
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"aurora/internal/storage"
+)
+
+// Page geometry. Aurora uses 4 KiB pages like its FreeBSD host.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// PageIndex returns the page number containing a.
+func (a Addr) PageIndex() int64 { return int64(a >> PageShift) }
+
+// PageOffset returns the offset of a within its page.
+func (a Addr) PageOffset() int64 { return int64(a & PageMask) }
+
+// PageBase returns the page-aligned base of a.
+func (a Addr) PageBase() Addr { return a &^ Addr(PageMask) }
+
+// RoundUpPage rounds n up to a page multiple.
+func RoundUpPage(n int64) int64 { return (n + PageMask) &^ int64(PageMask) }
+
+// Errors returned by the VM layer.
+var (
+	ErrNoMapping   = errors.New("vm: address not mapped")
+	ErrProtection  = errors.New("vm: protection violation")
+	ErrMapOverlap  = errors.New("vm: mapping overlaps existing region")
+	ErrBadRange    = errors.New("vm: bad address range")
+	ErrOutOfMemory = errors.New("vm: out of physical memory")
+)
+
+// Prot is a page protection mask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// Frame is a physical page frame holding real data.
+type Frame struct {
+	Data []byte // always PageSize bytes
+	refs int32  // references from objects and checkpoint flush sets
+}
+
+// Ref adds a reference to the frame.
+func (f *Frame) Ref() { atomic.AddInt32(&f.refs, 1) }
+
+// Refs returns the current reference count.
+func (f *Frame) Refs() int32 { return atomic.LoadInt32(&f.refs) }
+
+// PhysMem is the physical frame allocator. It tracks residency so the
+// pageout daemon and the experiment harness can observe memory
+// pressure.
+type PhysMem struct {
+	maxFrames int64 // 0 = unbounded
+	allocated atomic.Int64
+	allocs    atomic.Int64
+	frees     atomic.Int64
+}
+
+// NewPhysMem creates an allocator bounded to maxFrames frames
+// (0 = unbounded).
+func NewPhysMem(maxFrames int64) *PhysMem {
+	return &PhysMem{maxFrames: maxFrames}
+}
+
+// Alloc allocates a zeroed frame.
+func (pm *PhysMem) Alloc() (*Frame, error) {
+	if pm.maxFrames > 0 && pm.allocated.Load() >= pm.maxFrames {
+		return nil, ErrOutOfMemory
+	}
+	pm.allocated.Add(1)
+	pm.allocs.Add(1)
+	return &Frame{Data: make([]byte, PageSize), refs: 1}, nil
+}
+
+// AllocCopy allocates a frame initialized with the contents of src.
+func (pm *PhysMem) AllocCopy(src *Frame) (*Frame, error) {
+	f, err := pm.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	copy(f.Data, src.Data)
+	return f, nil
+}
+
+// Free drops a reference to the frame, releasing it when the count
+// reaches zero.
+func (pm *PhysMem) Free(f *Frame) {
+	if f == nil {
+		return
+	}
+	if atomic.AddInt32(&f.refs, -1) == 0 {
+		pm.allocated.Add(-1)
+		pm.frees.Add(1)
+	}
+}
+
+// Resident returns the number of allocated frames.
+func (pm *PhysMem) Resident() int64 { return pm.allocated.Load() }
+
+// MaxFrames returns the allocator bound (0 = unbounded).
+func (pm *PhysMem) MaxFrames() int64 { return pm.maxFrames }
+
+// Meter charges VM costs to the virtual clock and counts operations.
+// All fields are manipulated atomically; a nil Meter is valid and
+// charges nothing, which keeps unit tests lightweight.
+type Meter struct {
+	Clock *storage.Clock
+	Costs storage.CostModel
+
+	Instrs     atomic.Int64
+	PTEOps     atomic.Int64
+	Faults     atomic.Int64
+	CowFaults  atomic.Int64
+	PageCopies atomic.Int64
+	PageIns    atomic.Int64
+	PageOuts   atomic.Int64
+	ZeroFills  atomic.Int64
+}
+
+// NewMeter builds a meter around a clock using the default cost model.
+func NewMeter(clock *storage.Clock) *Meter {
+	return &Meter{Clock: clock, Costs: storage.DefaultCosts}
+}
+
+// ChargeInstr records n interpreted instructions of CPU time.
+func (m *Meter) ChargeInstr(n int64) {
+	if m == nil {
+		return
+	}
+	m.Instrs.Add(n)
+	if m.Clock != nil && n > 0 {
+		m.Clock.Advance(time.Duration(n) * m.Costs.Instr)
+	}
+}
+
+// ChargePTE records n page-table entry manipulations.
+func (m *Meter) ChargePTE(n int64) {
+	if m == nil {
+		return
+	}
+	m.PTEOps.Add(n)
+	if m.Clock != nil && n > 0 {
+		m.Clock.Advance(time.Duration(n) * m.Costs.PTEOp)
+	}
+}
+
+// ChargeProtect records n bulk COW write-protect operations (range
+// PTE updates during a serialization barrier, far cheaper per entry
+// than a single PTEOp).
+func (m *Meter) ChargeProtect(n int64) {
+	if m == nil {
+		return
+	}
+	m.PTEOps.Add(n)
+	if m.Clock != nil && n > 0 {
+		m.Clock.Advance(time.Duration(n) * m.Costs.ProtectPerPage)
+	}
+}
+
+// ChargeFault records a page fault trap.
+func (m *Meter) ChargeFault() {
+	if m == nil {
+		return
+	}
+	m.Faults.Add(1)
+	if m.Clock != nil {
+		m.Clock.Advance(m.Costs.PageFault)
+	}
+}
+
+// ChargeCopy records n page copies.
+func (m *Meter) ChargeCopy(n int64) {
+	if m == nil {
+		return
+	}
+	m.PageCopies.Add(n)
+	if m.Clock != nil && n > 0 {
+		m.Clock.Advance(time.Duration(n) * m.Costs.PageCopy)
+	}
+}
