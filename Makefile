@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: full gate — build, vet, race-enabled tests
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json)
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

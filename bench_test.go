@@ -17,6 +17,8 @@
 package aurora
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"aurora/internal/bench"
@@ -213,6 +215,11 @@ func BenchmarkAblationLazyRestore(b *testing.B) {
 		if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
 			b.Fatal(err)
 		}
+		// Checkpoint returns at resume; the store holds the image only
+		// once the background flush lands.
+		if err := m.O.Sync(ri.Group); err != nil {
+			b.Fatal(err)
+		}
 		img, rt, err := m.Store.Load(ri.Group.ID, 0)
 		if err != nil {
 			b.Fatal(err)
@@ -286,6 +293,11 @@ func BenchmarkAblationExternalConsistency(b *testing.B) {
 		if _, err := m.O.Checkpoint(g, core.CheckpointOpts{}); err != nil {
 			b.Fatal(err)
 		}
+		// Release of the gated write waits on durability, not the
+		// barrier: drain the flush pipeline before reading.
+		if err := m.O.Sync(g); err != nil {
+			b.Fatal(err)
+		}
 		buf := make([]byte, 8)
 		if _, err := m.K.Read(ext, extFD, buf); err != nil {
 			b.Fatal(err)
@@ -304,6 +316,57 @@ func BenchmarkAblationExternalConsistency(b *testing.B) {
 		b.ReportMetric(vus(int64(gated)), "vus-gated")
 		b.ReportMetric(vus(int64(ungated)), "vus-ungated")
 	}
+}
+
+// BenchmarkPipelineKVLSM measures the background flush pipeline on the
+// LSM-store workload and emits the stop-vs-flush split as
+// BENCH_pipeline.json so regression tooling can track it.
+func BenchmarkPipelineKVLSM(b *testing.B) {
+	var last *bench.PipelineResult
+	for i := 0; i < b.N; i++ {
+		r, err := bench.PipelineKVLSM(500, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+		b.ReportMetric(vus(int64(r.TotalStop)), "vus-stop")
+		b.ReportMetric(vus(int64(r.TotalFull())), "vus-ckpt+flush")
+		b.ReportMetric(float64(r.PeakQueueDepth), "peak-queue")
+	}
+	if err := writePipelineJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitPipelineBench writes BENCH_pipeline.json on every plain
+// `go test` run, so the datapoint exists without -bench.
+func TestEmitPipelineBench(t *testing.T) {
+	r, err := bench.PipelineKVLSM(500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writePipelineJSON(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writePipelineJSON(r *bench.PipelineResult) error {
+	out := map[string]any{
+		"benchmark":          "pipeline-kvlsm",
+		"ops":                r.Ops,
+		"checkpoints":        r.Checkpoints,
+		"total_stop_us":      vus(int64(r.TotalStop)),
+		"total_flush_us":     vus(int64(r.TotalFlush)),
+		"ckpt_plus_flush_us": vus(int64(r.TotalFull())),
+		"max_stop_us":        vus(int64(r.MaxStop)),
+		"max_full_us":        vus(int64(r.MaxFull)),
+		"peak_queue_depth":   r.PeakQueueDepth,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644)
 }
 
 var _ = vm.PageSize // keep the import for documentation cross-reference

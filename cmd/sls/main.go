@@ -16,7 +16,8 @@
 //	persist <pid> <name>      add a process tree to a persistence group
 //	attach <group> <backend>  attach a backend: memory|nvme|ssd|hdd
 //	detach <group> <backend>  detach a backend
-//	checkpoint <group> [name] checkpoint an application
+//	checkpoint <group> [name] checkpoint an application (flush is async)
+//	sync <group>              wait for the flush pipeline to drain
 //	restore <group> [epoch]   restore an application from an image
 //	ps                        list applications in Aurora
 //	send <group> <file>       export an application to a file
@@ -252,10 +253,24 @@ func (s *session) exec(line string) bool {
 		}
 		s.printf("restored as group %d, pids %v\n%s\n", ng.ID, ng.PIDs(), bd)
 
+	case "sync":
+		if len(args) < 1 {
+			s.printf("usage: sync <group>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.o.Sync(g); err != nil {
+			return fail(err)
+		}
+		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
+
 	case "ps":
-		s.printf("%-6s %-6s %-14s %-10s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "PIDS")
+		s.printf("%-6s %-6s %-14s %-8s %-6s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "QUEUE", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-14s %-10d %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.PIDs())
+			s.printf("%-6d %-6d %-14s %-8d %-6d %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.QueueDepth(), g.PIDs())
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
@@ -269,6 +284,11 @@ func (s *session) exec(line string) bool {
 		}
 		g, err := s.groupArg(args[0])
 		if err != nil {
+			return fail(err)
+		}
+		// Drain the flush pipeline first: what leaves the machine must
+		// be the durable state, not an epoch still in flight.
+		if err := s.o.Sync(g); err != nil {
 			return fail(err)
 		}
 		img := g.LastImage()
@@ -349,9 +369,10 @@ const helpText = `Aurora single level store (Table 1):
   persist <pid> <name>       add an application to a persistence group
   attach <group> <backend>   attach a group to a backend (memory|nvme|ssd|hdd)
   detach <group> <backend>   detach a persistence group from a backend
-  checkpoint <group> [name]  checkpoint an application
+  checkpoint <group> [name]  checkpoint an application (flush is async)
+  sync <group>               wait for queued flushes; surface flush errors
   restore <group> [epoch]    restore an application from an image
-  ps                         list applications in Aurora
+  ps                         list applications in Aurora (QUEUE = epochs in flight)
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
 session helpers:

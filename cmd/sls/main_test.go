@@ -73,6 +73,17 @@ func TestCLIDetach(t *testing.T) {
 	}
 }
 
+func TestCLISyncAndQueueColumn(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app; ps")
+	if !strings.Contains(got, "durable through epoch 1") {
+		t.Fatalf("sync output:\n%s", got)
+	}
+	if !strings.Contains(got, "QUEUE") {
+		t.Fatalf("ps missing QUEUE column:\n%s", got)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	got := runScript(t, "persist 99 x; attach nope nvme; checkpoint nope; restore nope; frobnicate")
 	if strings.Count(got, "error:") < 3 {

@@ -110,6 +110,12 @@ func main() {
 	}
 	fmt.Printf("\n*** tx 17 trips over the invariant: balance is %d ***\n\n", balance(p))
 
+	// Checkpoints flush in the background; drain the pipeline so the
+	// object store holds the full execution history before bisecting.
+	if err := orch.Sync(g); err != nil {
+		log.Fatal(err)
+	}
+
 	// Bisect the history: restore each epoch and test the invariant.
 	fmt.Println("bisecting checkpoint history for the first bad epoch:")
 	history := objs.Manifests(g.ID)

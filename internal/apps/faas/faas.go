@@ -205,6 +205,11 @@ func (rt *Runtime) BuildBase() (*core.Group, error) {
 	if _, err := rt.O.Checkpoint(g, core.CheckpointOpts{Name: "faas-base"}); err != nil {
 		return nil, err
 	}
+	// Deployment is a durability point: later deploys restore from this
+	// image, so wait out the background flush.
+	if err := rt.O.Sync(g); err != nil {
+		return nil, err
+	}
 	rt.baseGroup = g
 	_ = p
 	return g, nil
@@ -236,6 +241,9 @@ func (rt *Runtime) Deploy(name string, delta []byte) (*Function, error) {
 		}
 	}
 	if _, err := rt.O.Checkpoint(ng, core.CheckpointOpts{Name: "fn-" + name}); err != nil {
+		return nil, err
+	}
+	if err := rt.O.Sync(ng); err != nil {
 		return nil, err
 	}
 	fn := &Function{Name: name, Group: ng, DeltaBytes: len(delta)}

@@ -332,6 +332,11 @@ func (a *Aurora) checkpoint(p *kernel.Process) error {
 	if _, err := a.API.Checkpoint(p, ""); err != nil {
 		return err
 	}
+	// A database acks a snapshot only once it is durable: wait out the
+	// background flush before truncating the log it subsumes.
+	if err := a.API.Barrier(p); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	a.Checkpoints++
 	a.mu.Unlock()

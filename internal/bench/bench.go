@@ -154,6 +154,14 @@ func Table3(wsBytes int64, dirtyFrac float64) (*Table3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The breakdowns above hold stop time only; flush times are patched
+	// into the group's records when the background flusher retires each
+	// epoch. Sync and re-read so the report carries both.
+	if err := m.O.Sync(ri.Group); err != nil {
+		return nil, err
+	}
+	bds := ri.Group.Breakdowns()
+	full, incr = bds[len(bds)-2], bds[len(bds)-1]
 	return &Table3Result{WorkingSet: wsBytes, DirtyFrac: dirtyFrac, Full: full, Incr: incr}, nil
 }
 

@@ -141,3 +141,25 @@ func TestAblationDedup(t *testing.T) {
 		t.Fatalf("dedup saved only %.0f%% across identical checkpoints", r.SavedFrac*100)
 	}
 }
+
+func TestPipelineStopBelowFullLatency(t *testing.T) {
+	r, err := PipelineKVLSM(500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checkpoints == 0 {
+		t.Fatal("workload produced no checkpoints")
+	}
+	// The Table-3 stop-time breakdown must exclude flush time: with the
+	// background pipeline, what the application pays (stop) is strictly
+	// below the full checkpoint+flush latency.
+	if r.TotalFlush <= 0 {
+		t.Fatalf("no flush time recorded across %d checkpoints", r.Checkpoints)
+	}
+	if r.TotalStop >= r.TotalFull() {
+		t.Fatalf("stop time %v not strictly below checkpoint+flush latency %v", r.TotalStop, r.TotalFull())
+	}
+	if r.MaxStop >= r.MaxFull {
+		t.Fatalf("worst stop %v not below worst checkpoint+flush %v", r.MaxStop, r.MaxFull)
+	}
+}

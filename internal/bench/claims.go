@@ -53,6 +53,11 @@ func Freq(hz, n int, wsBytes int64) (*FreqResult, error) {
 			worst = bd.StopTime
 		}
 	}
+	// Overhead counts stop time only: flushes ride the background
+	// pipeline. Drain it so every epoch really landed before reporting.
+	if err := m.O.Sync(ri.Group); err != nil {
+		return nil, err
+	}
 	return &FreqResult{
 		Hz:          hz,
 		Checkpoints: n,
@@ -423,6 +428,9 @@ func AblationDedup(rounds int, wsBytes int64) (*AblationDedupResult, error) {
 		if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{Full: true}); err != nil {
 			return nil, err
 		}
+	}
+	if err := m.O.Sync(ri.Group); err != nil {
+		return nil, err
 	}
 	st := m.Objs.Stats()
 	logical := st.LogicalBytes / 4096

@@ -32,6 +32,11 @@ func Table4(wsBytes int64) (*Table4Result, error) {
 	if _, err := m.O.Checkpoint(ri.Group, core.CheckpointOpts{}); err != nil {
 		return nil, err
 	}
+	// Checkpoint returns at resume; wait for the background flush so the
+	// memory backend holds the image before we load it back.
+	if err := m.O.Sync(ri.Group); err != nil {
+		return nil, err
+	}
 	img, _, err := m.Mem.Load(ri.Group.ID, 0)
 	if err != nil {
 		return nil, err

@@ -82,6 +82,9 @@ func (a *API) Rollback(p *kernel.Process) (*Group, *RollbackNotice, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Settle in-flight flushes: rollback walks the image chain, which
+	// must not be mutated under us by background retirement.
+	a.O.Drain(g)
 	img := g.LastImage()
 	var readTime time.Duration
 	if img == nil || img.Released() {
@@ -142,29 +145,17 @@ func (n *RollbackNotice) String() string {
 	return fmt.Sprintf("rolled back from epoch %d to %d (group %d)", n.FromEpoch, n.ToEpoch, n.Group)
 }
 
-// Barrier implements sls_barrier(): block the caller (logically) until
-// the group's current checkpoint epoch is durable on every backend.
-// With Aurora's synchronous-in-virtual-time flusher this amounts to
-// flushing any image that was checkpointed with SkipFlush.
+// Barrier implements sls_barrier(): block the caller until the group's
+// current checkpoint epoch is durable on every backend. This drains
+// the background flush pipeline (retrying failed epochs inline and
+// surfacing their errors) and flushes any image checkpointed with
+// SkipFlush.
 func (a *API) Barrier(p *kernel.Process) error {
 	g, err := a.group(p)
 	if err != nil {
 		return err
 	}
-	g.mu.Lock()
-	pending := g.epoch > g.durable
-	img := g.last
-	g.mu.Unlock()
-	if !pending || img == nil {
-		return nil
-	}
-	if _, err := a.O.flush(g, img); err != nil {
-		return err
-	}
-	g.mu.Lock()
-	g.durable = g.epoch
-	g.mu.Unlock()
-	return nil
+	return a.O.Sync(g)
 }
 
 // NTFlush implements sls_ntflush(): a low-latency non-temporal append

@@ -21,6 +21,10 @@ var (
 // several backends at once (e.g. a local NVMe store plus a remote
 // replica); an epoch is released for external consistency only when
 // every backend has it.
+//
+// Flush is called concurrently by the background flush pipeline — for
+// distinct images at once when the pipeline runs several epochs in
+// parallel — and must be safe for that.
 type Backend interface {
 	// Name identifies the backend in the CLI.
 	Name() string
@@ -32,6 +36,15 @@ type Backend interface {
 	// Ephemeral backends (local memory) do not make data durable;
 	// they do not satisfy external consistency on their own.
 	Ephemeral() bool
+}
+
+// LaneBackend is implemented by backends that can charge their flush
+// I/O to a detached clock lane, letting a background flush overlap the
+// foreground virtual timeline instead of stalling it.
+type LaneBackend interface {
+	// WithLane returns a view of the backend that shares all state but
+	// charges modeled costs to lane.
+	WithLane(lane *storage.Clock) Backend
 }
 
 // MemoryBackend keeps images in RAM: the paper's local memory backend
@@ -58,12 +71,43 @@ func (mb *MemoryBackend) Name() string { return "memory" }
 func (mb *MemoryBackend) Ephemeral() bool { return true }
 
 // Flush implements Backend: retaining the image is free beyond a DRAM
-// write of the metadata; the frames are shared, not copied.
+// write of the metadata; the frames are shared, not copied. The chain
+// stays epoch-sorted even when the pipeline completes epochs out of
+// order. History trimming is deferred to Trim — merging an old image
+// forward mutates its successor, which must not race with another
+// worker still flushing that successor elsewhere.
 func (mb *MemoryBackend) Flush(img *Image) (time.Duration, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	chain := append(mb.images[img.Group], img)
-	if mb.history > 0 && len(chain) > mb.history {
+	chain := mb.images[img.Group]
+	// A Sync retry after another backend's failure re-delivers the same
+	// epoch; replace rather than duplicate.
+	replaced := false
+	for i, have := range chain {
+		if have.Epoch == img.Epoch {
+			chain[i] = img
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		chain = append(chain, img)
+		for i := len(chain) - 1; i > 0 && chain[i-1].Epoch > chain[i].Epoch; i-- {
+			chain[i-1], chain[i] = chain[i], chain[i-1]
+		}
+	}
+	mb.images[img.Group] = chain
+	return time.Duration(len(img.Meta)) * 100 * time.Nanosecond, nil
+}
+
+// Trim enforces the history bound for one group. The flush pipeline
+// calls it at epoch retirement, when every image in the chain up to
+// the retired epoch is quiescent.
+func (mb *MemoryBackend) Trim(group uint64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	chain := mb.images[group]
+	for mb.history > 0 && len(chain) > mb.history {
 		// Consolidate: the oldest image's pages merge into the next
 		// one by reference before release, mirroring the object
 		// store's in-place GC.
@@ -72,8 +116,7 @@ func (mb *MemoryBackend) Flush(img *Image) (time.Duration, error) {
 		mergeImageForward(victim, next, mb.pm)
 		chain = chain[1:]
 	}
-	mb.images[img.Group] = chain
-	return time.Duration(len(img.Meta)) * 100 * time.Nanosecond, nil
+	mb.images[group] = chain
 }
 
 // mergeImageForward folds victim's pages and metadata into next where
@@ -176,6 +219,17 @@ func (sb *StoreBackend) Ephemeral() bool { return false }
 
 // Store exposes the underlying object store.
 func (sb *StoreBackend) Store() *objstore.Store { return sb.store }
+
+// WithLane implements LaneBackend: the view shares the store's index
+// and device state but charges hash and I/O costs to lane.
+func (sb *StoreBackend) WithLane(lane *storage.Clock) Backend {
+	return &StoreBackend{
+		store:        sb.store.WithClock(lane),
+		pm:           sb.pm,
+		clock:        lane,
+		HistoryLimit: sb.HistoryLimit,
+	}
+}
 
 // Flush implements Backend: every metadata record and captured page
 // becomes an object-store record; the modeled duration is the device

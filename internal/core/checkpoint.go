@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"aurora/internal/kernel"
@@ -24,9 +25,18 @@ type CheckpointOpts struct {
 
 // Checkpoint runs a serialization barrier over the group: stop every
 // member, copy metadata, apply COW tracking (the "lazy data copy"),
-// resume, then flush asynchronously to every backend. It returns the
-// stop-time breakdown of Table 3.
+// resume, and hand the immutable image to the group's background
+// flusher. It returns the stop-time breakdown of Table 3 as soon as
+// the group is running again — before the flush completes. Durability
+// (g.Durable, and with it Released()/external consistency) advances
+// only when the flusher retires the epoch on every backend; callers
+// needing the old synchronous behavior follow up with Orchestrator.Sync.
+// The breakdown's FlushTime is zero here and is patched into
+// g.Breakdowns() when the epoch retires.
 func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBreakdown, error) {
+	g.ckptMu.Lock()
+	defer g.ckptMu.Unlock()
+
 	members := o.members(g)
 	if len(members) == 0 {
 		return CheckpointBreakdown{}, fmt.Errorf("core: group %d has no live processes", g.ID)
@@ -135,44 +145,69 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 		img.Prev = prev
 	}
 
-	// --- Asynchronous flush ---
-	var flush time.Duration
-	if !opts.SkipFlush {
-		d, err := o.flush(g, img)
-		if err != nil {
-			return bd, err
-		}
-		flush = d
-	}
-	bd.FlushTime = flush
-
+	// --- Asynchronous flush: hand off to the pipeline and return ---
 	g.mu.Lock()
 	g.epoch = epoch
 	g.everFull = g.everFull || full
 	g.last = img
-	if !opts.SkipFlush {
-		g.durable = epoch
-	}
+	bdIdx := len(g.ckpts)
 	g.ckpts = append(g.ckpts, bd)
+	if !opts.SkipFlush {
+		g.lastQueued = epoch
+	}
 	g.mu.Unlock()
+
+	if !opts.SkipFlush {
+		// Blocks only when the bounded queue is full: backpressure
+		// against checkpointing faster than the backends can flush.
+		o.flusherOf(g).Enqueue(img, bdIdx)
+	}
 	return bd, nil
 }
 
-// flush delivers the image to every backend; the modeled time is the
-// slowest backend since they flush in parallel. When no memory
-// backend retains the image, its frames are released after the flush
-// (the object store now owns the data).
-func (o *Orchestrator) flush(g *Group, img *Image) (time.Duration, error) {
+// flushImage delivers one image to every backend concurrently; the
+// modeled time is the slowest backend plus the file-system snapshot
+// that pins file state to the same generation. Each lane-capable
+// backend charges its I/O to a detached clock lane, so a background
+// flush overlaps the group's execution instead of stalling the
+// foreground virtual timeline; a foreground (synchronous) caller
+// merges the flush time back into the kernel clock. When no ephemeral
+// backend retains the image, its frames are released after a fully
+// successful flush (the object store now owns the data).
+func (o *Orchestrator) flushImage(g *Group, img *Image, background bool) (time.Duration, error) {
 	backends := g.Backends()
+	clock := o.K.Clock
+	start := clock.Now()
+
+	durs := make([]time.Duration, len(backends))
+	errs := make([]error, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			target := b
+			if lb, ok := b.(LaneBackend); ok {
+				target = lb.WithLane(clock.Lane())
+			}
+			d, err := target.Flush(img)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: flushing to %s: %w", b.Name(), err)
+				return
+			}
+			durs[i] = d
+		}(i, b)
+	}
+	wg.Wait()
+
 	var worst time.Duration
 	keepFrames := false
-	for _, b := range backends {
-		d, err := b.Flush(img)
-		if err != nil {
-			return worst, fmt.Errorf("core: flushing to %s: %w", b.Name(), err)
+	for i, b := range backends {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
-		if d > worst {
-			worst = d
+		if durs[i] > worst {
+			worst = durs[i]
 		}
 		if b.Ephemeral() {
 			keepFrames = true
@@ -180,12 +215,18 @@ func (o *Orchestrator) flush(g *Group, img *Image) (time.Duration, error) {
 	}
 	// Keep file state in the same store generation as process state.
 	if o.FS != nil {
-		if _, err := o.FS.Snapshot(""); err != nil {
+		lane := clock.Lane()
+		sw := lane.Watch()
+		if _, err := o.FS.SnapshotOn(o.FS.Store().WithClock(lane), ""); err != nil {
 			return worst, fmt.Errorf("core: file system snapshot: %w", err)
 		}
+		worst += sw.Elapsed()
 	}
 	if !keepFrames && len(backends) > 0 {
 		img.Release(o.K.Mem)
+	}
+	if !background {
+		clock.AdvanceTo(start + worst)
 	}
 	return worst, nil
 }

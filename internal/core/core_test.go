@@ -501,7 +501,10 @@ func TestExternalConsistencyEndToEnd(t *testing.T) {
 
 	g, _ := r.o.Persist("srv", srv)
 	r.o.Attach(g, r.mem)
-	r.o.Checkpoint(g, CheckpointOpts{}) // epoch 1 durable
+	r.o.Checkpoint(g, CheckpointOpts{})
+	if err := r.o.Sync(g); err != nil { // epoch 1 durable
+		t.Fatal(err)
+	}
 
 	// Output written during epoch 1 is held until epoch 2 is durable.
 	r.k.Write(srv, a, []byte("result"))
@@ -510,6 +513,11 @@ func TestExternalConsistencyEndToEnd(t *testing.T) {
 		t.Fatalf("pre-checkpoint read err = %v, want would-block", err)
 	}
 	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// The barrier alone does not release the output: epoch 2 must be
+	// durable on the backend first.
+	if err := r.o.Sync(g); err != nil {
 		t.Fatal(err)
 	}
 	n, err := r.k.Read(ext, extFD, buf)
@@ -714,6 +722,9 @@ func TestMemoryBackendHistoryConsolidation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := r.o.Sync(g); err != nil {
+		t.Fatal(err)
+	}
 	hist := mb.History(g.ID)
 	if len(hist) != 3 {
 		t.Fatalf("history = %v, want 3 entries", hist)
@@ -773,6 +784,9 @@ func TestTable4ShapeRestoreBreakdown(t *testing.T) {
 	r.o.Attach(g, r.mem)
 	r.o.Attach(g, r.store)
 	r.o.Checkpoint(g, CheckpointOpts{})
+	if err := r.o.Sync(g); err != nil { // loading backends directly below
+		t.Fatal(err)
+	}
 
 	// Memory restore: no object-store read.
 	img, _, err := r.mem.Load(g.ID, 0)
@@ -845,6 +859,9 @@ func TestUnixSocketListenerRestored(t *testing.T) {
 	g, _ := r.o.Persist("srv", srv)
 	r.o.Attach(g, r.store)
 	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Sync(g); err != nil { // loading the store directly below
 		t.Fatal(err)
 	}
 

@@ -155,6 +155,9 @@ func TestMultiBackendFlushesBoth(t *testing.T) {
 	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
 		t.Fatal(err)
 	}
+	if err := r.o.Sync(g); err != nil {
+		t.Fatal(err)
+	}
 	// Both backends can serve the restore independently.
 	if _, _, err := r.mem.Load(g.ID, 0); err != nil {
 		t.Fatalf("memory backend: %v", err)
@@ -175,6 +178,9 @@ func TestStoreBackendHistoryLimit(t *testing.T) {
 		if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := r.o.Sync(g); err != nil {
+		t.Fatal(err)
 	}
 	ms := r.store.Store().Manifests(g.ID)
 	if len(ms) != 3 {

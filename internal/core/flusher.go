@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the background flush pipeline. A serialization
+// barrier (Checkpoint) hands its immutable image to the group's
+// flusher and returns as soon as the group has resumed; worker
+// goroutines fan the image out to every attached backend concurrently.
+// Durability — g.Durable(), and with it Released()/external
+// consistency — advances only when an epoch *retires*: all of its
+// backend flushes finished AND every earlier epoch retired first, so
+// the durable frontier never skips an epoch whose flush failed or is
+// still in flight.
+
+// Pipeline defaults, overridable per Orchestrator.
+const (
+	defaultFlushWorkers = 2
+	defaultFlushQueue   = 4
+)
+
+// flushJob tracks one epoch's trip through the pipeline.
+type flushJob struct {
+	img   *Image
+	bdIdx int           // index into g.ckpts whose FlushTime gets patched
+	done  chan struct{} // closed when the flush attempt finishes
+
+	// Guarded by the flusher's mu.
+	completed bool
+	dur       time.Duration
+	err       error
+}
+
+// flusher is a per-group flush pipeline: a bounded job queue (enqueue
+// blocks when full — backpressure on the checkpointing caller), worker
+// goroutines, and in-order epoch retirement.
+type flusher struct {
+	o *Orchestrator
+	g *Group
+
+	jobs chan *flushJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// syncMu serializes Sync callers so a failed epoch is never
+	// retried by two foreground flushers at once.
+	syncMu sync.Mutex
+
+	mu      sync.Mutex
+	order   []uint64 // epochs in enqueue (== epoch) order, oldest first
+	byEpoch map[uint64]*flushJob
+}
+
+func newFlusher(o *Orchestrator, g *Group, workers, depth int) *flusher {
+	if workers <= 0 {
+		workers = defaultFlushWorkers
+	}
+	if depth <= 0 {
+		depth = defaultFlushQueue
+	}
+	f := &flusher{
+		o:       o,
+		g:       g,
+		jobs:    make(chan *flushJob, depth),
+		quit:    make(chan struct{}),
+		byEpoch: make(map[uint64]*flushJob),
+	}
+	for i := 0; i < workers; i++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	return f
+}
+
+// Enqueue hands an image to the pipeline. It blocks while the queue is
+// full, which is the backpressure that keeps a checkpoint storm from
+// building an unbounded backlog of unflushed epochs.
+func (f *flusher) Enqueue(img *Image, bdIdx int) {
+	job := &flushJob{img: img, bdIdx: bdIdx, done: make(chan struct{})}
+	// Register before sending so Sync/drain always sees the job even
+	// if no worker has picked it up yet.
+	f.mu.Lock()
+	f.order = append(f.order, img.Epoch)
+	f.byEpoch[img.Epoch] = job
+	f.mu.Unlock()
+	f.jobs <- job
+}
+
+// depth reports the number of epochs not yet retired (queued, in
+// flight, or stalled behind a failure).
+func (f *flusher) depth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.order)
+}
+
+func (f *flusher) worker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case job := <-f.jobs:
+			f.run(job)
+		case <-f.quit:
+			// Drain whatever is already queued before exiting so Close
+			// never strands a registered job.
+			for {
+				select {
+				case job := <-f.jobs:
+					f.run(job)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one flush attempt and retires whatever became eligible.
+func (f *flusher) run(job *flushJob) {
+	dur, err := f.o.flushImage(f.g, job.img, true)
+	f.mu.Lock()
+	job.dur, job.err, job.completed = dur, err, true
+	f.retireLocked()
+	f.mu.Unlock()
+	close(job.done)
+}
+
+// retireLocked advances the durable frontier over every leading epoch
+// that flushed successfully. A failed epoch stalls retirement: later
+// epochs may finish out of order but stay unretired, so durability
+// never claims a history with a hole in it. Caller holds f.mu.
+func (f *flusher) retireLocked() {
+	for len(f.order) > 0 {
+		epoch := f.order[0]
+		job := f.byEpoch[epoch]
+		if job == nil || !job.completed || job.err != nil {
+			return
+		}
+		f.order = f.order[1:]
+		delete(f.byEpoch, epoch)
+		f.retire(epoch, job)
+	}
+}
+
+// retire marks one epoch durable and lets backends release history.
+func (f *flusher) retire(epoch uint64, job *flushJob) {
+	g := f.g
+	g.mu.Lock()
+	if epoch > g.durable {
+		g.durable = epoch
+	}
+	if job.bdIdx >= 0 && job.bdIdx < len(g.ckpts) {
+		g.ckpts[job.bdIdx].FlushTime = job.dur
+	}
+	g.mu.Unlock()
+	// History trimming is deferred to retirement: it merges old images
+	// forward in place, which must never race with a flush still
+	// reading them.
+	for _, b := range g.Backends() {
+		if t, ok := b.(trimmer); ok {
+			t.Trim(g.ID)
+		}
+	}
+}
+
+// drain waits until every enqueued epoch has completed its flush
+// attempt. It does not retry failures — failed epochs stay stalled.
+func (f *flusher) drain() {
+	for {
+		f.mu.Lock()
+		var wait *flushJob
+		for _, j := range f.byEpoch {
+			if !j.completed {
+				wait = j
+				break
+			}
+		}
+		f.mu.Unlock()
+		if wait == nil {
+			return
+		}
+		<-wait.done
+	}
+}
+
+// Sync drains the pipeline and then retries any stalled (failed)
+// epochs inline, oldest first. It returns nil only when every epoch
+// handed to the pipeline has retired; otherwise it surfaces the first
+// failure, leaving the durable frontier where it was.
+func (f *flusher) Sync() error {
+	f.syncMu.Lock()
+	defer f.syncMu.Unlock()
+	for {
+		f.mu.Lock()
+		var wait *flushJob
+		for _, j := range f.byEpoch {
+			if !j.completed {
+				wait = j
+				break
+			}
+		}
+		if wait != nil {
+			f.mu.Unlock()
+			<-wait.done
+			continue
+		}
+		if len(f.order) == 0 {
+			f.mu.Unlock()
+			return nil
+		}
+		// Everything completed but the head did not retire: it failed.
+		head := f.byEpoch[f.order[0]]
+		if head.err == nil {
+			// Retired concurrently between checks; re-examine.
+			f.retireLocked()
+			f.mu.Unlock()
+			continue
+		}
+		f.mu.Unlock()
+
+		dur, err := f.o.flushImage(f.g, head.img, false)
+		f.mu.Lock()
+		if err != nil {
+			head.err = err
+			f.mu.Unlock()
+			return err
+		}
+		head.dur, head.err = dur, nil
+		f.retireLocked()
+		f.mu.Unlock()
+	}
+}
+
+// Close drains the pipeline and stops the workers. Failed epochs are
+// abandoned un-retried (the group is going away).
+func (f *flusher) Close() {
+	f.drain()
+	close(f.quit)
+	f.wg.Wait()
+}
+
+// trimmer is implemented by backends that defer history trimming to
+// epoch retirement (see MemoryBackend.Trim).
+type trimmer interface {
+	Trim(group uint64)
+}

@@ -23,16 +23,25 @@ type Group struct {
 	ID   uint64
 	Name string
 
+	// ckptMu serializes serialization barriers on the group, so epochs
+	// enter the flush pipeline in order.
+	ckptMu sync.Mutex
+
 	mu       sync.Mutex
 	pids     map[int]bool
 	backends []Backend
 	epoch    uint64 // epoch currently being built (last barrier)
-	durable  uint64 // newest epoch flushed to every backend
+	durable  uint64 // newest epoch retired by the flush pipeline
 	// everFull records whether a full checkpoint exists, so the first
 	// checkpoint of a group is always full.
 	everFull bool
 	last     *Image // newest image (chain head), for rollback/debug
 	ckpts    []CheckpointBreakdown
+	// fl is the group's background flush pipeline, created on first
+	// use; lastQueued is the newest epoch handed to it (epochs
+	// checkpointed with SkipFlush are never queued).
+	fl         *flusher
+	lastQueued uint64
 	// excluded memory region count, for diagnostics (sls_mctl).
 	excluded int
 	// ntSeq is the group's NT-log sequence counter (sls_ntflush).
@@ -46,11 +55,26 @@ func (g *Group) Epoch() uint64 {
 	return g.epoch
 }
 
-// Durable returns the newest epoch flushed to all backends.
+// Durable returns the newest epoch flushed to all backends. With the
+// background flush pipeline this trails Epoch() while flushes are in
+// flight; the two meet after Orchestrator.Sync.
 func (g *Group) Durable() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.durable
+}
+
+// QueueDepth reports the number of epochs in the group's flush
+// pipeline that have not retired yet (queued, flushing, or stalled
+// behind a failed flush).
+func (g *Group) QueueDepth() int {
+	g.mu.Lock()
+	f := g.fl
+	g.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f.depth()
 }
 
 // PIDs lists member processes.
@@ -95,6 +119,11 @@ type Orchestrator struct {
 	// DefaultFullEvery forces a full checkpoint every N incrementals
 	// (0 = only the first checkpoint is full).
 	DefaultFullEvery int
+	// FlushWorkers and FlushQueueDepth size each group's background
+	// flush pipeline (0 = package defaults). The queue depth bounds how
+	// many un-retired epochs may pile up before Checkpoint blocks.
+	FlushWorkers    int
+	FlushQueueDepth int
 }
 
 // NewOrchestrator attaches an orchestrator to a kernel and installs
@@ -165,14 +194,85 @@ func (o *Orchestrator) AddProcess(g *Group, p *kernel.Process) {
 	}
 }
 
-// Unpersist removes a group entirely.
+// Unpersist removes a group entirely, stopping its flush pipeline.
+// In-flight flushes complete first (failed epochs are abandoned: the
+// group's dissolution releases any gated output anyway).
 func (o *Orchestrator) Unpersist(g *Group) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	for pid := range g.pids {
 		delete(o.pidGroup, pid)
 	}
 	delete(o.groups, g.ID)
+	o.mu.Unlock()
+
+	g.mu.Lock()
+	f := g.fl
+	g.fl = nil
+	g.mu.Unlock()
+	if f != nil {
+		f.Close()
+	}
+}
+
+// flusherOf returns the group's flush pipeline, creating it on first
+// use with the orchestrator's configured sizing.
+func (o *Orchestrator) flusherOf(g *Group) *flusher {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fl == nil {
+		g.fl = newFlusher(o, g, o.FlushWorkers, o.FlushQueueDepth)
+	}
+	return g.fl
+}
+
+// Drain waits for every in-flight flush of g to complete. Unlike Sync
+// it does not retry failed epochs, so the durable frontier may still
+// trail the barrier epoch afterwards.
+func (o *Orchestrator) Drain(g *Group) {
+	g.mu.Lock()
+	f := g.fl
+	g.mu.Unlock()
+	if f != nil {
+		f.drain()
+	}
+}
+
+// Sync makes the group's newest barrier epoch durable: it drains the
+// flush pipeline, retries any epoch whose background flush failed, and
+// finally flushes inline any image checkpointed with SkipFlush. This
+// is the "epoch durable" half of the old synchronous checkpoint — the
+// first error encountered (including an error from an earlier epoch's
+// background flush) is surfaced here.
+func (o *Orchestrator) Sync(g *Group) error {
+	g.mu.Lock()
+	f := g.fl
+	g.mu.Unlock()
+	if f != nil {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	// Legacy path: an epoch checkpointed with SkipFlush was never
+	// queued; sls_barrier semantics demand it become durable now.
+	g.mu.Lock()
+	epoch, durable, queued, img := g.epoch, g.durable, g.lastQueued, g.last
+	g.mu.Unlock()
+	if epoch > durable && epoch > queued && img != nil && !img.Released() {
+		if _, err := o.flushImage(g, img, false); err != nil {
+			return err
+		}
+		g.mu.Lock()
+		if epoch > g.durable {
+			g.durable = epoch
+		}
+		g.mu.Unlock()
+		for _, b := range g.Backends() {
+			if t, ok := b.(trimmer); ok {
+				t.Trim(g.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // Attach registers a backend with a group (`sls attach`).

@@ -26,6 +26,9 @@ func TestMsgQueueSurvivesCheckpointRestore(t *testing.T) {
 	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
 		t.Fatal(err)
 	}
+	if err := r.o.Sync(g); err != nil { // loading the store directly below
+		t.Fatal(err)
+	}
 	// Drain the live queue to prove the restore is not aliasing it.
 	q.Recv(0)
 	q.Recv(0)
@@ -67,6 +70,9 @@ func TestShmContentsSurviveFreshKernelRestore(t *testing.T) {
 	g, _ := r.o.Persist("app", p)
 	r.o.Attach(g, r.store)
 	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Sync(g); err != nil { // loading the store directly below
 		t.Fatal(err)
 	}
 

@@ -43,6 +43,9 @@ func TestFullMachineRebootRestore(t *testing.T) {
 		if _, err := o.Checkpoint(g, CheckpointOpts{Name: "pre-crash"}); err != nil {
 			t.Fatal(err)
 		}
+		if err := o.Sync(g); err != nil { // flush must land before the "crash"
+			t.Fatal(err)
+		}
 		// Persist the store's index: the equivalent of the device
 		// being consistent when the power goes out.
 		if err := store.Sync(); err != nil {
@@ -130,6 +133,9 @@ func TestRebootWithFileSystemState(t *testing.T) {
 		g, _ := o.Persist("filer", p)
 		o.Attach(g, NewStoreBackend(store, k.Mem, clock))
 		if _, err := o.Checkpoint(g, CheckpointOpts{Name: "with-files"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Sync(g); err != nil { // the store must hold the epoch before Sync
 			t.Fatal(err)
 		}
 		if err := store.Sync(); err != nil {

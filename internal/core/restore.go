@@ -380,7 +380,18 @@ const fsInoBit = uint64(1) << 62
 // backend that can serve it and restores the group. In-memory images
 // are preferred when present: they restore by COW-sharing frames with
 // zero copies, the fastest path.
+//
+// "Newest" (epoch 0) means the newest *durable* epoch: the pipeline is
+// drained first and epochs whose background flush failed are skipped,
+// so a restore never lands on a checkpoint with a hole in its history
+// (rollback-to-last-durable).
 func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group, RestoreBreakdown, error) {
+	o.Drain(g)
+	if epoch == 0 {
+		if d := g.Durable(); d > 0 {
+			epoch = d
+		}
+	}
 	all := g.Backends()
 	backends := make([]Backend, 0, len(all))
 	for _, b := range all {

@@ -169,13 +169,13 @@ type Receiver struct {
 	nic   storage.DeviceParams
 
 	mu     sync.Mutex
-	chains map[uint64]*core.Image // group -> newest image
+	chains map[uint64][]*core.Image // group -> images sorted by epoch
 	recvd  int64
 }
 
 // NewReceiver creates a receiver allocating frames from pm.
 func NewReceiver(pm *vm.PhysMem, clock *storage.Clock) *Receiver {
-	return &Receiver{pm: pm, clock: clock, nic: storage.ParamsNIC10G, chains: make(map[uint64]*core.Image)}
+	return &Receiver{pm: pm, clock: clock, nic: storage.ParamsNIC10G, chains: make(map[uint64][]*core.Image)}
 }
 
 // ReceivedBytes reports bytes taken off the wire.
@@ -218,12 +218,7 @@ func (r *Receiver) Serve(conn io.Reader) (int, error) {
 			if err != nil {
 				return applied, err
 			}
-			r.mu.Lock()
-			if !img.Full {
-				img.Prev = r.chains[img.Group]
-			}
-			r.chains[img.Group] = img
-			r.mu.Unlock()
+			r.link(img)
 			applied++
 		default:
 			return applied, fmt.Errorf("%w: type %d", ErrBadFrame, typ)
@@ -231,21 +226,58 @@ func (r *Receiver) Serve(conn io.Reader) (int, error) {
 	}
 }
 
+// install replaces a group's chain with one consolidated image.
 func (r *Receiver) install(img *core.Image) {
 	r.mu.Lock()
-	r.chains[img.Group] = img
+	r.chains[img.Group] = []*core.Image{img}
 	r.mu.Unlock()
+}
+
+// link merges an incremental delta into its group's chain. A pipelined
+// sender flushes epochs from concurrent workers, so deltas may arrive
+// out of epoch order (and, after a retried flush, twice); the chain is
+// kept sorted by epoch and the Prev links rebuilt so restores always
+// walk a consistent history.
+func (r *Receiver) link(img *core.Image) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	chain := r.chains[img.Group]
+	replaced := false
+	for i, have := range chain {
+		if have.Epoch == img.Epoch {
+			chain[i] = img
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		chain = append(chain, img)
+		for i := len(chain) - 1; i > 0 && chain[i-1].Epoch > chain[i].Epoch; i-- {
+			chain[i-1], chain[i] = chain[i], chain[i-1]
+		}
+	}
+	for i, im := range chain {
+		if im.Full {
+			continue
+		}
+		if i == 0 {
+			im.Prev = nil
+		} else {
+			im.Prev = chain[i-1]
+		}
+	}
+	r.chains[img.Group] = chain
 }
 
 // Latest returns the newest image of a group.
 func (r *Receiver) Latest(group uint64) (*core.Image, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	img, ok := r.chains[group]
-	if !ok {
+	chain, ok := r.chains[group]
+	if !ok || len(chain) == 0 {
 		return nil, core.ErrNoImage
 	}
-	return img, nil
+	return chain[len(chain)-1], nil
 }
 
 // Groups lists groups with received state.

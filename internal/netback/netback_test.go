@@ -142,6 +142,10 @@ func TestContinuousReplicationDeltas(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Wait for the background flushes before hanging up on the standby.
+	if err := src.o.Sync(g); err != nil {
+		t.Fatal(err)
+	}
 	sender.Close()
 	pw.Close()
 	if err := <-serveDone; err != nil {
@@ -274,6 +278,10 @@ func TestReplicationOverRealTCP(t *testing.T) {
 		if _, err := src.o.Checkpoint(g, core.CheckpointOpts{}); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Wait for the background flushes before hanging up on the standby.
+	if err := src.o.Sync(g); err != nil {
+		t.Fatal(err)
 	}
 	sender.Close()
 	conn.Close()

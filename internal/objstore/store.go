@@ -113,12 +113,9 @@ type blockEntry struct {
 	refs int32
 }
 
-// Store is the object store over one device.
-type Store struct {
-	dev   storage.Device
-	clock *storage.Clock
-	costs storage.CostModel
-
+// storeCore is the shared index state behind a Store and all of its
+// clock-redirected views: one set of records, blocks, and locks.
+type storeCore struct {
 	mu        sync.Mutex
 	nextOff   int64
 	freeList  []int64 // freed block offsets, reusable in place
@@ -129,6 +126,14 @@ type Store struct {
 	stats     Stats
 }
 
+// Store is the object store over one device.
+type Store struct {
+	*storeCore
+	dev   storage.Device
+	clock *storage.Clock
+	costs storage.CostModel
+}
+
 type manifestID struct {
 	Group uint64
 	Epoch uint64
@@ -137,14 +142,29 @@ type manifestID struct {
 // Create initializes an empty store on dev.
 func Create(dev storage.Device, clock *storage.Clock) *Store {
 	return &Store{
-		dev:       dev,
-		clock:     clock,
-		costs:     storage.DefaultCosts,
-		nextOff:   dataStart,
-		blocks:    make(map[Hash]*blockEntry),
-		records:   make(map[RecordKey]*Record),
-		manifests: make(map[uint64][]*Manifest),
-		named:     make(map[string]manifestID),
+		storeCore: &storeCore{
+			nextOff:   dataStart,
+			blocks:    make(map[Hash]*blockEntry),
+			records:   make(map[RecordKey]*Record),
+			manifests: make(map[uint64][]*Manifest),
+			named:     make(map[string]manifestID),
+		},
+		dev:   dev,
+		clock: clock,
+		costs: storage.DefaultCosts,
+	}
+}
+
+// WithClock returns a view of the store that shares the full index and
+// block state but charges hash and device costs to c. Background flush
+// lanes use this so a flush overlapping the application's timeline does
+// not inflate the foreground clock.
+func (s *Store) WithClock(c *storage.Clock) *Store {
+	return &Store{
+		storeCore: s.storeCore,
+		dev:       storage.Redirect(s.dev, c),
+		clock:     c,
+		costs:     s.costs,
 	}
 }
 

@@ -96,6 +96,12 @@ type FS struct {
 	store *objstore.Store
 	group uint64
 
+	// snapMu serializes whole-FS snapshots: a snapshot reads and clears
+	// per-inode dirty tracking, so two overlapping snapshots would race
+	// on which epoch owns a dirty page. Held across Snapshot only, so
+	// file I/O keeps running during a snapshot.
+	snapMu sync.Mutex
+
 	mu      sync.Mutex
 	inodes  map[uint64]*Inode
 	nextIno uint64

@@ -45,8 +45,20 @@ func (fs *FS) encodeNamespace() []byte {
 // Snapshot flushes all dirty state and records a checkpoint manifest.
 // Only pages dirtied since the last snapshot are written (and even
 // those deduplicate); clean pages are re-referenced, never copied.
-// It returns the snapshot's epoch.
+// It returns the snapshot's epoch. Concurrent snapshots serialize;
+// file I/O may proceed while a snapshot runs.
 func (fs *FS) Snapshot(name string) (uint64, error) {
+	return fs.SnapshotOn(fs.store, name)
+}
+
+// SnapshotOn is Snapshot writing through an alternate view of the
+// backing store — typically a clock-redirected view (Store.WithClock)
+// so a background flusher charges snapshot I/O to its own lane. The
+// view must share state with the FS's own store.
+func (fs *FS) SnapshotOn(store *objstore.Store, name string) (uint64, error) {
+	fs.snapMu.Lock()
+	defer fs.snapMu.Unlock()
+
 	fs.mu.Lock()
 	fs.epoch++
 	epoch := fs.epoch
@@ -60,7 +72,7 @@ func (fs *FS) Snapshot(name string) (uint64, error) {
 
 	var recs []objstore.RecordKey
 	for _, in := range inodes {
-		key, wrote, err := fs.flushInode(in, epoch)
+		key, wrote, err := fs.flushInodeOn(store, in, epoch)
 		if err != nil {
 			return 0, err
 		}
@@ -72,7 +84,7 @@ func (fs *FS) Snapshot(name string) (uint64, error) {
 	// Namespace record: always written, it is small and anchors the
 	// epoch.
 	nsMeta := fs.encodeNamespace()
-	if _, err := fs.store.PutRecord(nsOID, epoch, uint16(KindFSNamespace), true, nsMeta, nil, nil); err != nil {
+	if _, err := store.PutRecord(nsOID, epoch, uint16(KindFSNamespace), true, nsMeta, nil, nil); err != nil {
 		return 0, err
 	}
 	recs = append(recs, objstore.RecordKey{OID: nsOID, Epoch: epoch})
@@ -87,14 +99,15 @@ func (fs *FS) Snapshot(name string) (uint64, error) {
 	if epoch > 1 {
 		m.Prev = prev
 	}
-	fs.store.PutManifest(m)
+	store.PutManifest(m)
 	return epoch, nil
 }
 
-// flushInode writes one inode's record for the epoch. The first
-// record of an inode is full (dirty pages + re-referenced backing);
-// later records are deltas carrying only dirty pages.
-func (fs *FS) flushInode(in *Inode, epoch uint64) (objstore.RecordKey, bool, error) {
+// flushInodeOn writes one inode's record for the epoch through the
+// given store view. The first record of an inode is full (dirty pages
+// + re-referenced backing); later records are deltas carrying only
+// dirty pages.
+func (fs *FS) flushInodeOn(store *objstore.Store, in *Inode, epoch uint64) (objstore.RecordKey, bool, error) {
 	key := objstore.RecordKey{OID: in.Ino, Epoch: epoch}
 
 	in.mu.Lock()
@@ -122,11 +135,11 @@ func (fs *FS) flushInode(in *Inode, epoch uint64) (objstore.RecordKey, bool, err
 				clean[idx] = ref
 			}
 		}
-		if _, err := fs.store.PutRecordMixed(in.Ino, epoch, uint16(KindFSFile), true, meta, dirtyPages, clean, nil); err != nil {
+		if _, err := store.PutRecordMixed(in.Ino, epoch, uint16(KindFSFile), true, meta, dirtyPages, clean, nil); err != nil {
 			return key, false, err
 		}
 	} else {
-		if _, err := fs.store.PutRecord(in.Ino, epoch, uint16(KindFSFile), false, meta, dirtyPages, nil); err != nil {
+		if _, err := store.PutRecord(in.Ino, epoch, uint16(KindFSFile), false, meta, dirtyPages, nil); err != nil {
 			return key, false, err
 		}
 	}

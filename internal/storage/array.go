@@ -39,6 +39,19 @@ func NewArray(members []Device, stripe int64) (*Array, error) {
 // Params returns the aggregate performance envelope.
 func (a *Array) Params() DeviceParams { return a.params }
 
+// WithClock returns a view of the array whose members charge modeled
+// costs to c. Members that cannot redirect are shared as-is.
+func (a *Array) WithClock(c *Clock) *Array {
+	members := make([]Device, len(a.members))
+	for i, m := range a.members {
+		members[i] = Redirect(m, c)
+	}
+	return &Array{members: members, stripe: a.stripe, params: a.params}
+}
+
+// Redirect implements Redirector.
+func (a *Array) Redirect(c *Clock) Device { return a.WithClock(c) }
+
 // Stats sums the members' counters.
 func (a *Array) Stats() DeviceStats {
 	var s DeviceStats

@@ -49,6 +49,33 @@ func (c *Clock) Set(t time.Duration) {
 	c.now.Store(int64(t))
 }
 
+// AdvanceTo moves the clock forward to absolute time t if t is in the
+// future, and leaves it alone otherwise. This is the merge point for
+// work that ran on a detached lane: the foreground timeline absorbs the
+// lane's finish time without ever moving backwards.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return time.Duration(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
+	}
+}
+
+// Lane returns a new clock seeded at c's current time. Lanes model
+// device time that overlaps the foreground timeline: a background
+// flusher charges its I/O to a lane so the application's virtual clock
+// keeps running during the flush, then (if a caller wants synchronous
+// semantics) merges the lane back with AdvanceTo.
+func (c *Clock) Lane() *Clock {
+	l := NewClock()
+	l.Set(c.Now())
+	return l
+}
+
 // Stopwatch measures an interval of virtual time.
 type Stopwatch struct {
 	clock *Clock

@@ -55,18 +55,40 @@ type DeviceStats struct {
 	Busy         time.Duration // total modeled device-busy time
 }
 
-// MemDevice is the standard Device implementation: a sparse in-memory
-// block store plus the cost model from its DeviceParams. It is safe for
-// concurrent use.
-type MemDevice struct {
-	params DeviceParams
-	clock  *Clock
+// Redirector is implemented by devices that can produce a view of
+// themselves charging modeled costs to a different clock. Background
+// flush lanes use this so overlapped I/O does not stall the foreground
+// virtual timeline.
+type Redirector interface {
+	Redirect(c *Clock) Device
+}
 
+// Redirect returns a view of dev charging costs to c when the device
+// supports redirection, and dev itself otherwise.
+func Redirect(dev Device, c *Clock) Device {
+	if r, ok := dev.(Redirector); ok {
+		return r.Redirect(c)
+	}
+	return dev
+}
+
+// memCore is the shared state behind a MemDevice and all of its
+// clock-redirected views: one set of blocks, counters, and locks.
+type memCore struct {
 	mu     sync.RWMutex
 	blocks map[int64][]byte // block index -> block contents
 	used   int64            // bytes resident
 	closed bool
 	stats  DeviceStats
+}
+
+// MemDevice is the standard Device implementation: a sparse in-memory
+// block store plus the cost model from its DeviceParams. It is safe for
+// concurrent use.
+type MemDevice struct {
+	*memCore
+	params DeviceParams
+	clock  *Clock
 }
 
 // NewMemDevice creates a device with the given performance profile.
@@ -77,11 +99,20 @@ func NewMemDevice(params DeviceParams, clock *Clock) *MemDevice {
 		params.BlockSize = 4096
 	}
 	return &MemDevice{
-		params: params,
-		clock:  clock,
-		blocks: make(map[int64][]byte),
+		memCore: &memCore{blocks: make(map[int64][]byte)},
+		params:  params,
+		clock:   clock,
 	}
 }
+
+// WithClock returns a view sharing all device state (blocks, capacity
+// accounting, stats) but charging modeled costs to c.
+func (d *MemDevice) WithClock(c *Clock) *MemDevice {
+	return &MemDevice{memCore: d.memCore, params: d.params, clock: c}
+}
+
+// Redirect implements Redirector.
+func (d *MemDevice) Redirect(c *Clock) Device { return d.WithClock(c) }
 
 // Params returns the device's performance envelope.
 func (d *MemDevice) Params() DeviceParams { return d.params }

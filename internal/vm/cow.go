@@ -53,6 +53,11 @@ func (cs *CheckpointSet) Release(pm *PhysMem) {
 // every address space that maps the object (see
 // AddressSpace.ProtectObject) and for charging PTE costs.
 func (o *Object) BeginCheckpoint(epoch uint64, full bool) *CheckpointSet {
+	// Exclude in-flight writes: a write that passed its permission check
+	// before this barrier finishes its copy before we capture the frame
+	// (see Object.BeginWrite).
+	o.barrier.Lock()
+	defer o.barrier.Unlock()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 

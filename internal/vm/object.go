@@ -24,6 +24,15 @@ type Object struct {
 	Name string // debugging aid: "heap", "stack", "shm:1234", ...
 	Anon bool   // anonymous (zero-fill) memory
 
+	// barrier serializes the serialization barrier against in-flight
+	// write accesses: BeginCheckpoint holds the write side while it
+	// captures frames; the data path holds the read side from the write
+	// permission check through the data copy (see AddressSpace.access).
+	// On real hardware the check and the store are atomic at the MMU;
+	// without this lock a write could land in a frame after the barrier
+	// captured it, mutating data the background flusher is reading.
+	barrier sync.RWMutex
+
 	mu     sync.Mutex
 	size   int64 // bytes; lookups beyond size still zero-fill for anon
 	pages  map[int64]*Frame
@@ -100,6 +109,15 @@ func (o *Object) NewShadow() *Object {
 	s.shadow = o
 	return s
 }
+
+// BeginWrite and EndWrite bracket one write access to the object's
+// pages. They hold the barrier read-side so a concurrent serialization
+// barrier cannot capture a frame between the write-permission check
+// and the data copy.
+func (o *Object) BeginWrite() { o.barrier.RLock() }
+
+// EndWrite releases the write-access bracket taken by BeginWrite.
+func (o *Object) EndWrite() { o.barrier.RUnlock() }
 
 // SetTracked marks the object as registered with the SLS orchestrator.
 func (o *Object) SetTracked(v bool) {

@@ -240,6 +240,10 @@ func (as *AddressSpace) Write(addr Addr, p []byte) error {
 }
 
 // access is the unified data path: it walks pages, faulting as needed.
+// For writes, the fault returns with the object's write bracket held
+// (Object.BeginWrite) so the permission check and the data copy are
+// atomic with respect to a serialization barrier, as they would be at
+// a real MMU; the bracket is released once the copy has landed.
 func (as *AddressSpace) access(addr Addr, p []byte, write bool) error {
 	for n := 0; n < len(p); {
 		pageBase := (addr + Addr(n)).PageBase()
@@ -248,12 +252,13 @@ func (as *AddressSpace) access(addr Addr, p []byte, write bool) error {
 		if span > len(p)-n {
 			span = len(p) - n
 		}
-		frame, err := as.fault(pageBase, write)
+		frame, obj, err := as.fault(pageBase, write)
 		if err != nil {
 			return err
 		}
 		if write {
 			copy(frame.Data[po:po+int64(span)], p[n:n+span])
+			obj.EndWrite()
 		} else if frame != nil {
 			copy(p[n:n+span], frame.Data[po:po+int64(span)])
 		} else {
@@ -271,22 +276,24 @@ func zero(p []byte) {
 }
 
 // fault resolves one page access, servicing faults. For reads of
-// unresident anonymous pages it returns (nil, nil): the page reads as
-// zero without allocating a frame.
-func (as *AddressSpace) fault(pageBase Addr, write bool) (*Frame, error) {
+// unresident anonymous pages it returns (nil, nil, nil): the page
+// reads as zero without allocating a frame. For successful writes the
+// object is returned with its write bracket held (Object.BeginWrite);
+// the caller must EndWrite after copying the data.
+func (as *AddressSpace) fault(pageBase Addr, write bool) (*Frame, *Object, error) {
 	as.mu.Lock()
 	m := as.findLocked(pageBase)
 	if m == nil {
 		as.mu.Unlock()
-		return nil, ErrNoMapping
+		return nil, nil, ErrNoMapping
 	}
 	if write && m.Prot&ProtWrite == 0 {
 		as.mu.Unlock()
-		return nil, ErrProtection
+		return nil, nil, ErrProtection
 	}
 	if !write && m.Prot&ProtRead == 0 {
 		as.mu.Unlock()
-		return nil, ErrProtection
+		return nil, nil, ErrProtection
 	}
 	obj := m.Obj
 	idx := m.pageIndex(pageBase)
@@ -299,20 +306,20 @@ func (as *AddressSpace) fault(pageBase Addr, write bool) (*Frame, error) {
 		f, owner := obj.Lookup(idx)
 		if f == nil {
 			if slot, swapped := obj.SwapSlot(idx); swapped {
-				return nil, &SwapFault{Obj: obj, Page: idx, Slot: slot}
+				return nil, nil, &SwapFault{Obj: obj, Page: idx, Slot: slot}
 			}
 			// Lazy restore: pull the page from the checkpoint image.
 			lf, err := obj.fetchFromSource(as.pm, idx, as.meter)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if lf != nil {
 				as.meter.ChargeFault()
 				as.installPTE(pageBase, false)
 				obj.Touch(idx)
-				return lf, nil
+				return lf, nil, nil
 			}
-			return nil, nil // zero-fill read, no allocation
+			return nil, nil, nil // zero-fill read, no allocation
 		}
 		if !havePTE {
 			as.installPTE(pageBase, false)
@@ -322,14 +329,18 @@ func (as *AddressSpace) fault(pageBase Addr, write bool) (*Frame, error) {
 		}
 		_ = owner
 		obj.Touch(idx)
-		return f, nil
+		return f, nil, nil
 	}
 
-	// Write path.
+	// Write path: from here to the caller's data copy a serialization
+	// barrier must not intervene, or the copy could mutate a frame the
+	// barrier already captured.
+	obj.BeginWrite()
 	if _, swapped := obj.SwapSlot(idx); swapped {
 		if _, resident := obj.Lookup(idx); resident == nil {
 			if slot, ok := obj.SwapSlot(idx); ok {
-				return nil, &SwapFault{Obj: obj, Page: idx, Slot: slot, Write: true}
+				obj.EndWrite()
+				return nil, nil, &SwapFault{Obj: obj, Page: idx, Slot: slot, Write: true}
 			}
 		}
 	}
@@ -342,7 +353,7 @@ func (as *AddressSpace) fault(pageBase Addr, write bool) (*Frame, error) {
 			entry.accessed = true
 			obj.MarkDirty(idx)
 			obj.Touch(idx)
-			return f, nil
+			return f, obj, nil
 		}
 	}
 
@@ -352,22 +363,24 @@ func (as *AddressSpace) fault(pageBase Addr, write bool) (*Frame, error) {
 	if obj.IsProtected(idx) {
 		f, err := obj.CowFault(as.pm, idx, as.meter)
 		if err != nil {
-			return nil, err
+			obj.EndWrite()
+			return nil, nil, err
 		}
 		as.installPTE(pageBase, true)
 		obj.Touch(idx)
-		return f, nil
+		return f, obj, nil
 	}
 
 	// Resident in this object, or shadow-chain / zero-fill allocation.
 	f, _, err := obj.EnsurePage(as.pm, idx, as.meter)
 	if err != nil {
-		return nil, err
+		obj.EndWrite()
+		return nil, nil, err
 	}
 	obj.MarkDirty(idx)
 	obj.Touch(idx)
 	as.installPTE(pageBase, true)
-	return f, nil
+	return f, obj, nil
 }
 
 func (as *AddressSpace) installPTE(pageBase Addr, writable bool) {
