@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench faultcheck
 
-## check: full gate — build, vet, race-enabled tests
+## check: full gate — build, vet, race-enabled tests, seeded fault matrix
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) faultcheck
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json)
+## faultcheck: seeded fault-matrix tests under the race detector — the
+## self-healing flush pipeline, crash-consistent superblock, and replica
+## resume paths driven by the fault-injecting device.
+faultcheck:
+	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestFault|TestTorn|TestScrub|TestReplica' \
+		./internal/core/ ./internal/storage/ ./internal/objstore/ ./internal/netback/
+
+## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json
+## and BENCH_faults.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

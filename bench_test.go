@@ -18,6 +18,7 @@ package aurora
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
@@ -348,6 +349,66 @@ func TestEmitPipelineBench(t *testing.T) {
 	if err := writePipelineJSON(r); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// BenchmarkFaultMatrix measures checkpoint throughput under injected
+// storage faults: the same workload at 0%, 1%, and 5% per-write fault
+// rates on the primary, with a clean secondary carrying degraded-mode
+// durability.
+func BenchmarkFaultMatrix(b *testing.B) {
+	var last []bench.FaultPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.FaultSweep(100, []float64{0, 0.01, 0.05}, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			name := fmt.Sprintf("ckpt/vsec-%g%%", pt.Rate*100)
+			b.ReportMetric(pt.CkptPerVSec, name)
+		}
+	}
+	if err := writeFaultJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitFaultBench writes BENCH_faults.json on every plain `go test`
+// run, so the fault-matrix datapoint exists without -bench.
+func TestEmitFaultBench(t *testing.T) {
+	pts, err := bench.FaultSweep(100, []float64{0, 0.01, 0.05}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFaultJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeFaultJSON(pts []bench.FaultPoint) error {
+	rows := make([]map[string]any, 0, len(pts))
+	for _, pt := range pts {
+		rows = append(rows, map[string]any{
+			"fault_rate":      pt.Rate,
+			"checkpoints":     pt.Checkpoints,
+			"durable_epoch":   pt.Durable,
+			"faults_injected": pt.Injected,
+			"flush_retries":   pt.Retries,
+			"epochs_resynced": pt.Resyncs,
+			"virtual_time_us": vus(int64(pt.VirtualTime)),
+			"ckpt_per_vsec":   pt.CkptPerVSec,
+		})
+	}
+	out := map[string]any{
+		"benchmark": "fault-matrix",
+		"seed":      42,
+		"points":    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644)
 }
 
 func writePipelineJSON(r *bench.PipelineResult) error {

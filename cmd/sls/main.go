@@ -20,6 +20,7 @@
 //	sync <group>              wait for the flush pipeline to drain
 //	restore <group> [epoch]   restore an application from an image
 //	ps                        list applications in Aurora
+//	scrub <backend> [source]  verify block hashes, repair rot from a peer
 //	send <group> <file>       export an application to a file
 //	recv <file>               import an application and restore it
 //	boot <counter|redis>      spawn a demo application
@@ -110,6 +111,39 @@ func init() {
 		d := kernel.NewDecoder(state)
 		return &counterProg{addr: vm.Addr(d.U64())}, nil
 	})
+}
+
+// storeArg resolves a backend name to its store-backed implementation.
+func (s *session) storeArg(name string) (*core.StoreBackend, error) {
+	b, ok := s.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q", name)
+	}
+	sb, ok := b.(*core.StoreBackend)
+	if !ok {
+		return nil, fmt.Errorf("backend %q is not store-backed", name)
+	}
+	return sb, nil
+}
+
+// healthColumn renders a group's per-backend health for ps: one entry
+// per backend ("ok", "degraded:N", "down:N" with N missed epochs
+// queued for catch-up), or "-" with no backends attached.
+func healthColumn(g *core.Group) string {
+	infos := g.Health()
+	if len(infos) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(infos))
+	for _, info := range infos {
+		switch info.State {
+		case core.BackendHealthy:
+			parts = append(parts, "ok")
+		default:
+			parts = append(parts, fmt.Sprintf("%s:%d", info.State, info.Pending))
+		}
+	}
+	return strings.Join(parts, ",")
 }
 
 func (s *session) groupArg(name string) (*core.Group, error) {
@@ -268,9 +302,9 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-14s %-8s %-6s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "QUEUE", "PIDS")
+		s.printf("%-6s %-6s %-14s %-8s %-6s %-18s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "QUEUE", "HEALTH", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-14s %-8d %-6d %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.QueueDepth(), g.PIDs())
+			s.printf("%-6d %-6d %-14s %-8d %-6d %-18s %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.QueueDepth(), healthColumn(g), g.PIDs())
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
@@ -328,6 +362,32 @@ func (s *session) exec(line string) bool {
 		}
 		s.printf("received as group %d, pids %v\n%s\n", ng.ID, ng.PIDs(), bd)
 
+	case "scrub":
+		if len(args) < 1 {
+			s.printf("usage: scrub <backend> [source-backend]\n")
+			return true
+		}
+		sb, err := s.storeArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		var src objstore.BlockSource
+		if len(args) > 1 {
+			peer, err := s.storeArg(args[1])
+			if err != nil {
+				return fail(err)
+			}
+			src = peer.Store()
+		}
+		rep, err := sb.Store().Scrub(src)
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("scrub %s: %s\n", args[0], rep)
+		for _, key := range rep.LostRecords {
+			s.printf("  lost: oid %d epoch %d\n", key.OID, key.Epoch)
+		}
+
 	case "run":
 		n := 100
 		if len(args) > 0 {
@@ -372,9 +432,12 @@ const helpText = `Aurora single level store (Table 1):
   checkpoint <group> [name]  checkpoint an application (flush is async)
   sync <group>               wait for queued flushes; surface flush errors
   restore <group> [epoch]    restore an application from an image
-  ps                         list applications in Aurora (QUEUE = epochs in flight)
+  ps                         list applications in Aurora (QUEUE = epochs in
+                             flight, HEALTH = per-backend flush health)
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
+  scrub <backend> [source]   verify every block hash on a store backend,
+                             repairing rot from a peer store if given
 session helpers:
   boot <counter|redis>       spawn a demo application
   run <n>                    run the scheduler for n quanta

@@ -110,3 +110,43 @@ func TestCLIRedisBoot(t *testing.T) {
 		t.Fatalf("redis boot output:\n%s", got)
 	}
 }
+
+func TestCLIScrub(t *testing.T) {
+	got := runScript(t,
+		"boot counter; run 5; persist 1 app; attach app nvme; attach app ssd; checkpoint app; sync app; scrub nvme ssd")
+	if !strings.Contains(got, "scrub nvme:") || !strings.Contains(got, "0 corrupt") {
+		t.Fatalf("scrub output:\n%s", got)
+	}
+	if !strings.Contains(got, "0 lost") {
+		t.Fatalf("clean store reported losses:\n%s", got)
+	}
+}
+
+func TestCLIScrubErrors(t *testing.T) {
+	got := runScript(t, "scrub; scrub nope; scrub memory")
+	if !strings.Contains(got, "usage: scrub") {
+		t.Fatalf("scrub usage missing:\n%s", got)
+	}
+	if !strings.Contains(got, `unknown backend "nope"`) {
+		t.Fatalf("bad backend not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "not store-backed") {
+		t.Fatalf("memory backend accepted for scrub:\n%s", got)
+	}
+}
+
+func TestCLIHealthColumn(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app; ps")
+	if !strings.Contains(got, "HEALTH") {
+		t.Fatalf("ps missing HEALTH column:\n%s", got)
+	}
+	if !strings.Contains(got, "ok") {
+		t.Fatalf("healthy backend not shown as ok:\n%s", got)
+	}
+	// A group with no backends renders a placeholder.
+	got2 := runScript(t, "boot counter; persist 1 app; ps")
+	if !strings.Contains(got2, "-") {
+		t.Fatalf("backendless group health:\n%s", got2)
+	}
+}

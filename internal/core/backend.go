@@ -169,7 +169,7 @@ func (mb *MemoryBackend) Load(group, epoch uint64) (*Image, time.Duration, error
 	defer mb.mu.Unlock()
 	chain := mb.images[group]
 	if len(chain) == 0 {
-		return nil, 0, ErrNoImage
+		return nil, 0, fmt.Errorf("%w: group %d holds no images in memory", ErrNoImage, group)
 	}
 	if epoch == 0 {
 		return chain[len(chain)-1], 0, nil
@@ -293,7 +293,8 @@ func (sb *StoreBackend) Load(group, epoch uint64) (*Image, time.Duration, error)
 		m, err = sb.store.Manifest(group, epoch)
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrNoImage, err)
+		// Wrap both: callers match ErrNoImage or the store's own error.
+		return nil, 0, fmt.Errorf("%w: group %d epoch %d: %w", ErrNoImage, group, epoch, err)
 	}
 
 	img := &Image{

@@ -165,53 +165,78 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 	return bd, nil
 }
 
-// flushImage delivers one image to every backend concurrently; the
-// modeled time is the slowest backend plus the file-system snapshot
-// that pins file state to the same generation. Each lane-capable
-// backend charges its I/O to a detached clock lane, so a background
-// flush overlaps the group's execution instead of stalling the
-// foreground virtual timeline; a foreground (synchronous) caller
+// flushImage delivers one image to every backend concurrently, under
+// the per-backend health state machine (health.go): a healthy backend
+// that fails retries with backoff and then degrades, queuing the epoch
+// for catch-up. The epoch succeeds — and may retire — as long as at
+// least one healthy non-ephemeral backend accepted it (degraded
+// durability mode); with only ephemeral backends attached, any
+// successful flush suffices, and a group with no backends trivially
+// succeeds as before.
+//
+// The modeled time is the slowest backend plus the file-system
+// snapshot that pins file state to the same generation. Each
+// lane-capable backend charges its I/O to a detached clock lane, so a
+// background flush overlaps the group's execution instead of stalling
+// the foreground virtual timeline; a foreground (synchronous) caller
 // merges the flush time back into the kernel clock. When no ephemeral
-// backend retains the image, its frames are released after a fully
-// successful flush (the object store now owns the data).
+// backend retains the image and no catch-up queue still owes it, its
+// frames are released (the object store now owns the data).
 func (o *Orchestrator) flushImage(g *Group, img *Image, background bool) (time.Duration, error) {
 	backends := g.Backends()
 	clock := o.K.Clock
 	start := clock.Now()
 
-	durs := make([]time.Duration, len(backends))
-	errs := make([]error, len(backends))
+	type outcome struct {
+		dur      time.Duration
+		deferred bool
+		err      error
+	}
+	outs := make([]outcome, len(backends))
 	var wg sync.WaitGroup
 	for i, b := range backends {
 		wg.Add(1)
 		go func(i int, b Backend) {
 			defer wg.Done()
-			target := b
-			if lb, ok := b.(LaneBackend); ok {
-				target = lb.WithLane(clock.Lane())
-			}
-			d, err := target.Flush(img)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: flushing to %s: %w", b.Name(), err)
-				return
-			}
-			durs[i] = d
+			d, deferred, err := o.flushBackend(g, b, img, !background)
+			outs[i] = outcome{dur: d, deferred: deferred, err: err}
 		}(i, b)
 	}
 	wg.Wait()
 
 	var worst time.Duration
+	var firstErr error
 	keepFrames := false
+	haveNonEph, okNonEph, okAny := false, false, false
+	deferred := 0
 	for i, b := range backends {
-		if errs[i] != nil {
-			return 0, errs[i]
-		}
-		if durs[i] > worst {
-			worst = durs[i]
+		out := outs[i]
+		if out.dur > worst {
+			worst = out.dur
 		}
 		if b.Ephemeral() {
 			keepFrames = true
+		} else {
+			haveNonEph = true
 		}
+		if out.deferred {
+			deferred++
+		} else if out.err == nil {
+			okAny = true
+			if !b.Ephemeral() {
+				okNonEph = true
+			}
+		}
+		if out.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: flushing to %s: %w", b.Name(), out.err)
+		}
+	}
+	if len(backends) > 0 && !okNonEph && !(okAny && !haveNonEph) {
+		// No durable backend holds the epoch: it must not retire.
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: epoch %d of group %d: %w", img.Epoch, g.ID, ErrBackendDown)
+		}
+		return 0, firstErr
 	}
 	// Keep file state in the same store generation as process state.
 	if o.FS != nil {
@@ -222,7 +247,7 @@ func (o *Orchestrator) flushImage(g *Group, img *Image, background bool) (time.D
 		}
 		worst += sw.Elapsed()
 	}
-	if !keepFrames && len(backends) > 0 {
+	if !keepFrames && deferred == 0 && len(backends) > 0 {
 		img.Release(o.K.Mem)
 	}
 	if !background {

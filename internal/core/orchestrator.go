@@ -46,6 +46,12 @@ type Group struct {
 	excluded int
 	// ntSeq is the group's NT-log sequence counter (sls_ntflush).
 	ntSeq uint64
+
+	// healthMu guards health (per-backend state machine, catch-up
+	// queues). It is never held across backend I/O and never nested
+	// inside mu.
+	healthMu sync.Mutex
+	health   map[Backend]*backendHealth
 }
 
 // Epoch returns the group's current checkpoint epoch.
@@ -124,6 +130,13 @@ type Orchestrator struct {
 	// many un-retired epochs may pile up before Checkpoint blocks.
 	FlushWorkers    int
 	FlushQueueDepth int
+	// FlushRetries is the number of extra flush attempts (with
+	// exponential backoff) before a backend is marked degraded
+	// (0 = package default).
+	FlushRetries int
+	// DownAfter is the number of consecutive failed epochs after which
+	// a degraded backend is marked down (0 = package default).
+	DownAfter int
 }
 
 // NewOrchestrator attaches an orchestrator to a kernel and installs
@@ -272,7 +285,11 @@ func (o *Orchestrator) Sync(g *Group) error {
 			}
 		}
 	}
-	return nil
+	// Degraded-mode epilogue: the durable frontier is current, but a
+	// sick backend may still owe its catch-up queue. Sync means
+	// "durable everywhere", so force the resync and surface a backend
+	// that cannot take its missed epochs.
+	return o.Resync(g)
 }
 
 // Attach registers a backend with a group (`sls attach`).

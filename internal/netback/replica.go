@@ -1,0 +1,259 @@
+package netback
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/storage"
+)
+
+// This file implements acknowledged replication: unlike the
+// fire-and-forget Backend, a ReplicaBackend waits for a per-delta ack
+// from the receiver, so a flush only succeeds once the epoch is safely
+// on the standby. A resume handshake (hello / hello-ack carrying the
+// receiver's last contiguous epoch) lets a dropped connection
+// reconnect and skip epochs the replica already holds; the core health
+// machinery replays the rest from the catch-up queue.
+
+// Replica frame types, continuing the base protocol's numbering.
+const (
+	frameAck      byte = iota + 4 // receiver -> sender: [group u64][epoch u64]
+	frameHello                    // sender -> receiver: [group u64]
+	frameHelloAck                 // receiver -> sender: [group u64][last contiguous epoch u64]
+)
+
+// ErrDisconnected is wrapped into replica flush errors once the
+// connection is gone; callers select on it with errors.Is and
+// reconnect with Connect.
+var ErrDisconnected = errors.New("netback: replica disconnected")
+
+// ServeReplica consumes an acknowledged replication stream: every
+// image or delta applied is acked with its (group, epoch), and a hello
+// is answered with the group's last contiguous epoch so the sender can
+// resume where it left off. It returns the number of frames applied;
+// the error is nil on a clean bye or EOF.
+func (r *Receiver) ServeReplica(conn io.ReadWriter) (int, error) {
+	applied := 0
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
+				return applied, nil
+			}
+			return applied, err
+		}
+		r.mu.Lock()
+		r.recvd += int64(len(payload))
+		r.mu.Unlock()
+		if r.clock != nil {
+			r.clock.Advance(r.nic.Latency + time.Duration(int64(len(payload))*int64(time.Second)/r.nic.ReadBW))
+		}
+		switch typ {
+		case frameBye:
+			return applied, nil
+		case frameHello:
+			if len(payload) != 8 {
+				return applied, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(payload))
+			}
+			group := binary.LittleEndian.Uint64(payload)
+			var ack [16]byte
+			binary.LittleEndian.PutUint64(ack[:8], group)
+			binary.LittleEndian.PutUint64(ack[8:], r.lastContiguous(group))
+			if err := writeFrame(conn, frameHelloAck, ack[:]); err != nil {
+				return applied, err
+			}
+		case frameImage:
+			img, err := core.DecodeImage(payload, r.pm)
+			if err != nil {
+				return applied, err
+			}
+			r.install(img)
+			applied++
+			if err := writeAck(conn, img.Group, img.Epoch); err != nil {
+				return applied, err
+			}
+		case frameDelta:
+			img, err := core.DecodeDelta(payload, r.pm)
+			if err != nil {
+				return applied, err
+			}
+			r.link(img)
+			applied++
+			if err := writeAck(conn, img.Group, img.Epoch); err != nil {
+				return applied, err
+			}
+		default:
+			return applied, fmt.Errorf("%w: type %d", ErrBadFrame, typ)
+		}
+	}
+}
+
+func writeAck(w io.Writer, group, epoch uint64) error {
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[:8], group)
+	binary.LittleEndian.PutUint64(p[8:], epoch)
+	return writeFrame(w, frameAck, p[:])
+}
+
+// lastContiguous reports the newest epoch e such that the receiver
+// holds every epoch from the start of the group's chain through e. A
+// gap (an epoch lost with the connection) stops the walk: resuming
+// past it would leave a hole no restore could cross.
+func (r *Receiver) lastContiguous(group uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	chain := r.chains[group]
+	if len(chain) == 0 {
+		return 0
+	}
+	last := chain[0].Epoch
+	for _, img := range chain[1:] {
+		if img.Epoch != last+1 {
+			break
+		}
+		last = img.Epoch
+	}
+	return last
+}
+
+// replicaCore is the connection state shared by a ReplicaBackend and
+// its lane views. The mutex is held across the send/ack round trip:
+// the protocol is synchronous per delta, so concurrent flush workers
+// serialize here.
+type replicaCore struct {
+	mu    sync.Mutex
+	conn  io.ReadWriter
+	floor uint64 // receiver's last contiguous epoch at handshake
+	sent  int64  // bytes
+	nic   storage.DeviceParams
+}
+
+// ReplicaBackend is a core.Backend that replicates every checkpoint to
+// a remote receiver and waits for the ack. It is non-ephemeral: an
+// acked epoch is durable on the standby, so it counts toward external
+// consistency. On connection loss flushes fail with ErrDisconnected,
+// the health machinery degrades the backend and queues missed epochs,
+// and a Connect + Resync replays them.
+type ReplicaBackend struct {
+	core  *replicaCore
+	clock *storage.Clock
+}
+
+// NewReplicaBackend creates a disconnected replica backend charging
+// transfer time to clock.
+func NewReplicaBackend(clock *storage.Clock) *ReplicaBackend {
+	return &ReplicaBackend{
+		core:  &replicaCore{nic: storage.ParamsNIC10G},
+		clock: clock,
+	}
+}
+
+// Connect performs the resume handshake over rw for group: it sends a
+// hello, reads back the receiver's last contiguous epoch, and records
+// it as the floor below which flushes are skipped. It returns that
+// epoch so the caller knows where replication resumes.
+func (rb *ReplicaBackend) Connect(rw io.ReadWriter, group uint64) (uint64, error) {
+	rb.core.mu.Lock()
+	defer rb.core.mu.Unlock()
+	var hello [8]byte
+	binary.LittleEndian.PutUint64(hello[:], group)
+	if err := writeFrame(rw, frameHello, hello[:]); err != nil {
+		return 0, fmt.Errorf("%w: hello: %w", ErrDisconnected, err)
+	}
+	typ, payload, err := readFrame(rw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: hello ack: %w", ErrDisconnected, err)
+	}
+	if typ != frameHelloAck || len(payload) != 16 {
+		return 0, fmt.Errorf("%w: expected hello ack, got type %d", ErrBadFrame, typ)
+	}
+	if got := binary.LittleEndian.Uint64(payload[:8]); got != group {
+		return 0, fmt.Errorf("%w: hello ack for group %d, want %d", ErrBadFrame, got, group)
+	}
+	rb.core.conn = rw
+	rb.core.floor = binary.LittleEndian.Uint64(payload[8:])
+	return rb.core.floor, nil
+}
+
+// Disconnect drops the connection; subsequent flushes fail with
+// ErrDisconnected until Connect succeeds again.
+func (rb *ReplicaBackend) Disconnect() {
+	rb.core.mu.Lock()
+	rb.core.conn = nil
+	rb.core.mu.Unlock()
+}
+
+// SentBytes reports bytes placed on the wire.
+func (rb *ReplicaBackend) SentBytes() int64 {
+	rb.core.mu.Lock()
+	defer rb.core.mu.Unlock()
+	return rb.core.sent
+}
+
+// Name implements core.Backend.
+func (rb *ReplicaBackend) Name() string { return "replica" }
+
+// Ephemeral implements core.Backend: an acked replica epoch survives
+// the local machine.
+func (rb *ReplicaBackend) Ephemeral() bool { return false }
+
+// WithLane implements core.LaneBackend: the view shares the connection
+// but charges transfer time to the worker's detached lane.
+func (rb *ReplicaBackend) WithLane(lane *storage.Clock) core.Backend {
+	return &ReplicaBackend{core: rb.core, clock: lane}
+}
+
+// Flush implements core.Backend: send the delta, wait for the
+// matching ack. Epochs at or below the handshake floor are already on
+// the replica and are skipped. Any transport failure drops the
+// connection and returns an error wrapping ErrDisconnected.
+func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
+	rc := rb.core
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if img.Epoch <= rc.floor {
+		return 0, nil
+	}
+	if rc.conn == nil {
+		return 0, fmt.Errorf("%w: epoch %d not sent", ErrDisconnected, img.Epoch)
+	}
+	payload := img.EncodeDelta()
+	if err := writeFrame(rc.conn, frameDelta, payload); err != nil {
+		rc.conn = nil
+		return 0, fmt.Errorf("%w: sending epoch %d: %w", ErrDisconnected, img.Epoch, err)
+	}
+	typ, ack, err := readFrame(rc.conn)
+	if err != nil {
+		rc.conn = nil
+		return 0, fmt.Errorf("%w: awaiting ack for epoch %d: %w", ErrDisconnected, img.Epoch, err)
+	}
+	if typ != frameAck || len(ack) != 16 {
+		rc.conn = nil
+		return 0, fmt.Errorf("%w: expected ack, got type %d", ErrBadFrame, typ)
+	}
+	group := binary.LittleEndian.Uint64(ack[:8])
+	epoch := binary.LittleEndian.Uint64(ack[8:])
+	if group != img.Group || epoch != img.Epoch {
+		rc.conn = nil
+		return 0, fmt.Errorf("%w: ack for group %d epoch %d, want %d/%d",
+			ErrBadFrame, group, epoch, img.Group, img.Epoch)
+	}
+	rc.sent += int64(len(payload))
+	cost := rc.nic.Latency + time.Duration(int64(len(payload))*int64(time.Second)/rc.nic.WriteBW)
+	if rb.clock != nil {
+		rb.clock.Advance(cost)
+	}
+	return cost, nil
+}
+
+// Load implements core.Backend: replica state lives on the remote
+// machine and is restored there, not here.
+func (rb *ReplicaBackend) Load(group, epoch uint64) (*core.Image, time.Duration, error) {
+	return nil, 0, fmt.Errorf("%w: replica backend holds no local images (group %d epoch %d)",
+		core.ErrNoImage, group, epoch)
+}

@@ -2,18 +2,100 @@ package objstore
 
 import (
 	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 
 	"aurora/internal/codec"
 	"aurora/internal/storage"
 )
 
 // This file persists the store's index so a store survives restart:
-// Sync serializes every map to a fresh extent and points the
-// superblock at it; Open replays that extent. Data blocks themselves
-// are already on the device — the index is the only volatile state.
+// Sync serializes every map to a fresh extent and publishes it through
+// a double-buffered superblock; Open replays that extent. Data blocks
+// themselves are already on the device — the index is the only
+// volatile state.
+//
+// Crash consistency: two superblock slots alternate by generation
+// parity, each carrying a generation counter, the index extent
+// location, a CRC of the index bytes, and a CRC of the header itself.
+// Sync's durability barrier protocol is
+//
+//	write index extent → Device.Sync → write alternate slot → Device.Sync
+//
+// so at every instant one slot holds a fully durable generation. A
+// torn index or superblock write leaves the previous slot untouched
+// and Open falls back to it.
 
-// Sync writes the index to the device and updates the superblock.
+// castagnoli is the CRC-32C table used for superblock and index
+// checksums (the same polynomial real storage stacks use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// superblock is the decoded form of one slot.
+type superblock struct {
+	gen    uint64
+	idxOff int64
+	idxLen int64
+	idxCRC uint32
+}
+
+// Slot layout (64 bytes):
+//
+//	[0:4)   magic
+//	[4:8)   version
+//	[8:16)  generation
+//	[16:24) index offset
+//	[24:32) index length
+//	[32:36) index CRC-32C
+//	[36:60) reserved (zero)
+//	[60:64) header CRC-32C over bytes [0:60)
+func encodeSuperblock(sb superblock) []byte {
+	buf := make([]byte, sbSize)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], sbVersion)
+	binary.LittleEndian.PutUint64(buf[8:], sb.gen)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(sb.idxOff))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(sb.idxLen))
+	binary.LittleEndian.PutUint32(buf[32:], sb.idxCRC)
+	binary.LittleEndian.PutUint32(buf[60:], crc32.Checksum(buf[:60], castagnoli))
+	return buf
+}
+
+// decodeSuperblock validates one slot's header; ok is false for any
+// torn, stale-layout, or foreign contents.
+func decodeSuperblock(buf []byte) (superblock, bool) {
+	if len(buf) < sbSize {
+		return superblock{}, false
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return superblock{}, false
+	}
+	if binary.LittleEndian.Uint32(buf[4:]) != sbVersion {
+		return superblock{}, false
+	}
+	if binary.LittleEndian.Uint32(buf[60:]) != crc32.Checksum(buf[:60], castagnoli) {
+		return superblock{}, false
+	}
+	return superblock{
+		gen:    binary.LittleEndian.Uint64(buf[8:]),
+		idxOff: int64(binary.LittleEndian.Uint64(buf[16:])),
+		idxLen: int64(binary.LittleEndian.Uint64(buf[24:])),
+		idxCRC: binary.LittleEndian.Uint32(buf[32:]),
+	}, true
+}
+
+func slotOffset(gen uint64) int64 {
+	if gen%2 == 1 {
+		return sbSlot1
+	}
+	return sbSlot0
+}
+
+// Sync writes the index to the device and publishes it as the next
+// superblock generation.
 func (s *Store) Sync() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+
 	s.mu.Lock()
 	e := codec.NewEncoder()
 	// Allocation state.
@@ -80,39 +162,93 @@ func (s *Store) Sync() error {
 
 	idx := e.Bytes()
 	idxOff := s.allocExtent(len(idx))
+	gen := s.sbGen + 1
 	s.mu.Unlock()
 
+	// Durability barrier: the index must be stable on media before the
+	// superblock that points at it becomes visible, and the superblock
+	// must be stable before Sync reports success.
 	if _, err := s.dev.WriteAt(idx, idxOff); err != nil {
-		return err
+		return fmt.Errorf("objstore: writing index generation %d: %w", gen, err)
 	}
-	var sb [sbSize]byte
-	binary.LittleEndian.PutUint32(sb[0:], magic)
-	binary.LittleEndian.PutUint64(sb[8:], uint64(idxOff))
-	binary.LittleEndian.PutUint64(sb[16:], uint64(len(idx)))
-	if _, err := s.dev.WriteAt(sb[:], 0); err != nil {
-		return err
+	if _, err := s.dev.Sync(); err != nil {
+		return fmt.Errorf("objstore: syncing index generation %d: %w", gen, err)
 	}
-	_, err := s.dev.Sync()
-	return err
+	sb := encodeSuperblock(superblock{
+		gen:    gen,
+		idxOff: idxOff,
+		idxLen: int64(len(idx)),
+		idxCRC: crc32.Checksum(idx, castagnoli),
+	})
+	if _, err := s.dev.WriteAt(sb, slotOffset(gen)); err != nil {
+		return fmt.Errorf("objstore: publishing superblock generation %d: %w", gen, err)
+	}
+	if _, err := s.dev.Sync(); err != nil {
+		return fmt.Errorf("objstore: syncing superblock generation %d: %w", gen, err)
+	}
+
+	s.mu.Lock()
+	if gen > s.sbGen {
+		s.sbGen = gen
+	}
+	s.mu.Unlock()
+	return nil
 }
 
-// Open mounts an existing store from its superblock, replaying the
-// index written by the last Sync.
+// Generation returns the last superblock generation this store
+// published (or mounted from).
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sbGen
+}
+
+// Open mounts an existing store, preferring the newest superblock
+// generation whose index is intact and falling back to the alternate
+// slot when a crash tore the most recent Sync. ErrBadMagic means no
+// slot holds a valid superblock at all.
 func Open(dev storage.Device, clock *storage.Clock) (*Store, error) {
-	var sb [sbSize]byte
-	if _, err := dev.ReadAt(sb[:], 0); err != nil {
-		return nil, err
+	var cands []superblock
+	for _, off := range []int64{sbSlot0, sbSlot1} {
+		var buf [sbSize]byte
+		if _, err := dev.ReadAt(buf[:], off); err != nil {
+			continue
+		}
+		if sb, ok := decodeSuperblock(buf[:]); ok {
+			cands = append(cands, sb)
+		}
 	}
-	if binary.LittleEndian.Uint32(sb[0:]) != magic {
+	if len(cands) == 0 {
 		return nil, ErrBadMagic
 	}
-	idxOff := int64(binary.LittleEndian.Uint64(sb[8:]))
-	idxLen := int64(binary.LittleEndian.Uint64(sb[16:]))
-	idx := make([]byte, idxLen)
-	if _, err := dev.ReadAt(idx, idxOff); err != nil {
-		return nil, err
+	// Newest generation first.
+	if len(cands) == 2 && cands[1].gen > cands[0].gen {
+		cands[0], cands[1] = cands[1], cands[0]
 	}
+	var lastErr error
+	for _, sb := range cands {
+		idx := make([]byte, sb.idxLen)
+		if _, err := dev.ReadAt(idx, sb.idxOff); err != nil {
+			lastErr = err
+			continue
+		}
+		if crc32.Checksum(idx, castagnoli) != sb.idxCRC {
+			lastErr = fmt.Errorf("objstore: index generation %d fails checksum", sb.gen)
+			continue
+		}
+		s, err := decodeIndex(dev, clock, idx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.sbGen = sb.gen
+		return s, nil
+	}
+	return nil, fmt.Errorf("objstore: no usable superblock generation: %w", lastErr)
+}
 
+// decodeIndex replays one serialized index into a fresh store.
+func decodeIndex(dev storage.Device, clock *storage.Clock, idx []byte) (*Store, error) {
 	s := Create(dev, clock)
 	d := codec.NewDecoder(idx)
 	s.nextOff = d.I64()

@@ -36,15 +36,23 @@ var (
 	ErrNoRecord   = errors.New("objstore: no such record")
 	ErrNoManifest = errors.New("objstore: no such checkpoint")
 	ErrBadMagic   = errors.New("objstore: bad superblock magic")
+	// ErrCorruptBlock marks a block whose device contents no longer
+	// match its content hash: silent media rot caught at read time.
+	ErrCorruptBlock = errors.New("objstore: block content hash mismatch")
 )
 
 // BlockSize is the data block granularity: one VM page.
 const BlockSize = vm.PageSize
 
-// superblock layout constants.
+// superblock layout constants. Two alternating slots hold generation-
+// stamped, checksummed superblocks so a torn publish falls back to the
+// previous good generation (see persist.go).
 const (
 	magic     = 0x41555253 // "AURS"
-	sbSize    = 64         // superblock region at device offset 0
+	sbVersion = 2          // double-buffered, checksummed layout
+	sbSize    = 64         // one superblock slot
+	sbSlot0   = 0          // even generations
+	sbSlot1   = 512        // odd generations
 	dataStart = 4096       // first allocatable byte
 )
 
@@ -117,12 +125,14 @@ type blockEntry struct {
 // clock-redirected views: one set of records, blocks, and locks.
 type storeCore struct {
 	mu        sync.Mutex
+	syncMu    sync.Mutex // serializes Sync's write-index/publish protocol
 	nextOff   int64
 	freeList  []int64 // freed block offsets, reusable in place
 	blocks    map[Hash]*blockEntry
 	records   map[RecordKey]*Record
 	manifests map[uint64][]*Manifest // group -> epoch-sorted manifests
 	named     map[string]manifestID  // checkpoint name -> manifest
+	sbGen     uint64                 // superblock generation last published
 	stats     Stats
 }
 
@@ -253,10 +263,23 @@ func (s *Store) releaseBlock(ref BlockRef) {
 	}
 }
 
-// ReadBlock fetches a data block's contents.
+// verifyBlock checks a block's contents against its content hash. The
+// hash doubles as an end-to-end integrity check: dedup already paid
+// for it at write time, verifying at read time catches silent rot.
+func (s *Store) verifyBlock(ref BlockRef, data []byte) error {
+	if s.HashPage(data) != ref.Hash {
+		return fmt.Errorf("%w: block at offset %d", ErrCorruptBlock, ref.Off)
+	}
+	return nil
+}
+
+// ReadBlock fetches a data block's contents, verifying its hash.
 func (s *Store) ReadBlock(ref BlockRef) ([]byte, error) {
 	buf := make([]byte, BlockSize)
 	if _, err := s.dev.ReadAt(buf, ref.Off); err != nil {
+		return nil, err
+	}
+	if err := s.verifyBlock(ref, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -264,7 +287,7 @@ func (s *Store) ReadBlock(ref BlockRef) ([]byte, error) {
 
 // ReadBlocks fetches many blocks in one batched device operation,
 // overlapping the reads at the device queue depth (the restore path's
-// bulk image read).
+// bulk image read). Every block is verified against its hash.
 func (s *Store) ReadBlocks(refs []BlockRef) ([][]byte, error) {
 	bufs := make([][]byte, len(refs))
 	offs := make([]int64, len(refs))
@@ -274,6 +297,11 @@ func (s *Store) ReadBlocks(refs []BlockRef) ([][]byte, error) {
 	}
 	if _, err := s.dev.ReadBatch(bufs, offs); err != nil {
 		return nil, err
+	}
+	for i, ref := range refs {
+		if err := s.verifyBlock(ref, bufs[i]); err != nil {
+			return nil, err
+		}
 	}
 	return bufs, nil
 }

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newFaulty(cfg FaultConfig) (*FaultDevice, *Clock) {
+	clock := NewClock()
+	inner := NewMemDevice(ParamsOptaneNVMe, clock)
+	return NewFaultDevice(inner, clock, cfg), clock
+}
+
+// runSchedule performs a fixed op sequence and returns which ops failed.
+func runSchedule(d *FaultDevice, n int) []bool {
+	buf := make([]byte, 4096)
+	outcome := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		var err error
+		switch i % 3 {
+		case 0:
+			_, err = d.WriteAt(buf, int64(i)*4096)
+		case 1:
+			_, err = d.ReadAt(buf, int64(i-1)*4096)
+		case 2:
+			_, err = d.Sync()
+		}
+		outcome = append(outcome, err != nil)
+	}
+	return outcome
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ReadErr: 0.2, WriteErr: 0.2, SyncErr: 0.2, TornWrite: 0.5, BitRot: 0.1}
+	a, _ := newFaulty(cfg)
+	b, _ := newFaulty(cfg)
+	oa, ob := runSchedule(a, 300), runSchedule(b, 300)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("op %d diverged between identically seeded devices", i)
+		}
+	}
+	if a.InjectedCount() == 0 {
+		t.Fatal("no faults injected at 20% rates over 300 ops")
+	}
+	c, _ := newFaulty(FaultConfig{Seed: 43, ReadErr: 0.2, WriteErr: 0.2, SyncErr: 0.2})
+	if oc := runSchedule(c, 300); equalBools(oa, oc) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFaultScriptMode(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 1})
+	d.FailOps(FaultWrite, 2, 3)
+	buf := make([]byte, 512)
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("op 1 should pass: %v", err)
+	}
+	if _, err := d.WriteAt(buf, 512); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 should be injected, got %v", err)
+	}
+	// Reads are not targeted by a write script.
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read (op 3) should pass a write-only script: %v", err)
+	}
+	if _, err := d.WriteAt(buf, 1024); err != nil {
+		t.Fatalf("op 4 is past the script window: %v", err)
+	}
+	d.ClearScripts()
+	d.FailOps(FaultAny, d.OpCount()+1, d.OpCount()+1)
+	if _, err := d.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("FaultAny script should hit sync, got %v", err)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 7})
+	want := bytes.Repeat([]byte{0xee}, 4096)
+	d.TearOps(1, 1)
+	_, err := d.WriteAt(want, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write must error, got %v", err)
+	}
+	got := make([]byte, 4096)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	prefix := 0
+	for prefix < len(got) && got[prefix] == 0xee {
+		prefix++
+	}
+	if prefix == 0 || prefix == len(got) {
+		t.Fatalf("torn write landed %d of %d bytes; want a strict prefix", prefix, len(got))
+	}
+	for _, b := range got[prefix:] {
+		if b != 0 {
+			t.Fatal("bytes beyond the torn prefix must be untouched")
+		}
+	}
+}
+
+func TestFaultBitRot(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 3, BitRot: 1.0})
+	want := bytes.Repeat([]byte{0x11}, 4096)
+	// Writes are unaffected by BitRot.
+	if _, err := d.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("bit rot must be silent, got %v", err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("read at BitRot=1.0 returned pristine data")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit rot flipped %d bytes; want exactly 1", diff)
+	}
+}
+
+func TestFaultDownUp(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 9})
+	buf := make([]byte, 512)
+	d.Down()
+	if _, err := d.WriteAt(buf, 0); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("down device write: %v", err)
+	}
+	if _, err := d.ReadAt(buf, 0); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("down device read: %v", err)
+	}
+	if _, err := d.Sync(); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("down device sync: %v", err)
+	}
+	d.Up()
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("device should recover after Up: %v", err)
+	}
+}
+
+func TestFaultSpikeChargesClock(t *testing.T) {
+	d, clock := newFaulty(FaultConfig{Seed: 5, SpikeProb: 1.0, SpikeCost: 3 * time.Millisecond})
+	before := clock.Now()
+	if _, err := d.WriteAt(make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before < 3*time.Millisecond {
+		t.Fatalf("latency spike not charged: advanced %v", clock.Now()-before)
+	}
+}
+
+func TestFaultRedirectSharesTimeline(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 11})
+	lane := NewClock()
+	view := Redirect(Device(d), lane)
+	if _, ok := view.(*FaultDevice); !ok {
+		t.Fatalf("Redirect returned %T; want *FaultDevice", view)
+	}
+	buf := make([]byte, 512)
+	view.WriteAt(buf, 0)
+	d.WriteAt(buf, 512)
+	if d.OpCount() != 2 {
+		t.Fatalf("views must share the op counter, got %d", d.OpCount())
+	}
+	// A script set on the parent hits ops issued through the view.
+	d.FailOps(FaultAny, 3, 3)
+	if _, err := view.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("script must apply across views, got %v", err)
+	}
+}
+
+func TestFaultOpLog(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 13})
+	d.SetLogging(true)
+	buf := make([]byte, 512)
+	d.WriteAt(buf, 4096)
+	d.Sync()
+	d.FailOps(FaultRead, 3, 3)
+	d.ReadAt(buf, 4096)
+	log := d.Log()
+	if len(log) != 3 {
+		t.Fatalf("log has %d entries; want 3", len(log))
+	}
+	if log[0].Kind != "write" || log[0].Off != 4096 || log[0].Err {
+		t.Fatalf("bad write entry: %+v", log[0])
+	}
+	if log[1].Kind != "sync" || log[1].Err {
+		t.Fatalf("bad sync entry: %+v", log[1])
+	}
+	if log[2].Kind != "read" || !log[2].Err {
+		t.Fatalf("injected read not logged as error: %+v", log[2])
+	}
+}
