@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck
+.PHONY: check build vet test race bench faultcheck recoverycheck
 
-## check: full gate — build, vet, race-enabled tests, seeded fault matrix
+## check: full gate — build, vet, race-enabled tests, seeded fault
+## matrix, crash-recovery harness
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) faultcheck
+	$(MAKE) recoverycheck
 
 build:
 	$(GO) build ./...
@@ -25,10 +27,17 @@ race:
 ## self-healing flush pipeline, crash-consistent superblock, and replica
 ## resume paths driven by the fault-injecting device.
 faultcheck:
-	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestFault|TestTorn|TestScrub|TestReplica' \
+	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestFault|TestTorn|TestScrub|TestReplica|TestRecovery|TestQuarantine' \
 		./internal/core/ ./internal/storage/ ./internal/objstore/ ./internal/netback/
 
-## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json
-## and BENCH_faults.json)
+## recoverycheck: validated self-healing restore under the race detector —
+## crash-at-every-op harness, epoch quarantine with fallback, lazy-paging
+## failover, supervisor auto-restore, bounded SwapIn retry, CLI exit codes.
+recoverycheck:
+	$(GO) test -race -count=1 -run 'TestRecovery|TestQuarantine|TestCLIRestore|TestRestoreExitCodes|TestCLIEpochs' \
+		./internal/core/ ./internal/vm/ ./internal/netback/ ./cmd/sls/
+
+## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
+## BENCH_faults.json, and BENCH_recovery.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -385,6 +385,68 @@ func TestEmitFaultBench(t *testing.T) {
 	}
 }
 
+// BenchmarkRecoveryMatrix measures time-to-recover for lazy restores
+// whose primary store read-faults at 0%, 1%, and 5%, demand paging
+// failing over to a clean secondary with read-repair. Recovery must be
+// bit-correct at every rate or the sweep errors.
+func BenchmarkRecoveryMatrix(b *testing.B) {
+	var last []bench.RecoveryPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.RecoverySweep(20, []float64{0, 0.01, 0.05, 1}, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			b.ReportMetric(vus(int64(pt.TimeToRecover)), fmt.Sprintf("vus-recover-%g%%", pt.Rate*100))
+		}
+	}
+	if err := writeRecoveryJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitRecoveryBench writes BENCH_recovery.json on every plain
+// `go test` run, so the recovery datapoint exists without -bench.
+func TestEmitRecoveryBench(t *testing.T) {
+	// 0/1/5% transient read-fault rates, plus a dead primary (rate 1):
+	// the first three exercise bounded retry, the last full failover
+	// with read-repair.
+	pts, err := bench.RecoverySweep(20, []float64{0, 0.01, 0.05, 1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecoveryJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeRecoveryJSON(pts []bench.RecoveryPoint) error {
+	rows := make([]map[string]any, 0, len(pts))
+	for _, pt := range pts {
+		rows = append(rows, map[string]any{
+			"read_fault_rate":    pt.Rate,
+			"checkpoints":        pt.Checkpoints,
+			"pages":              pt.Pages,
+			"time_to_recover_us": vus(int64(pt.TimeToRecover)),
+			"failovers":          pt.Failovers,
+			"pages_repaired":     pt.PagesRepaired,
+			"read_retries":       pt.Retries,
+			"faults_injected":    pt.Injected,
+		})
+	}
+	out := map[string]any{
+		"benchmark": "recovery-matrix",
+		"seed":      42,
+		"points":    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_recovery.json", append(data, '\n'), 0o644)
+}
+
 func writeFaultJSON(pts []bench.FaultPoint) error {
 	rows := make([]map[string]any, 0, len(pts))
 	for _, pt := range pts {

@@ -20,6 +20,7 @@
 //	sync <group>              wait for the flush pipeline to drain
 //	restore <group> [epoch]   restore an application from an image
 //	ps                        list applications in Aurora
+//	epochs <group> [backend]  list store epochs with quarantine status
 //	scrub <backend> [source]  verify block hashes, repair rot from a peer
 //	send <group> <file>       export an application to a file
 //	recv <file>               import an application and restore it
@@ -27,10 +28,16 @@
 //	run <n>                   run the scheduler for n quanta
 //	stat <pid>                show one process
 //	help, exit
+//
+// Exit codes report restore health for scripted use (`sls -c ...`):
+// 0 clean, 3 restore fell back past a quarantined epoch, 4 restore
+// failed on a corrupt (quarantined) image, 5 restore failed because
+// the backing store was down.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +63,7 @@ type session struct {
 
 	backends map[string]core.Backend
 	out      *bufio.Writer
+	code     int // process exit code; restore outcomes set 3/4/5
 }
 
 func newSession(out *bufio.Writer) *session {
@@ -124,6 +132,37 @@ func (s *session) storeArg(name string) (*core.StoreBackend, error) {
 		return nil, fmt.Errorf("backend %q is not store-backed", name)
 	}
 	return sb, nil
+}
+
+// restoreExitCode maps a failed restore to the documented exit codes,
+// so scripts can tell a corrupt image from an unreachable store
+// without parsing stderr: 4 = every candidate epoch quarantined,
+// 5 = backing store down, 1 = anything else.
+func restoreExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, core.ErrEpochQuarantined):
+		return 4
+	case errors.Is(err, core.ErrBackendDown), errors.Is(err, storage.ErrDeviceDown):
+		return 5
+	default:
+		return 1
+	}
+}
+
+// quarColumn renders the group's quarantined epochs for ps: "-" when
+// none failed restore validation, else the poisoned epoch numbers.
+func quarColumn(g *core.Group) string {
+	eps := g.QuarantinedEpochs()
+	if len(eps) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(eps))
+	for i, ep := range eps {
+		parts[i] = strconv.FormatUint(ep, 10)
+	}
+	return strings.Join(parts, ",")
 }
 
 // healthColumn renders a group's per-backend health for ps: one entry
@@ -281,9 +320,16 @@ func (s *session) exec(line string) bool {
 		if len(args) > 1 {
 			epoch, _ = strconv.ParseUint(args[1], 10, 64)
 		}
-		ng, bd, err := s.o.Restore(g, epoch, core.RestoreOpts{Lazy: true})
+		// Validate runs the hash pre-pass so a corrupt epoch is caught
+		// (and quarantined) here, not later at demand-paging time.
+		ng, bd, err := s.o.Restore(g, epoch, core.RestoreOpts{Lazy: true, Validate: true})
 		if err != nil {
+			s.code = restoreExitCode(err)
 			return fail(err)
+		}
+		if bd.FallbackFrom != 0 {
+			s.code = 3
+			s.printf("warning: epoch %d quarantined, fell back to epoch %d\n", bd.FallbackFrom, ng.Epoch())
 		}
 		s.printf("restored as group %d, pids %v\n%s\n", ng.ID, ng.PIDs(), bd)
 
@@ -302,13 +348,63 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-14s %-8s %-6s %-18s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "QUEUE", "HEALTH", "PIDS")
+		s.printf("%-6s %-6s %-14s %-8s %-6s %-18s %-10s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "QUEUE", "HEALTH", "QUAR", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-14s %-8d %-6d %-18s %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.QueueDepth(), healthColumn(g), g.PIDs())
+			s.printf("%-6d %-6d %-14s %-8d %-6d %-18s %-10s %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.QueueDepth(), healthColumn(g), quarColumn(g), g.PIDs())
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
 			s.printf("%-6d %-6s %-14s %v\n", p.PID, p.State(), p.Name, p.FDs.Numbers())
+		}
+
+	case "epochs":
+		if len(args) < 1 {
+			s.printf("usage: epochs <group> [backend]\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		var stores []*core.StoreBackend
+		if len(args) > 1 {
+			sb, err := s.storeArg(args[1])
+			if err != nil {
+				return fail(err)
+			}
+			stores = append(stores, sb)
+		} else {
+			for _, b := range g.Backends() {
+				if sb, ok := b.(*core.StoreBackend); ok {
+					stores = append(stores, sb)
+				}
+			}
+		}
+		if len(stores) == 0 {
+			s.printf("group %d has no store backends\n", g.ID)
+			return true
+		}
+		// A restored group's images live under the lineage it came from.
+		gids := []uint64{g.ID}
+		if org := g.Origin(); org != 0 && org != g.ID {
+			gids = append(gids, org)
+		}
+		s.printf("%-6s %-22s %-8s %s\n", "EPOCH", "BACKEND", "DURABLE", "STATUS")
+		for _, sb := range stores {
+			for _, gid := range gids {
+				quar := sb.Store().QuarantinedEpochs(gid)
+				for _, ep := range sb.Epochs(gid) {
+					status := "ok"
+					if why, bad := quar[ep]; bad {
+						status = "quarantined: " + why
+					}
+					durable := "-"
+					if ep <= g.Durable() {
+						durable = "yes"
+					}
+					s.printf("%-6d %-22s %-8s %s\n", ep, sb.Name(), durable, status)
+				}
+			}
 		}
 
 	case "send":
@@ -431,9 +527,16 @@ const helpText = `Aurora single level store (Table 1):
   detach <group> <backend>   detach a persistence group from a backend
   checkpoint <group> [name]  checkpoint an application (flush is async)
   sync <group>               wait for queued flushes; surface flush errors
-  restore <group> [epoch]    restore an application from an image
+  restore <group> [epoch]    restore an application from an image; images are
+                             hash-validated, poisoned epochs are quarantined
+                             and skipped. exit codes: 0 ok, 3 fell back past
+                             a quarantined epoch, 4 corrupt image, 5 backing
+                             store down
   ps                         list applications in Aurora (QUEUE = epochs in
-                             flight, HEALTH = per-backend flush health)
+                             flight, HEALTH = per-backend flush health,
+                             QUAR = epochs that failed restore validation)
+  epochs <group> [backend]   list a group's store epochs with durability and
+                             quarantine status
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
   scrub <backend> [source]   verify every block hash on a store backend,
@@ -449,13 +552,19 @@ func main() {
 	flag.Parse()
 
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 	s := newSession(out)
+	run(s, *script)
+	// Flush explicitly: os.Exit skips deferred calls, and the exit code
+	// (restore health, see package doc) must reach the caller.
+	out.Flush()
+	os.Exit(s.code)
+}
 
-	if *script != "" {
-		for _, line := range strings.Split(*script, ";") {
+func run(s *session, script string) {
+	if script != "" {
+		for _, line := range strings.Split(script, ";") {
 			if !s.exec(strings.TrimSpace(line)) {
-				break
+				return
 			}
 		}
 		return
@@ -469,7 +578,7 @@ func main() {
 	for {
 		if interactive {
 			s.printf("sls> ")
-			out.Flush()
+			s.out.Flush()
 		}
 		if !sc.Scan() {
 			return
@@ -481,7 +590,7 @@ func main() {
 				break
 			}
 		}
-		out.Flush()
+		s.out.Flush()
 		if stop {
 			return
 		}

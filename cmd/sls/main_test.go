@@ -3,25 +3,46 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
 )
 
 // runScript executes semicolon-separated commands in one session and
 // returns the combined output.
 func runScript(t *testing.T, script string) string {
 	t.Helper()
+	out, _ := runSession(t, script, nil, "")
+	return out
+}
+
+// runSession is runScript plus the session's exit code. The optional
+// mid hook runs between setup and script, letting a test reach into
+// the machine (e.g. corrupt a store block) before the second phase.
+func runSession(t *testing.T, setup string, mid func(*session), script string) (string, int) {
+	t.Helper()
 	var buf bytes.Buffer
 	out := bufio.NewWriter(&buf)
 	s := newSession(out)
-	for _, line := range strings.Split(script, ";") {
-		if !s.exec(strings.TrimSpace(line)) {
-			break
+	run := func(lines string) {
+		for _, line := range strings.Split(lines, ";") {
+			if !s.exec(strings.TrimSpace(line)) {
+				return
+			}
 		}
 	}
+	run(setup)
+	if mid != nil {
+		mid(s)
+	}
+	run(script)
 	out.Flush()
-	return buf.String()
+	return buf.String(), s.code
 }
 
 func TestCLIWorkflow(t *testing.T) {
@@ -132,6 +153,109 @@ func TestCLIScrubErrors(t *testing.T) {
 	}
 	if !strings.Contains(got, "not store-backed") {
 		t.Fatalf("memory backend accepted for scrub:\n%s", got)
+	}
+}
+
+// corruptEpoch overwrites one vm data block written by exactly (group,
+// epoch) on a store backend's device, so restore validation quarantines
+// that epoch while older epochs stay clean.
+func corruptEpoch(t *testing.T, s *session, backend string, group, epoch uint64) {
+	t.Helper()
+	sb, err := s.storeArg(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sb.Store().Manifest(group, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range m.Records {
+		if key.OID&(uint64(1)<<63) == 0 || key.Epoch != epoch {
+			continue
+		}
+		rec, err := sb.Store().GetRecord(key.OID, key.Epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range rec.Pages {
+			garbage := bytes.Repeat([]byte{0xAA}, objstore.BlockSize)
+			if _, err := sb.Store().Device().WriteAt(garbage, ref.Off); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("epoch %d wrote no data block to corrupt", epoch)
+}
+
+func TestCLIEpochsListing(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; run 10; checkpoint app; run 10; checkpoint app; sync app; epochs app; epochs app nvme; epochs; epochs app memory")
+	for _, want := range []string{"EPOCH", "BACKEND", "STATUS", "usage: epochs", "not store-backed"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("epochs output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "ok") < 4 { // 2 epochs × 2 listings
+		t.Fatalf("epochs listing missing clean rows:\n%s", got)
+	}
+}
+
+// TestCLIRestoreQuarantineFallback: the newest epoch is corrupted on
+// media; restore falls back one epoch, exits 3, and both ps and epochs
+// show the poisoned epoch.
+func TestCLIRestoreQuarantineFallback(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; persist 1 app; attach app nvme; run 10; checkpoint app; run 10; checkpoint app; sync app",
+		func(s *session) { corruptEpoch(t, s, "nvme", 1, 2) },
+		"restore app; ps; epochs app")
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (quarantined fallback):\n%s", code, got)
+	}
+	for _, want := range []string{
+		"warning: epoch 2 quarantined, fell back to epoch 1",
+		"restored as group 2",
+		"quarantined:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIRestoreCorruptImage: with every durable epoch corrupted the
+// restore has nowhere to fall back to and exits 4.
+func TestCLIRestoreCorruptImage(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; persist 1 app; attach app nvme; run 10; checkpoint app; sync app",
+		func(s *session) { corruptEpoch(t, s, "nvme", 1, 1) },
+		"restore app")
+	if code != 4 {
+		t.Fatalf("exit code = %d, want 4 (corrupt image):\n%s", code, got)
+	}
+	if !strings.Contains(got, "error:") {
+		t.Fatalf("failed restore did not report an error:\n%s", got)
+	}
+}
+
+// TestRestoreExitCodes pins the error-to-exit-code mapping itself,
+// including the backend-down path the scripted session cannot reach
+// (its devices have no fault injection).
+func TestRestoreExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{fmt.Errorf("restore: %w", core.ErrEpochQuarantined), 4},
+		{fmt.Errorf("restore: %w", core.ErrBackendDown), 5},
+		{fmt.Errorf("restore: %w", storage.ErrDeviceDown), 5},
+		{fmt.Errorf("some other failure"), 1},
+	}
+	for _, c := range cases {
+		if got := restoreExitCode(c.err); got != c.want {
+			t.Errorf("restoreExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }
 

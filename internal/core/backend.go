@@ -282,8 +282,24 @@ func (sb *StoreBackend) Flush(img *Image) (time.Duration, error) {
 
 // Load implements Backend: it reads the checkpoint back from the
 // store, reconstructing a standalone full image. The returned duration
-// is the object-store read time of Table 4.
+// is the object-store read time of Table 4. Every block read is
+// verified against its content hash, so a successfully loaded image is
+// validated end to end.
 func (sb *StoreBackend) Load(group, epoch uint64) (*Image, time.Duration, error) {
+	return sb.load(group, epoch, false)
+}
+
+// LoadLazy reads the checkpoint's metadata but leaves page data in the
+// store as block references (MemImage.Refs): restore attaches a
+// fault-tolerant demand-paging source instead of materializing bytes.
+// This is what makes lazy restores actually lazy at the device level —
+// and what makes a mid-restore backend failure survivable, because
+// each faulted page can fail over to a peer.
+func (sb *StoreBackend) LoadLazy(group, epoch uint64) (*Image, time.Duration, error) {
+	return sb.load(group, epoch, true)
+}
+
+func (sb *StoreBackend) load(group, epoch uint64, lazy bool) (*Image, time.Duration, error) {
 	sw := sb.clock.Watch()
 	var m *objstore.Manifest
 	var err error
@@ -307,6 +323,7 @@ func (sb *StoreBackend) Load(group, epoch uint64) (*Image, time.Duration, error)
 	}
 	// Collect the effective record set along the chain.
 	seen := make(map[uint64]bool)
+	idxBytes := 0
 	for cur := m; cur != nil; {
 		for _, key := range cur.Records {
 			if seen[key.OID] {
@@ -318,17 +335,19 @@ func (sb *StoreBackend) Load(group, epoch uint64) (*Image, time.Duration, error)
 				return nil, 0, err
 			}
 			if key.OID&vmBit != 0 {
-				mi, err := sb.loadObject(group, key.OID, m.Epoch)
+				mi, err := sb.loadObject(group, key.OID, m.Epoch, lazy)
 				if err != nil {
 					return nil, 0, err
 				}
 				img.Memory[mi.ObjID] = mi
+				idxBytes += 64 + 40*len(mi.Refs)
 			} else {
 				meta, kind, err := sb.store.ResolveMeta(group, key.OID, m.Epoch)
 				if err != nil {
 					return nil, 0, err
 				}
 				img.Meta = append(img.Meta, MetaRec{OID: key.OID, Kind: kernel.Kind(kind), Data: meta})
+				idxBytes += 64 + len(meta)
 				_ = rec
 			}
 		}
@@ -341,11 +360,18 @@ func (sb *StoreBackend) Load(group, epoch uint64) (*Image, time.Duration, error)
 		}
 		cur = next
 	}
+	if lazy {
+		img.source = sb
+		// A lazy load defers the data blocks but still reads the
+		// persisted index entries that locate them: bill that.
+		sb.store.ChargeIndexRead(idxBytes)
+	}
 	return img, sw.Elapsed(), nil
 }
 
-// loadObject reads one VM object's resolved pages into a MemImage.
-func (sb *StoreBackend) loadObject(group, oid, epoch uint64) (*MemImage, error) {
+// loadObject reads one VM object's resolved pages into a MemImage:
+// bytes for eager loads, block references for lazy ones.
+func (sb *StoreBackend) loadObject(group, oid, epoch uint64, lazy bool) (*MemImage, error) {
 	meta, _, err := sb.store.ResolveMeta(group, oid, epoch)
 	if err != nil {
 		return nil, err
@@ -357,6 +383,11 @@ func (sb *StoreBackend) loadObject(group, oid, epoch uint64) (*MemImage, error) 
 	pages, heat, err := sb.store.ResolvePages(group, oid, epoch)
 	if err != nil {
 		return nil, err
+	}
+	mi.Heat = heat
+	if lazy {
+		mi.Refs = pages
+		return mi, nil
 	}
 	idxs := make([]int64, 0, len(pages))
 	refs := make([]objstore.BlockRef, 0, len(pages))
@@ -373,8 +404,54 @@ func (sb *StoreBackend) loadObject(group, oid, epoch uint64) (*MemImage, error) 
 	for i, idx := range idxs {
 		mi.SwapData[idx] = data[i]
 	}
-	mi.Heat = heat
 	return mi, nil
+}
+
+// Validate verifies every block a restore of (group, epoch) would
+// touch against its manifest content hash, without materializing
+// anything. This is the restore-validation pre-pass behind
+// RestoreOpts.Validate.
+func (sb *StoreBackend) Validate(group, epoch uint64) error {
+	return sb.store.VerifyEpoch(group, epoch)
+}
+
+// Epochs lists the checkpoint epochs this store holds for a group,
+// oldest first.
+func (sb *StoreBackend) Epochs(group uint64) []uint64 {
+	ms := sb.store.Manifests(group)
+	out := make([]uint64, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.Epoch)
+	}
+	return out
+}
+
+// epochUsable checks that an explicitly requested epoch exists and is
+// not quarantined.
+func (sb *StoreBackend) epochUsable(group, epoch uint64) (uint64, error) {
+	if _, err := sb.store.Manifest(group, epoch); err != nil {
+		return 0, fmt.Errorf("%w: group %d epoch %d: %w", ErrNoImage, group, epoch, err)
+	}
+	if sb.store.IsQuarantined(group, epoch) {
+		return 0, fmt.Errorf("%w: group %d epoch %d", ErrEpochQuarantined, group, epoch)
+	}
+	return epoch, nil
+}
+
+// latestGoodEpoch returns the newest non-quarantined epoch of a group,
+// strictly below `below` when below is nonzero.
+func (sb *StoreBackend) latestGoodEpoch(group, below uint64) (uint64, error) {
+	m, err := sb.store.LatestGoodManifest(group, below)
+	if err != nil {
+		return 0, fmt.Errorf("%w: group %d has no usable epoch: %w", ErrNoImage, group, err)
+	}
+	return m.Epoch, nil
+}
+
+// FetchBlock implements BlockProvider: a store backend can serve any
+// group's blocks to a failing peer by content hash.
+func (sb *StoreBackend) FetchBlock(h objstore.Hash) ([]byte, bool) {
+	return sb.store.FetchBlock(h)
 }
 
 func encodeVMObjMeta(mi *MemImage) []byte {

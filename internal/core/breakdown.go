@@ -63,6 +63,15 @@ type RestoreBreakdown struct {
 	// Shared counts pages COW-shared with the image (no copy).
 	Shared  int
 	Objects int
+
+	// FallbackFrom is the epoch the restore originally targeted when it
+	// had to fall back to an older one (0 when no fallback happened).
+	FallbackFrom uint64
+	// Quarantined counts epochs skipped or newly poisoned on the way to
+	// the epoch that finally restored.
+	Quarantined int
+	// Validated reports that the full integrity pre-pass ran.
+	Validated bool
 }
 
 // String formats the breakdown like the paper's table rows.

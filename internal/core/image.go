@@ -12,6 +12,7 @@ import (
 
 	"aurora/internal/codec"
 	"aurora/internal/kernel"
+	"aurora/internal/objstore"
 	"aurora/internal/vm"
 )
 
@@ -37,12 +38,17 @@ type MemImage struct {
 	// SwapData holds pages that were on swap at the barrier, already
 	// read back as bytes.
 	SwapData map[int64][]byte
+	// Refs holds pages still sitting in an object store: a lazily
+	// loaded image (StoreBackend.LoadLazy) carries block references
+	// instead of bytes, and restore attaches a demand-paging source
+	// that reads — and hash-verifies — each block at first touch.
+	Refs map[int64]objstore.BlockRef
 	// Heat is the access-count snapshot driving restore prefetch.
 	Heat map[int64]uint32
 }
 
 // PageCount returns the total captured page count.
-func (mi *MemImage) PageCount() int { return len(mi.Pages) + len(mi.SwapData) }
+func (mi *MemImage) PageCount() int { return len(mi.Pages) + len(mi.SwapData) + len(mi.Refs) }
 
 // PageData returns one page's bytes regardless of where it was
 // captured from, or nil.
@@ -72,8 +78,34 @@ type Image struct {
 	// when the chain was consolidated).
 	Prev *Image
 
+	// source is the store backend a lazily loaded image demand-pages
+	// from (nil for fully materialized images); peers are consulted,
+	// by content hash, when the source fails a page read.
+	source *StoreBackend
+	peers  []BlockProvider
+
 	mu       sync.Mutex
 	released bool
+	sources  []*lazyPageSource // demand-paging sources created by restore
+}
+
+// AddBlockPeer registers a peer block provider (another store, a
+// netback replica) that demand paging may fail over to when the
+// image's primary store cannot serve a page.
+func (img *Image) AddBlockPeer(p BlockProvider) {
+	img.mu.Lock()
+	img.peers = append(img.peers, p)
+	img.mu.Unlock()
+}
+
+// takeSources drains the lazy sources restore created for this image,
+// so the restored group can adopt them (health binding, repair stats).
+func (img *Image) takeSources() []*lazyPageSource {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	out := img.sources
+	img.sources = nil
+	return out
 }
 
 // MetaBytes totals the metadata payload size.

@@ -22,6 +22,13 @@ var (
 type Group struct {
 	ID   uint64
 	Name string
+	// origin is the group's persistent lineage ID: the group ID under
+	// which its newest durable images were written. A freshly persisted
+	// group is its own origin; a restored group inherits the ID of the
+	// image chain it was restored from, so a crashed group that never
+	// checkpointed after a restore can still be restored again (the
+	// supervisor's crash-loop case) by falling back to the lineage.
+	origin uint64
 
 	// ckptMu serializes serialization barriers on the group, so epochs
 	// enter the flush pipeline in order.
@@ -47,11 +54,25 @@ type Group struct {
 	// ntSeq is the group's NT-log sequence counter (sls_ntflush).
 	ntSeq uint64
 
+	// restorePeers are out-of-band block providers lazy restores may
+	// fail over to; sources are the demand-paging sources created by
+	// lazy restores of this group (both guarded by mu).
+	restorePeers []BlockProvider
+	sources      []*lazyPageSource
+
 	// healthMu guards health (per-backend state machine, catch-up
-	// queues). It is never held across backend I/O and never nested
-	// inside mu.
-	healthMu sync.Mutex
-	health   map[Backend]*backendHealth
+	// queues) and quarantined (epochs that failed restore validation).
+	// It is never held across backend I/O and never nested inside mu.
+	healthMu    sync.Mutex
+	health      map[Backend]*backendHealth
+	quarantined map[uint64]string
+}
+
+// Origin returns the group's persistent lineage ID (see the field).
+func (g *Group) Origin() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.origin
 }
 
 // Epoch returns the group's current checkpoint epoch.
@@ -161,7 +182,7 @@ func (o *Orchestrator) Persist(name string, p *kernel.Process) (*Group, error) {
 	tree := o.K.ProcessTree(p)
 	o.mu.Lock()
 	o.nextID++
-	g := &Group{ID: o.nextID, Name: name, pids: make(map[int]bool)}
+	g := &Group{ID: o.nextID, Name: name, origin: o.nextID, pids: make(map[int]bool)}
 	o.groups[g.ID] = g
 	for _, proc := range tree {
 		g.pids[proc.PID] = true

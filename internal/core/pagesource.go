@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+)
+
+// This file implements fault-tolerant demand paging for lazy restores:
+// the read-side twin of the flush pipeline's self-healing (health.go).
+// A lazily restored object pages from its primary store through a
+// lazyPageSource; a faulted read retries with bounded backoff, fails
+// over to any peer holding the same content hash (a second store, a
+// netback replica), and writes pages served by a peer back onto the
+// primary (read-repair). Read failures feed the same per-backend
+// health ladder the flush pipeline uses, so a store that cannot serve
+// reads degrades for writers too.
+
+// BlockProvider serves verified block contents by content hash. Any
+// peer backend of a group holds bit-identical blocks under the same
+// hashes (dedup keys are content hashes), so any of them can stand in
+// for a failed primary during demand paging. *objstore.Store and
+// netback's Receiver implement it.
+type BlockProvider interface {
+	FetchBlock(h objstore.Hash) ([]byte, bool)
+}
+
+// Demand-paging retry policy: small, because a faulting thread is
+// stalled while we retry — failover to a peer beats waiting out a sick
+// device. Backoff is charged to a detached clock lane (the repair
+// effort is not the application's foreground time).
+const (
+	lazyReadRetries = 2
+	lazyBackoffBase = 50 * time.Microsecond
+)
+
+// RecoveryStats aggregates a group's demand-paging repair effort.
+type RecoveryStats struct {
+	Failovers     int64 // pages served by a peer after the primary failed
+	PagesRepaired int64 // peer pages written back onto the primary
+	Retries       int64 // extra primary read attempts
+}
+
+// lazyPageSource implements vm.PageSource over object-store block
+// references, with bounded retry, peer failover, and read-repair.
+type lazyPageSource struct {
+	o      *Orchestrator
+	sb     *StoreBackend
+	refs   map[int64]objstore.BlockRef
+	inline map[int64][]byte // pages already materialized as bytes
+
+	mu    sync.Mutex
+	g     *Group // bound once the restored group exists; may stay nil
+	peers []BlockProvider
+	skips int // probe pacing against a down primary
+
+	failovers atomic.Int64
+	repaired  atomic.Int64
+	retries   atomic.Int64
+}
+
+func newLazyPageSource(o *Orchestrator, sb *StoreBackend, refs map[int64]objstore.BlockRef, inline map[int64][]byte, peers []BlockProvider) *lazyPageSource {
+	return &lazyPageSource{o: o, sb: sb, refs: refs, inline: inline, peers: peers}
+}
+
+// bind attaches the source to the restored group so read faults drive
+// the group's backend-health ladder and stats.
+func (s *lazyPageSource) bind(g *Group) {
+	s.mu.Lock()
+	s.g = g
+	s.mu.Unlock()
+}
+
+func (s *lazyPageSource) group() *Group {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g
+}
+
+func (s *lazyPageSource) stats() RecoveryStats {
+	return RecoveryStats{
+		Failovers:     s.failovers.Load(),
+		PagesRepaired: s.repaired.Load(),
+		Retries:       s.retries.Load(),
+	}
+}
+
+// FetchPage implements vm.PageSource. It returns (nil, nil) for pages
+// the image never captured (zero-fill), and an error wrapping
+// ErrBackendDown when the primary and every peer failed.
+func (s *lazyPageSource) FetchPage(idx int64) ([]byte, error) {
+	if d, ok := s.inline[idx]; ok {
+		return d, nil
+	}
+	ref, ok := s.refs[idx]
+	if !ok {
+		return nil, nil
+	}
+
+	// A primary the health machine already marked down is mostly left
+	// alone: peers serve, with only a periodic probe (mirroring the
+	// flush pipeline's pacing).
+	primaryFirst := true
+	if g := s.group(); g != nil {
+		h := g.healthOf(s.sb)
+		g.healthMu.Lock()
+		if h.state == BackendDown {
+			s.mu.Lock()
+			s.skips++
+			primaryFirst = s.skips%downProbeEvery == 0
+			s.mu.Unlock()
+		}
+		g.healthMu.Unlock()
+	}
+
+	var data []byte
+	var perr error
+	if primaryFirst {
+		data, perr = s.readPrimary(ref)
+	}
+	if data == nil {
+		if d, served := s.fetchFromPeers(ref); served {
+			data = d
+			s.failovers.Add(1)
+			// Read-repair: heal the primary's copy in place so the
+			// next fault (and the next scrub) finds it intact.
+			if err := s.sb.store.RepairBlock(ref, d); err == nil {
+				s.repaired.Add(1)
+			}
+		}
+	}
+	if data == nil && !primaryFirst {
+		// Peers failed and the paced probe was skipped: the down
+		// primary is still the only possible server, so try it.
+		data, perr = s.readPrimary(ref)
+	}
+	if data == nil {
+		if perr == nil {
+			perr = fmt.Errorf("%d peers hold no copy", s.peerCount())
+		}
+		return nil, fmt.Errorf("%w: demand-paged read of page %d from %s failed (%d peers tried): %v",
+			ErrBackendDown, idx, s.sb.Name(), s.peerCount(), perr)
+	}
+	return data, nil
+}
+
+// readPrimary reads one block from the primary store with bounded
+// retry and backoff, feeding the result into the health ladder.
+func (s *lazyPageSource) readPrimary(ref objstore.BlockRef) ([]byte, error) {
+	var lane *storage.Clock
+	backoff := lazyBackoffBase
+	var lastErr error
+	for attempt := 0; attempt <= lazyReadRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			if lane == nil {
+				lane = s.o.K.Clock.Lane()
+			}
+			lane.Advance(backoff)
+			backoff *= 2
+		}
+		data, err := s.sb.store.ReadBlock(ref)
+		if err == nil {
+			s.noteReadOK()
+			return data, nil
+		}
+		lastErr = err
+		if errors.Is(err, storage.ErrDeviceDown) {
+			break // permanent: retrying a dead device buys nothing
+		}
+		if errors.Is(err, objstore.ErrCorruptBlock) {
+			break // rot does not heal on retry; a peer can heal it
+		}
+	}
+	s.noteReadFault(lastErr)
+	return nil, lastErr
+}
+
+func (s *lazyPageSource) fetchFromPeers(ref objstore.BlockRef) ([]byte, bool) {
+	s.mu.Lock()
+	peers := append([]BlockProvider(nil), s.peers...)
+	s.mu.Unlock()
+	for _, p := range peers {
+		if d, ok := p.FetchBlock(ref.Hash); ok {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+func (s *lazyPageSource) peerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+// noteReadFault pushes the primary down the shared health ladder:
+// demand-paging reads and pipeline flushes count against the same
+// per-backend record.
+func (s *lazyPageSource) noteReadFault(err error) {
+	g := s.group()
+	if g == nil {
+		return
+	}
+	h := g.healthOf(s.sb)
+	g.healthMu.Lock()
+	h.consecFails++
+	h.lastErr = err
+	if h.state == BackendHealthy {
+		h.state = BackendDegraded
+	}
+	if h.consecFails >= s.o.downAfter() {
+		h.state = BackendDown
+	}
+	g.healthMu.Unlock()
+}
+
+// noteReadOK clears read-fault pressure on a backend that is otherwise
+// healthy. It never promotes a degraded/down backend: recovery
+// promotion belongs to the flush pipeline's probes, which must drain
+// the catch-up queue first.
+func (s *lazyPageSource) noteReadOK() {
+	g := s.group()
+	if g == nil {
+		return
+	}
+	h := g.healthOf(s.sb)
+	g.healthMu.Lock()
+	if h.state == BackendHealthy {
+		h.consecFails = 0
+	}
+	g.healthMu.Unlock()
+}
+
+// HasPage implements vm.PageSource.
+func (s *lazyPageSource) HasPage(idx int64) bool {
+	if _, ok := s.inline[idx]; ok {
+		return true
+	}
+	_, ok := s.refs[idx]
+	return ok
+}
+
+// Pages implements vm.PageSource.
+func (s *lazyPageSource) Pages() []int64 {
+	out := make([]int64, 0, len(s.refs)+len(s.inline))
+	for idx := range s.refs {
+		out = append(out, idx)
+	}
+	for idx := range s.inline {
+		if _, dup := s.refs[idx]; !dup {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

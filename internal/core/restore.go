@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"aurora/internal/kernel"
+	"aurora/internal/objstore"
 	"aurora/internal/storage"
 	"aurora/internal/vm"
 )
@@ -20,6 +22,16 @@ type RestoreOpts struct {
 	Prefetch int
 	// Name labels the restored group.
 	Name string
+	// Validate runs a full integrity pre-pass before materializing:
+	// every block the restore would touch is read and checked against
+	// its manifest content hash. An epoch failing the check is
+	// quarantined and Restore falls back to the newest good epoch.
+	// Eager restores are hash-verified block by block even without
+	// this flag; Validate additionally covers lazy restores (whose
+	// pages would otherwise only be verified at first touch) and turns
+	// corruption into an up-front fallback instead of a fault-time
+	// failover.
+	Validate bool
 }
 
 // RestoreImage recreates a persistence group from an image: the
@@ -253,6 +265,9 @@ func (o *Orchestrator) RestoreImage(img *Image, readTime time.Duration, opts Res
 	o.mu.Lock()
 	o.nextID++
 	g := &Group{ID: o.nextID, Name: name, pids: make(map[int]bool)}
+	// The lineage the image was persisted under: restores of this group
+	// before it checkpoints on its own fall back to that chain.
+	g.origin = img.Group
 	// Anchor the group on the image it came from: rollback can reuse
 	// it, and the next checkpoint (a fresh full one) starts a new
 	// chain from this epoch.
@@ -266,6 +281,10 @@ func (o *Orchestrator) RestoreImage(img *Image, readTime time.Duration, opts Res
 	}
 	o.mu.Unlock()
 
+	// Bind any fault-tolerant demand-paging sources the memory rebuild
+	// created: their read faults now drive this group's health ladder.
+	g.adoptSources(img.takeSources())
+
 	for _, rp := range procs {
 		if err := o.K.ResumeRestored(rp.proc, rp.image.ProgName, rp.image.ProgState); err != nil {
 			return nil, bd, err
@@ -275,32 +294,47 @@ func (o *Orchestrator) RestoreImage(img *Image, readTime time.Duration, opts Res
 	return g, bd, nil
 }
 
-// restoreObjectMemory rebuilds one VM object's pages. Three paths:
+// restoreObjectMemory rebuilds one VM object's pages. Four paths:
 //
 //   - in-memory image frames are COW-shared with the application (no
 //     copies at all: the paper's memory restore);
 //   - lazy restores of byte-backed images (loaded from the store or
 //     the network) attach a page source, with clock-driven prefetch
-//     of the hottest pages; and
+//     of the hottest pages;
+//   - images carrying block references (StoreBackend.LoadLazy) attach
+//     a fault-tolerant demand-paging source that reads, verifies, and
+//     — on primary failure — fails over each page to a peer; and
 //   - eager restores copy everything up front.
 func (o *Orchestrator) restoreObjectMemory(img *Image, oldID uint64, obj *vm.Object, opts RestoreOpts, shareable bool, bd *RestoreBreakdown) int {
 	// Collect frame-backed pages along the chain (newest wins).
 	frames := make(map[int64]*vm.Frame)
 	bytesPages := make(map[int64][]byte)
+	refPages := make(map[int64]objstore.BlockRef)
+	havePage := func(idx int64) bool {
+		if _, ok := frames[idx]; ok {
+			return true
+		}
+		if _, ok := bytesPages[idx]; ok {
+			return true
+		}
+		_, ok := refPages[idx]
+		return ok
+	}
 	for cur := img; cur != nil; cur = cur.Prev {
 		if mi, ok := cur.Memory[oldID]; ok {
 			for idx, f := range mi.Pages {
-				if _, seen := frames[idx]; !seen {
-					if _, seen := bytesPages[idx]; !seen {
-						frames[idx] = f
-					}
+				if !havePage(idx) {
+					frames[idx] = f
 				}
 			}
 			for idx, d := range mi.SwapData {
-				if _, seen := frames[idx]; !seen {
-					if _, seen := bytesPages[idx]; !seen {
-						bytesPages[idx] = d
-					}
+				if !havePage(idx) {
+					bytesPages[idx] = d
+				}
+			}
+			for idx, ref := range mi.Refs {
+				if !havePage(idx) {
+					refPages[idx] = ref
 				}
 			}
 		}
@@ -308,7 +342,7 @@ func (o *Orchestrator) restoreObjectMemory(img *Image, oldID uint64, obj *vm.Obj
 			break
 		}
 	}
-	total := len(frames) + len(bytesPages)
+	total := len(frames) + len(bytesPages) + len(refPages)
 
 	if shareable && len(frames) > 0 {
 		// Zero-copy memory state: share the image's frames under COW.
@@ -322,29 +356,44 @@ func (o *Orchestrator) restoreObjectMemory(img *Image, oldID uint64, obj *vm.Obj
 		}
 	}
 
+	if len(refPages) > 0 && img.source != nil {
+		// Store-resident pages: demand-page through the fault-tolerant
+		// source (bounded retry, peer failover, read-repair).
+		src := newLazyPageSource(o, img.source, refPages, bytesPages, img.peers)
+		img.mu.Lock()
+		img.sources = append(img.sources, src)
+		img.mu.Unlock()
+		if opts.Lazy {
+			obj.SetSource(src)
+			o.prefetchHottest(img, oldID, obj, src.FetchPage, opts.Prefetch, bd)
+		} else {
+			// An eager mapping policy over a lazy image: materialize
+			// everything now, through the failover path, so a sick
+			// primary cannot abort the restore.
+			for idx := range refPages {
+				data, err := src.FetchPage(idx)
+				if err != nil || data == nil {
+					continue
+				}
+				f, err := o.K.Mem.Alloc()
+				if err != nil {
+					return total
+				}
+				copy(f.Data, data)
+				obj.InsertPage(o.K.Mem, idx, f)
+				o.K.Meter.ChargeCopy(1)
+			}
+		}
+		return total
+	}
+
 	if len(bytesPages) == 0 {
 		return total
 	}
 	if opts.Lazy {
-		obj.SetSource(&imagePageSource{pages: bytesPages})
-		if opts.Prefetch > 0 {
-			heat := img.ResolveHeat(oldID)
-			hot := vm.HottestPages(heat)
-			if len(hot) > opts.Prefetch {
-				hot = hot[:opts.Prefetch]
-			}
-			for _, idx := range hot {
-				if data := bytesPages[idx]; data != nil {
-					f, err := o.K.Mem.Alloc()
-					if err != nil {
-						return total
-					}
-					copy(f.Data, data)
-					obj.InsertPage(o.K.Mem, idx, f)
-					bd.Prefetched++
-				}
-			}
-		}
+		src := &imagePageSource{pages: bytesPages}
+		obj.SetSource(src)
+		o.prefetchHottest(img, oldID, obj, src.FetchPage, opts.Prefetch, bd)
 	} else {
 		for idx, data := range bytesPages {
 			f, err := o.K.Mem.Alloc()
@@ -357,6 +406,32 @@ func (o *Orchestrator) restoreObjectMemory(img *Image, oldID uint64, obj *vm.Obj
 		}
 	}
 	return total
+}
+
+// prefetchHottest eagerly pages in the N hottest pages of one object
+// through fetch (clock-derived warm-up for lazy restores).
+func (o *Orchestrator) prefetchHottest(img *Image, oldID uint64, obj *vm.Object, fetch func(int64) ([]byte, error), n int, bd *RestoreBreakdown) {
+	if n <= 0 {
+		return
+	}
+	heat := img.ResolveHeat(oldID)
+	hot := vm.HottestPages(heat)
+	if len(hot) > n {
+		hot = hot[:n]
+	}
+	for _, idx := range hot {
+		data, err := fetch(idx)
+		if err != nil || data == nil {
+			continue
+		}
+		f, err := o.K.Mem.Alloc()
+		if err != nil {
+			return
+		}
+		copy(f.Data, data)
+		obj.InsertPage(o.K.Mem, idx, f)
+		bd.Prefetched++
+	}
 }
 
 // buildFileDesc resolves one descriptor image, handling Aurora file
@@ -385,11 +460,20 @@ const fsInoBit = uint64(1) << 62
 // drained first and epochs whose background flush failed are skipped,
 // so a restore never lands on a checkpoint with a hole in its history
 // (rollback-to-last-durable).
+//
+// Store-backed restores additionally validate and self-heal: an epoch
+// whose blocks fail their manifest hashes (detected up front with
+// opts.Validate, or mid-load on the eager path) is quarantined —
+// durably, in the store — and Restore falls back to the newest
+// non-quarantined epoch below it, walking down the chain until one
+// restores cleanly. The breakdown reports the fallback
+// (FallbackFrom/Quarantined) so callers can surface the rollback.
 func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group, RestoreBreakdown, error) {
 	o.Drain(g)
-	if epoch == 0 {
+	want := epoch
+	if want == 0 {
 		if d := g.Durable(); d > 0 {
-			epoch = d
+			want = d
 		}
 	}
 	all := g.Backends()
@@ -404,22 +488,167 @@ func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group
 			backends = append(backends, b)
 		}
 	}
-	var lastErr error = ErrNoBackend
-	for _, b := range backends {
-		img, readTime, err := b.Load(g.ID, epoch)
-		if err != nil {
-			lastErr = err
-			continue
+	// Out-of-band failover peers (e.g. netback replicas) registered on
+	// the source group carry over to the restore's demand paging.
+	g.mu.Lock()
+	extraPeers := append([]BlockProvider(nil), g.restorePeers...)
+	g.mu.Unlock()
+
+	finish := func(b Backend, img *Image, readTime time.Duration, bdExtra func(*RestoreBreakdown)) (*Group, RestoreBreakdown, error) {
+		// Snapshot the source group's quarantine ledger now — epochs
+		// poisoned during this very restore must carry over too.
+		ledger := g.Quarantined()
+		// Peer wiring: every other backend (and registered out-of-band
+		// peer) that can serve blocks by hash backs this image's
+		// demand paging.
+		for _, other := range backends {
+			if other == b {
+				continue
+			}
+			if bp, ok := other.(BlockProvider); ok {
+				img.AddBlockPeer(bp)
+			}
+		}
+		for _, p := range extraPeers {
+			img.AddBlockPeer(p)
 		}
 		ng, bd, err := o.RestoreImage(img, readTime, opts)
 		if err != nil {
 			return nil, bd, err
 		}
-		// The restored group inherits the source group's backends.
+		// The restored group inherits the source group's backends,
+		// failover peers, and quarantine ledger.
 		for _, back := range backends {
 			o.Attach(ng, back)
 		}
+		if len(extraPeers) > 0 {
+			ng.mu.Lock()
+			ng.restorePeers = append(ng.restorePeers, extraPeers...)
+			ng.mu.Unlock()
+		}
+		if len(ledger) > 0 {
+			ng.healthMu.Lock()
+			if ng.quarantined == nil {
+				ng.quarantined = make(map[uint64]string, len(ledger))
+			}
+			for ep, why := range ledger {
+				ng.quarantined[ep] = why
+			}
+			ng.healthMu.Unlock()
+		}
+		if bdExtra != nil {
+			bdExtra(&bd)
+		}
 		return ng, bd, nil
+	}
+
+	// Candidate lineage IDs: the group's own chain first; for a restored
+	// group that never checkpointed on its own, the chain it came from.
+	gids := []uint64{g.ID}
+	if org := g.Origin(); org != 0 && org != g.ID {
+		gids = append(gids, org)
+	}
+
+	var lastErr error = ErrNoBackend
+	for _, b := range backends {
+		sb, isStore := b.(*StoreBackend)
+		if !isStore {
+			var img *Image
+			var readTime time.Duration
+			var err error
+			for _, gid := range gids {
+				img, readTime, err = b.Load(gid, want)
+				if err == nil {
+					break
+				}
+			}
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return finish(b, img, readTime, nil)
+		}
+
+		// Store backend: validation, quarantine, and epoch fallback,
+		// searched per lineage chain.
+		var fbFrom uint64
+		quarCount := 0
+		for _, gid := range gids {
+			below := uint64(0) // exclusive upper bound for the fallback search
+			tryExplicit := want != 0
+			for {
+				var ep uint64
+				if tryExplicit {
+					tryExplicit = false
+					ep = want
+					if _, err := sb.epochUsable(gid, ep); err != nil {
+						lastErr = err
+						if !errors.Is(err, ErrEpochQuarantined) {
+							break // next chain / backend
+						}
+						fbFrom, quarCount, below = ep, quarCount+1, ep
+						continue
+					}
+				} else {
+					var err error
+					ep, err = sb.latestGoodEpoch(gid, below)
+					if err != nil {
+						// Keep the quarantine error when that is why the
+						// chain ran dry: "every epoch is poisoned" is the
+						// actionable failure, not "no image".
+						if quarCount == 0 {
+							lastErr = err
+						}
+						break // chain exhausted: next chain / backend
+					}
+				}
+				if opts.Validate {
+					if verr := sb.Validate(gid, ep); verr != nil {
+						o.quarantineEpoch(g, sb, gid, ep, verr)
+						if fbFrom == 0 {
+							fbFrom = ep
+						}
+						quarCount++
+						lastErr = fmt.Errorf("%w: epoch %d of group %d: %v", ErrEpochQuarantined, ep, gid, verr)
+						below = ep
+						continue
+					}
+				}
+				var img *Image
+				var readTime time.Duration
+				var err error
+				if opts.Lazy {
+					img, readTime, err = sb.LoadLazy(gid, ep)
+				} else {
+					img, readTime, err = sb.Load(gid, ep)
+				}
+				if err != nil {
+					lastErr = err
+					if errors.Is(err, objstore.ErrCorruptBlock) {
+						// The eager read path hash-verifies every block:
+						// corruption mid-load poisons the epoch and falls
+						// back, exactly like a failed validation pre-pass.
+						o.quarantineEpoch(g, sb, gid, ep, err)
+						if fbFrom == 0 {
+							fbFrom = ep
+						}
+						quarCount++
+						lastErr = fmt.Errorf("%w: epoch %d of group %d: %v", ErrEpochQuarantined, ep, gid, err)
+						below = ep
+						continue
+					}
+					break // next chain / backend
+				}
+				if ep != want && fbFrom == 0 {
+					fbFrom = want
+				}
+				return finish(b, img, readTime, func(bd *RestoreBreakdown) {
+					bd.FallbackFrom = fbFrom
+					bd.Quarantined = quarCount
+					bd.Validated = opts.Validate
+				})
+			}
+		}
 	}
 	return nil, RestoreBreakdown{}, lastErr
 }

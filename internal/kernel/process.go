@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -325,15 +326,43 @@ func (p *Process) HeapBase() vm.Addr { return p.heap.Start }
 // HeapMapping returns the heap mapping itself.
 func (p *Process) HeapMapping() *vm.Mapping { return p.heap }
 
-// ReadMem reads process memory, transparently servicing swap faults.
-func (p *Process) ReadMem(addr vm.Addr, buf []byte) error {
+// faultRetryBudget bounds how many times one memory access may re-fault
+// on the SAME page without progress before the kernel gives up. A fault
+// on a different page resets the budget: a large access paging its way
+// through a tight memory may legitimately fault once per page (and
+// again when its own swap-ins evict earlier pages). Only a page that
+// keeps faulting — resolved, yet immediately faulting again — exhausts
+// it, in which case a typed error (wrapping vm.ErrBackendDown) reaches
+// the faulting thread instead of the access spinning on
+// fault→resolve→fault forever.
+const faultRetryBudget = 64
+
+// accessMem runs one memory access, transparently servicing swap
+// faults, with a same-page livelock bound.
+func (p *Process) accessMem(what string, addr vm.Addr, access func() error) error {
+	samePage := 0
+	var lastObj *vm.Object
+	var lastPage int64 = -1
+	var err error
 	for {
-		err := p.Space.Read(addr, buf)
+		err = access()
 		if err == nil {
 			return nil
 		}
 		if p.kernel.Pager == nil {
 			return err
+		}
+		var sf *vm.SwapFault
+		if errors.As(err, &sf) {
+			if sf.Obj == lastObj && sf.Page == lastPage {
+				samePage++
+				if samePage >= faultRetryBudget {
+					return fmt.Errorf("%w: %s at %#x kept faulting on page %d after %d retries: %v",
+						vm.ErrBackendDown, what, addr, sf.Page, faultRetryBudget, err)
+				}
+			} else {
+				lastObj, lastPage, samePage = sf.Obj, sf.Page, 0
+			}
 		}
 		retry, rerr := p.kernel.Pager.Resolve(err)
 		if !retry {
@@ -342,21 +371,14 @@ func (p *Process) ReadMem(addr vm.Addr, buf []byte) error {
 	}
 }
 
+// ReadMem reads process memory, transparently servicing swap faults.
+func (p *Process) ReadMem(addr vm.Addr, buf []byte) error {
+	return p.accessMem("read", addr, func() error { return p.Space.Read(addr, buf) })
+}
+
 // WriteMem writes process memory, transparently servicing swap faults.
 func (p *Process) WriteMem(addr vm.Addr, buf []byte) error {
-	for {
-		err := p.Space.Write(addr, buf)
-		if err == nil {
-			return nil
-		}
-		if p.kernel.Pager == nil {
-			return err
-		}
-		retry, rerr := p.kernel.Pager.Resolve(err)
-		if !retry {
-			return rerr
-		}
-	}
+	return p.accessMem("write", addr, func() error { return p.Space.Write(addr, buf) })
 }
 
 // EncodeTo implements Object. Thread and fd-table OIDs are references;

@@ -10,6 +10,7 @@
 package netback
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"aurora/internal/core"
+	"aurora/internal/objstore"
 	"aurora/internal/storage"
 	"aurora/internal/vm"
 )
@@ -171,6 +173,12 @@ type Receiver struct {
 	mu     sync.Mutex
 	chains map[uint64][]*core.Image // group -> images sorted by epoch
 	recvd  int64
+
+	// blockIdx maps content hash -> page bytes across every held
+	// image, rebuilt lazily (see FetchBlock). blockStale flags that
+	// new images arrived since the last build.
+	blockIdx   map[objstore.Hash][]byte
+	blockStale bool
 }
 
 // NewReceiver creates a receiver allocating frames from pm.
@@ -230,7 +238,41 @@ func (r *Receiver) Serve(conn io.Reader) (int, error) {
 func (r *Receiver) install(img *core.Image) {
 	r.mu.Lock()
 	r.chains[img.Group] = []*core.Image{img}
+	r.blockStale = true
 	r.mu.Unlock()
+}
+
+// FetchBlock implements objstore.BlockSource over the receiver's held
+// images: a replica holds bit-identical page bytes under the same
+// content hashes as any store of the group, so it can heal a primary's
+// rotted block (Scrub) or serve a page during demand-paging failover.
+// The hash index is rebuilt lazily after new frames arrive.
+func (r *Receiver) FetchBlock(h objstore.Hash) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.blockIdx == nil || r.blockStale {
+		r.blockIdx = make(map[objstore.Hash][]byte)
+		for _, chain := range r.chains {
+			for _, img := range chain {
+				for _, mi := range img.Memory {
+					for idx := range mi.Pages {
+						d := mi.PageData(idx)
+						r.blockIdx[sha256.Sum256(d)] = d
+					}
+					for idx := range mi.SwapData {
+						d := mi.PageData(idx)
+						r.blockIdx[sha256.Sum256(d)] = d
+					}
+				}
+			}
+		}
+		r.blockStale = false
+	}
+	d, ok := r.blockIdx[h]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
 }
 
 // link merges an incremental delta into its group's chain. A pipelined
@@ -267,6 +309,7 @@ func (r *Receiver) link(img *core.Image) {
 		}
 	}
 	r.chains[img.Group] = chain
+	r.blockStale = true
 }
 
 // Latest returns the newest image of a group.

@@ -155,6 +155,14 @@ func (s *Store) Sync() error {
 			e.U64Slice(m.Roots)
 		}
 	}
+	// Quarantined epochs: a poisoned epoch must stay poisoned across
+	// remounts or a reboot would happily restore from it again.
+	e.U64(uint64(len(s.quarantined)))
+	for id, why := range s.quarantined {
+		e.U64(id.Group)
+		e.U64(id.Epoch)
+		e.Str(why)
+	}
 	// Stats that must survive restart.
 	e.I64(s.stats.LogicalBytes)
 	e.I64(s.stats.MetaBytes)
@@ -309,6 +317,11 @@ func decodeIndex(dev storage.Device, clock *storage.Clock, idx []byte) (*Store, 
 				s.named[m.Name] = manifestID{g, m.Epoch}
 			}
 		}
+	}
+	nQuar := d.U64()
+	for i := uint64(0); i < nQuar && d.Err() == nil; i++ {
+		id := manifestID{Group: d.U64(), Epoch: d.U64()}
+		s.quarantined[id] = d.Str()
 	}
 	s.stats.LogicalBytes = d.I64()
 	s.stats.MetaBytes = d.I64()

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"aurora/internal/storage"
 	"aurora/internal/vm"
@@ -49,7 +50,7 @@ const BlockSize = vm.PageSize
 // previous good generation (see persist.go).
 const (
 	magic     = 0x41555253 // "AURS"
-	sbVersion = 2          // double-buffered, checksummed layout
+	sbVersion = 3          // adds the quarantine table to the index
 	sbSize    = 64         // one superblock slot
 	sbSlot0   = 0          // even generations
 	sbSlot1   = 512        // odd generations
@@ -132,8 +133,11 @@ type storeCore struct {
 	records   map[RecordKey]*Record
 	manifests map[uint64][]*Manifest // group -> epoch-sorted manifests
 	named     map[string]manifestID  // checkpoint name -> manifest
-	sbGen     uint64                 // superblock generation last published
-	stats     Stats
+	// quarantined marks epochs that failed restore validation; they
+	// are skipped by fallback resolution and persisted by Sync.
+	quarantined map[manifestID]string
+	sbGen       uint64 // superblock generation last published
+	stats       Stats
 }
 
 // Store is the object store over one device.
@@ -153,11 +157,12 @@ type manifestID struct {
 func Create(dev storage.Device, clock *storage.Clock) *Store {
 	return &Store{
 		storeCore: &storeCore{
-			nextOff:   dataStart,
-			blocks:    make(map[Hash]*blockEntry),
-			records:   make(map[RecordKey]*Record),
-			manifests: make(map[uint64][]*Manifest),
-			named:     make(map[string]manifestID),
+			nextOff:     dataStart,
+			blocks:      make(map[Hash]*blockEntry),
+			records:     make(map[RecordKey]*Record),
+			manifests:   make(map[uint64][]*Manifest),
+			named:       make(map[string]manifestID),
+			quarantined: make(map[manifestID]string),
 		},
 		dev:   dev,
 		clock: clock,
@@ -283,6 +288,24 @@ func (s *Store) ReadBlock(ref BlockRef) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// ChargeIndexRead models re-reading n bytes of persisted index
+// metadata (manifest, record, and block-reference entries) from the
+// device. The in-memory index serves the contents — it is the page
+// cache — but a restore's cost model still bills the device read a
+// cold lazy restore performs to learn where its pages live. The read
+// targets the superblock region; the bytes are discarded.
+func (s *Store) ChargeIndexRead(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	buf := make([]byte, n)
+	d, err := s.dev.ReadAt(buf, 0)
+	if err != nil {
+		return 0
+	}
+	return d
 }
 
 // ReadBlocks fetches many blocks in one batched device operation,

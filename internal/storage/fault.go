@@ -79,6 +79,13 @@ type FaultOp struct {
 	Off  int64
 	Len  int
 	Err  bool // true if the op returned an error (injected or inner)
+
+	// Data holds a copy of the bytes a write landed on media (the full
+	// buffer, or the torn prefix). Captured only when SetDataLogging is
+	// on; it is what lets a crash harness replay the log's first N ops
+	// onto a fresh device and reboot from the exact media state a crash
+	// at op N+1 would have left behind.
+	Data []byte
 }
 
 // faultScript is one "fail ops N..M" directive.
@@ -100,6 +107,7 @@ type faultCore struct {
 	down     bool
 	scripts  []faultScript
 	logging  bool
+	logData  bool
 	log      []FaultOp
 }
 
@@ -156,10 +164,14 @@ func (c *faultCore) decide(kind FaultKind, prob float64) decision {
 	return d
 }
 
-func (c *faultCore) record(n int64, kind string, off int64, length int, failed bool) {
+func (c *faultCore) record(n int64, kind string, off int64, length int, failed bool, landed []byte) {
 	c.mu.Lock()
 	if c.logging {
-		c.log = append(c.log, FaultOp{N: n, Kind: kind, Off: off, Len: length, Err: failed})
+		op := FaultOp{N: n, Kind: kind, Off: off, Len: length, Err: failed}
+		if c.logData && landed != nil {
+			op.Data = append([]byte(nil), landed...)
+		}
+		c.log = append(c.log, op)
 	}
 	c.mu.Unlock()
 }
@@ -262,6 +274,15 @@ func (d *FaultDevice) SetLogging(on bool) {
 	d.mu.Unlock()
 }
 
+// SetDataLogging additionally captures the bytes each write landed on
+// media (see FaultOp.Data). Implies nothing on its own: logging must
+// also be on. Memory-hungry; meant for crash-replay harnesses.
+func (d *FaultDevice) SetDataLogging(on bool) {
+	d.mu.Lock()
+	d.logData = on
+	d.mu.Unlock()
+}
+
 // Log returns a copy of the operation log collected since SetLogging.
 func (d *FaultDevice) Log() []FaultOp {
 	d.mu.Lock()
@@ -285,12 +306,12 @@ func (d *FaultDevice) ReadAt(p []byte, off int64) (time.Duration, error) {
 	d.mu.Unlock()
 	dec := d.decide(FaultRead, prob)
 	if dec.down {
-		d.record(dec.n, "read", off, len(p), true)
+		d.record(dec.n, "read", off, len(p), true, nil)
 		return 0, fmt.Errorf("%w: read %d bytes at %d", ErrDeviceDown, len(p), off)
 	}
 	cost := d.spikeCost(dec)
 	if dec.inject {
-		d.record(dec.n, "read", off, len(p), true)
+		d.record(dec.n, "read", off, len(p), true, nil)
 		return cost, fmt.Errorf("%w: read %d bytes at %d (op %d)", ErrInjected, len(p), off, dec.n)
 	}
 	dur, err := d.inner.ReadAt(p, off)
@@ -298,7 +319,7 @@ func (d *FaultDevice) ReadAt(p []byte, off int64) (time.Duration, error) {
 		// Silent corruption: flip one byte, report success.
 		p[int(dec.frac*float64(len(p)))%len(p)] ^= 0xa5
 	}
-	d.record(dec.n, "read", off, len(p), err != nil)
+	d.record(dec.n, "read", off, len(p), err != nil, nil)
 	return cost + dur, err
 }
 
@@ -308,7 +329,7 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (time.Duration, error) {
 	d.mu.Unlock()
 	dec := d.decide(FaultWrite, prob)
 	if dec.down {
-		d.record(dec.n, "write", off, len(p), true)
+		d.record(dec.n, "write", off, len(p), true, nil)
 		return 0, fmt.Errorf("%w: write %d bytes at %d", ErrDeviceDown, len(p), off)
 	}
 	cost := d.spikeCost(dec)
@@ -320,15 +341,15 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (time.Duration, error) {
 				cut = len(p) - 1
 			}
 			dur, _ := d.inner.WriteAt(p[:cut], off)
-			d.record(dec.n, "write", off, len(p), true)
+			d.record(dec.n, "write", off, len(p), true, p[:cut])
 			return cost + dur, fmt.Errorf("%w: torn write at %d (%d of %d bytes, op %d)",
 				ErrInjected, off, cut, len(p), dec.n)
 		}
-		d.record(dec.n, "write", off, len(p), true)
+		d.record(dec.n, "write", off, len(p), true, nil)
 		return cost, fmt.Errorf("%w: write %d bytes at %d (op %d)", ErrInjected, len(p), off, dec.n)
 	}
 	dur, err := d.inner.WriteAt(p, off)
-	d.record(dec.n, "write", off, len(p), err != nil)
+	d.record(dec.n, "write", off, len(p), err != nil, p)
 	return cost + dur, err
 }
 
@@ -342,12 +363,12 @@ func (d *FaultDevice) ReadBatch(bufs [][]byte, offs []int64) (time.Duration, err
 		total += len(b)
 	}
 	if dec.down {
-		d.record(dec.n, "readbatch", 0, total, true)
+		d.record(dec.n, "readbatch", 0, total, true, nil)
 		return 0, fmt.Errorf("%w: batch of %d reads", ErrDeviceDown, len(bufs))
 	}
 	cost := d.spikeCost(dec)
 	if dec.inject {
-		d.record(dec.n, "readbatch", 0, total, true)
+		d.record(dec.n, "readbatch", 0, total, true, nil)
 		return cost, fmt.Errorf("%w: batch of %d reads (op %d)", ErrInjected, len(bufs), dec.n)
 	}
 	dur, err := d.inner.ReadBatch(bufs, offs)
@@ -357,7 +378,7 @@ func (d *FaultDevice) ReadBatch(bufs [][]byte, offs []int64) (time.Duration, err
 			victim[0] ^= 0xa5
 		}
 	}
-	d.record(dec.n, "readbatch", 0, total, err != nil)
+	d.record(dec.n, "readbatch", 0, total, err != nil, nil)
 	return cost + dur, err
 }
 
@@ -367,16 +388,16 @@ func (d *FaultDevice) Sync() (time.Duration, error) {
 	d.mu.Unlock()
 	dec := d.decide(FaultSync, prob)
 	if dec.down {
-		d.record(dec.n, "sync", 0, 0, true)
+		d.record(dec.n, "sync", 0, 0, true, nil)
 		return 0, fmt.Errorf("%w: sync", ErrDeviceDown)
 	}
 	cost := d.spikeCost(dec)
 	if dec.inject {
-		d.record(dec.n, "sync", 0, 0, true)
+		d.record(dec.n, "sync", 0, 0, true, nil)
 		return cost, fmt.Errorf("%w: sync (op %d)", ErrInjected, dec.n)
 	}
 	dur, err := d.inner.Sync()
-	d.record(dec.n, "sync", 0, 0, err != nil)
+	d.record(dec.n, "sync", 0, 0, err != nil, nil)
 	return cost + dur, err
 }
 

@@ -2,11 +2,25 @@ package vm
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
 	"aurora/internal/storage"
 )
+
+// ErrBackendDown marks a paging operation that exhausted its retry
+// budget against a backing store that stayed failed (permanently down
+// or persistently erroring). It is always returned wrapped with the
+// failing page's context; select with errors.Is. The faulting thread
+// sees this instead of spinning forever against a dead device.
+var ErrBackendDown = errors.New("vm: paging backend down")
+
+// DefaultSwapInRetries bounds how many times a swap-in retries a
+// transient read fault before surfacing ErrBackendDown. A permanently
+// down device (storage.ErrDeviceDown) short-circuits after the first
+// attempt — retrying a dead device buys nothing.
+const DefaultSwapInRetries = 3
 
 // Swap is the swap area: page-granularity slots on a simulated device.
 type Swap struct {
@@ -86,6 +100,9 @@ type Pager struct {
 	pm    *PhysMem
 	swap  *Swap
 	meter *Meter
+
+	// SwapInRetries overrides DefaultSwapInRetries when > 0.
+	SwapInRetries int
 
 	mu      sync.Mutex
 	objects []*Object
@@ -228,7 +245,10 @@ func (p *Pager) evict(obj *Object, idx int64, spaces []*AddressSpace) error {
 	return nil
 }
 
-// SwapIn brings a paged-out page back into memory.
+// SwapIn brings a paged-out page back into memory. Transient device
+// errors are retried up to the pager's budget; a backend that stays
+// failed (or is permanently down) surfaces a typed error wrapping
+// ErrBackendDown so the faulting thread unblocks instead of spinning.
 func (p *Pager) SwapIn(obj *Object, idx int64) error {
 	slot, ok := obj.SwapSlot(idx)
 	if !ok {
@@ -238,9 +258,25 @@ func (p *Pager) SwapIn(obj *Object, idx int64) error {
 	if err != nil {
 		return err
 	}
-	if err := p.swap.ReadPage(slot, f.Data); err != nil {
+	retries := p.SwapInRetries
+	if retries <= 0 {
+		retries = DefaultSwapInRetries
+	}
+	var rerr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		rerr = p.swap.ReadPage(slot, f.Data)
+		if rerr == nil {
+			break
+		}
+		if errors.Is(rerr, storage.ErrDeviceDown) {
+			// Permanent failure: one attempt is proof enough.
+			break
+		}
+	}
+	if rerr != nil {
 		p.pm.Free(f)
-		return err
+		return fmt.Errorf("%w: swap-in of page %d (slot %d) after %d attempts: %v",
+			ErrBackendDown, idx, slot, retries+1, rerr)
 	}
 	obj.InsertPage(p.pm, idx, f)
 	p.swap.FreeSlot(slot)
