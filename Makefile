@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
-## matrix, crash-recovery harness
+## matrix, crash-recovery harness, whole-system chaos sweep
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) faultcheck
 	$(MAKE) recoverycheck
+	$(MAKE) chaoscheck
 
 build:
 	$(GO) build ./...
@@ -37,7 +38,15 @@ recoverycheck:
 	$(GO) test -race -count=1 -run 'TestRecovery|TestQuarantine|TestCLIRestore|TestRestoreExitCodes|TestCLIEpochs' \
 		./internal/core/ ./internal/vm/ ./internal/netback/ ./cmd/sls/
 
+## chaoscheck: whole-system chaos harness under the race detector —
+## storage faults, link faults, crashes, a partition+heal, replica
+## promotion, and a fenced stale primary composed in one seeded run
+## (seeds 1, 7, 42), plus the promote CLI exit codes.
+chaoscheck:
+	$(GO) test -race -count=1 -run 'TestChaos|TestPromote|TestCLIPromote' \
+		./internal/core/ ./cmd/sls/
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
-## BENCH_faults.json, and BENCH_recovery.json)
+## BENCH_faults.json, BENCH_recovery.json, and BENCH_chaos.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

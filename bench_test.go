@@ -421,6 +421,103 @@ func TestEmitRecoveryBench(t *testing.T) {
 	}
 }
 
+// chaosAt runs the whole-system chaos schedule with every link fault
+// probability scaled by rate (drops, duplicates, reorders at rate,
+// corruption at half), against fixed moderate storage fault rates.
+func chaosAt(rate float64) (*bench.ChaosReport, error) {
+	return bench.ChaosRun(bench.ChaosConfig{
+		Seed:            42,
+		Checkpoints:     24,
+		StepsPerEpoch:   3,
+		LinkDrop:        rate,
+		LinkDup:         rate,
+		LinkReorder:     rate,
+		LinkCorrupt:     rate / 2,
+		StoreWriteErr:   0.01,
+		StoreReadErr:    0.005,
+		CrashEvery:      8,
+		PartitionAt:     10,
+		PartitionLen:    3,
+		DivergentEpochs: 4,
+		PostEpochs:      6,
+	})
+}
+
+// BenchmarkChaosMatrix measures the replication pipeline under link
+// faults: steady-state checkpoint cost, partition catch-up time, and
+// promotion time-to-recover at 0%, 1%, and 5% per-frame fault rates.
+func BenchmarkChaosMatrix(b *testing.B) {
+	var last []*bench.ChaosReport
+	for i := 0; i < b.N; i++ {
+		last = last[:0]
+		for _, rate := range []float64{0, 0.01, 0.05} {
+			r, err := chaosAt(rate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = append(last, r)
+			b.ReportMetric(vus(int64(r.PerCheckpoint)), fmt.Sprintf("vus-ckpt-%g%%", rate*100))
+			b.ReportMetric(vus(int64(r.PromoteTTR)), fmt.Sprintf("vus-promote-%g%%", rate*100))
+			b.ReportMetric(vus(int64(r.CatchUp)), fmt.Sprintf("vus-catchup-%g%%", rate*100))
+		}
+	}
+	if err := writeChaosJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitChaosBench writes BENCH_chaos.json on every plain `go test`
+// run, so the chaos-matrix datapoint exists without -bench.
+func TestEmitChaosBench(t *testing.T) {
+	var reps []*bench.ChaosReport
+	for _, rate := range []float64{0, 0.01, 0.05} {
+		r, err := chaosAt(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, r)
+	}
+	if err := writeChaosJSON(reps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeChaosJSON(reps []*bench.ChaosReport) error {
+	rates := []float64{0, 0.01, 0.05}
+	rows := make([]map[string]any, 0, len(reps))
+	for i, r := range reps {
+		rows = append(rows, map[string]any{
+			"link_fault_rate":   rates[i],
+			"checkpoints":       r.Checkpoints,
+			"crashes":           r.Crashes,
+			"restores":          r.Restores,
+			"partitions":        r.Partitions,
+			"link_dropped":      r.LinkDropped,
+			"link_injected":     r.LinkInjected,
+			"store_injected":    r.StoreInjected,
+			"per_checkpoint_us": vus(int64(r.PerCheckpoint)),
+			"catchup_us":        vus(int64(r.CatchUp)),
+			"promote_ttr_us":    vus(int64(r.PromoteTTR)),
+			"promote_gen":       r.PromoteGen,
+			"floor":             r.Floor,
+			"backfilled":        r.Backfilled,
+			"quarantined":       r.Quarantined,
+			"stale_rejected":    r.StaleRejected,
+			"released":          r.Released,
+		})
+	}
+	out := map[string]any{
+		"benchmark": "chaos-matrix",
+		"seed":      42,
+		"points":    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_chaos.json", append(data, '\n'), 0o644)
+}
+
 func writeRecoveryJSON(pts []bench.RecoveryPoint) error {
 	rows := make([]map[string]any, 0, len(pts))
 	for _, pt := range pts {

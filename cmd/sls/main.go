@@ -19,6 +19,7 @@
 //	checkpoint <group> [name] checkpoint an application (flush is async)
 //	sync <group>              wait for the flush pipeline to drain
 //	restore <group> [epoch]   restore an application from an image
+//	promote <group> <backend> move the primary role to another backend
 //	ps                        list applications in Aurora
 //	epochs <group> [backend]  list store epochs with quarantine status
 //	scrub <backend> [source]  verify block hashes, repair rot from a peer
@@ -29,10 +30,12 @@
 //	stat <pid>                show one process
 //	help, exit
 //
-// Exit codes report restore health for scripted use (`sls -c ...`):
-// 0 clean, 3 restore fell back past a quarantined epoch, 4 restore
-// failed on a corrupt (quarantined) image, 5 restore failed because
-// the backing store was down.
+// Exit codes report restore and failover health for scripted use
+// (`sls -c ...`): 0 clean, 3 restore fell back past a quarantined
+// epoch, 4 restore failed on a corrupt (quarantined) image, 5 restore
+// failed because the backing store was down, 6 promotion refused
+// because the current primary is still healthy, 7 promotion refused
+// because the group was fenced by a newer generation.
 package main
 
 import (
@@ -146,6 +149,23 @@ func restoreExitCode(err error) int {
 		return 4
 	case errors.Is(err, core.ErrBackendDown), errors.Is(err, storage.ErrDeviceDown):
 		return 5
+	default:
+		return 1
+	}
+}
+
+// promoteExitCode maps a failed promotion to the documented exit
+// codes, so failover scripts can tell "refused: primary still up"
+// from "refused: somebody already promoted over us": 6 = current
+// primary healthy, 7 = fenced by a newer generation, 1 = anything else.
+func promoteExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, core.ErrPrimaryHealthy):
+		return 6
+	case errors.Is(err, core.ErrStaleGeneration):
+		return 7
 	default:
 		return 1
 	}
@@ -333,6 +353,28 @@ func (s *session) exec(line string) bool {
 		}
 		s.printf("restored as group %d, pids %v\n%s\n", ng.ID, ng.PIDs(), bd)
 
+	case "promote":
+		if len(args) < 2 {
+			s.printf("usage: promote <group> <backend>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		b, ok := s.backends[args[1]]
+		name := args[1]
+		if ok {
+			name = b.Name()
+		}
+		rep, err := s.o.PromoteBackend(g, name)
+		if err != nil {
+			s.code = promoteExitCode(err)
+			return fail(err)
+		}
+		s.printf("promoted %s to primary of group %d: generation %d, floor epoch %d (ttr %s)\n",
+			name, g.ID, rep.Gen, rep.Floor, rep.TTR)
+
 	case "sync":
 		if len(args) < 1 {
 			s.printf("usage: sync <group>\n")
@@ -348,9 +390,9 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-14s %-8s %-6s %-18s %-10s %s\n", "GROUP", "EPOCH", "NAME", "DURABLE", "QUEUE", "HEALTH", "QUAR", "PIDS")
+		s.printf("%-6s %-6s %-4s %-14s %-8s %-6s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "DURABLE", "QUEUE", "HEALTH", "QUAR", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-14s %-8d %-6d %-18s %-10s %v\n", g.ID, g.Epoch(), g.Name, g.Durable(), g.QueueDepth(), healthColumn(g), quarColumn(g), g.PIDs())
+			s.printf("%-6d %-6d %-4d %-14s %-8d %-6d %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, g.Durable(), g.QueueDepth(), healthColumn(g), quarColumn(g), g.PIDs())
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
@@ -405,6 +447,12 @@ func (s *session) exec(line string) bool {
 					s.printf("%-6d %-22s %-8s %s\n", ep, sb.Name(), durable, status)
 				}
 			}
+		}
+		// Link history per backend: partitions (connection losses) and
+		// epochs replayed after heals. Zero for in-machine backends;
+		// nonzero only for partition-aware ones (network replicas).
+		for _, info := range g.Health() {
+			s.printf("link %-22s partitions=%d catchup=%d\n", info.Name, info.Partitions, info.CatchUp)
 		}
 
 	case "send":
@@ -532,11 +580,17 @@ const helpText = `Aurora single level store (Table 1):
                              and skipped. exit codes: 0 ok, 3 fell back past
                              a quarantined epoch, 4 corrupt image, 5 backing
                              store down
-  ps                         list applications in Aurora (QUEUE = epochs in
+  promote <group> <backend>  move the primary role to another attached store
+                             backend; refused while the current primary is
+                             healthy. exit codes: 0 promoted, 6 primary still
+                             healthy, 7 fenced by a newer generation
+  ps                         list applications in Aurora (GEN = store
+                             generation / fencing token, QUEUE = epochs in
                              flight, HEALTH = per-backend flush health,
                              QUAR = epochs that failed restore validation)
   epochs <group> [backend]   list a group's store epochs with durability and
-                             quarantine status
+                             quarantine status, plus per-backend link history
+                             (partitions seen, epochs caught up after heals)
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
   scrub <backend> [source]   verify every block hash on a store backend,

@@ -259,6 +259,78 @@ func TestRestoreExitCodes(t *testing.T) {
 	}
 }
 
+// TestPromoteExitCodes pins the promotion error-to-exit-code mapping,
+// including the fenced path (7) a scripted session cannot reach
+// without a network replica promoting over it.
+func TestPromoteExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{fmt.Errorf("promote: %w", core.ErrPrimaryHealthy), 6},
+		{fmt.Errorf("promote: %w", core.ErrStaleGeneration), 7},
+		{fmt.Errorf("some other failure"), 1},
+	}
+	for _, c := range cases {
+		if got := promoteExitCode(c.err); got != c.want {
+			t.Errorf("promoteExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestCLIPromoteRefusedHealthy: promoting over a live primary is how
+// split-brain starts; the CLI refuses with exit code 6.
+func TestCLIPromoteRefusedHealthy(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; run 5; persist 1 app; attach app nvme; attach app ssd; checkpoint app; sync app",
+		nil,
+		"promote app ssd")
+	if code != 6 {
+		t.Fatalf("exit code = %d, want 6 (primary healthy):\n%s", code, got)
+	}
+	if !strings.Contains(got, "still healthy") {
+		t.Fatalf("refusal not reported:\n%s", got)
+	}
+}
+
+// TestCLIPromote: the primary store dies (every write injected to
+// fail), the group's flushes keep landing on the secondary, and
+// `promote` moves the primary role there — minting generation 2,
+// persisting the fence, and exiting 0. ps then shows the GEN column.
+func TestCLIPromote(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; run 5; persist 1 app",
+		func(s *session) {
+			s.o.DownAfter = 1
+			fd := storage.NewFaultDevice(storage.NewMemDevice(storage.ParamsOptaneNVMe, s.clock), s.clock, storage.FaultConfig{Seed: 9})
+			st := objstore.Create(fd, s.clock)
+			s.backends["flaky"] = core.NewStoreBackend(st, s.k.Mem, s.clock)
+			fd.FailOps(storage.FaultWrite, fd.OpCount()+1, 1<<62)
+		},
+		"attach app flaky; attach app ssd; checkpoint app; sync app; promote app ssd; ps")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (promoted):\n%s", code, got)
+	}
+	if !strings.Contains(got, "to primary of group 1: generation 2") {
+		t.Fatalf("promotion not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "GEN") {
+		t.Fatalf("ps missing GEN column:\n%s", got)
+	}
+}
+
+// TestCLIEpochsLinkCounters: epochs renders per-backend link history
+// (zero partitions/catch-up for in-machine backends, but the rows are
+// always present for scripts to scrape).
+func TestCLIEpochsLinkCounters(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; run 10; checkpoint app; sync app; epochs app")
+	if !strings.Contains(got, "partitions=0 catchup=0") {
+		t.Fatalf("epochs missing link counters:\n%s", got)
+	}
+}
+
 func TestCLIHealthColumn(t *testing.T) {
 	got := runScript(t,
 		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app; ps")

@@ -237,6 +237,17 @@ func (sb *StoreBackend) WithLane(lane *storage.Clock) Backend {
 // depth.
 func (sb *StoreBackend) Flush(img *Image) (time.Duration, error) {
 	sw := sb.clock.Watch()
+	// Fence check: a flush stamped with a store generation behind the
+	// lineage's fence comes from a stale primary superseded by a
+	// promotion; reject it before any state changes. A newer
+	// generation is adopted as the new fence (the catch-up path).
+	if err := sb.store.CheckGen(img.Group, img.Gen); err != nil {
+		var floor uint64
+		if m, merr := sb.store.LatestManifest(img.Group); merr == nil {
+			floor = m.Epoch
+		}
+		return 0, &FenceError{Gen: sb.store.FenceGen(img.Group), Floor: floor, Err: err}
+	}
 	for _, m := range img.Meta {
 		if _, err := sb.store.PutRecord(m.OID, img.Epoch, uint16(m.Kind), img.Full, m.Data, nil, nil); err != nil {
 			return 0, err

@@ -1,0 +1,83 @@
+package core_test
+
+// The whole-system chaos harness: storage faults, link faults, process
+// crashes with supervisor restarts, a transient partition with heal,
+// one forced replica promotion, and one stale-primary return — all
+// composed under one seeded schedule, with the core invariants
+// (durable monotonicity, bit-identical restores, released output never
+// lost, exactly one primary per lineage) re-checked after every event.
+// The engine lives in internal/bench (ChaosRun); this test binds it to
+// the seeds the repo's `make chaoscheck` pins.
+
+import (
+	"testing"
+
+	"aurora/internal/bench"
+)
+
+func chaosConfig(seed int64) bench.ChaosConfig {
+	return bench.ChaosConfig{
+		Seed:            seed,
+		Checkpoints:     24,
+		StepsPerEpoch:   3,
+		LinkDrop:        0.02,
+		LinkDup:         0.05,
+		LinkReorder:     0.05,
+		LinkCorrupt:     0.01,
+		StoreWriteErr:   0.02,
+		StoreReadErr:    0.01,
+		CrashEvery:      8,
+		PartitionAt:     10,
+		PartitionLen:    3,
+		DivergentEpochs: 4,
+		PostEpochs:      6,
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	t.Helper()
+	rep, err := bench.ChaosRun(chaosConfig(seed))
+	if err != nil {
+		t.Fatalf("chaos seed %d: %v", seed, err)
+	}
+	// The schedule must actually have exercised every event class.
+	if rep.Crashes < 1 || rep.Restores < 1 {
+		t.Fatalf("seed %d: crashes=%d restores=%d, want >= 1 each", seed, rep.Crashes, rep.Restores)
+	}
+	if rep.Heals != 1 {
+		t.Fatalf("seed %d: heals=%d, want 1 transient partition healed", seed, rep.Heals)
+	}
+	if rep.Partitions < 2 {
+		t.Fatalf("seed %d: partitions=%d, want >= 2 (transient + permanent)", seed, rep.Partitions)
+	}
+	if rep.LinkDropped == 0 {
+		t.Fatalf("seed %d: no frames dropped on the link", seed)
+	}
+	if rep.PromoteGen < 2 {
+		t.Fatalf("seed %d: promotion generation %d, want >= 2", seed, rep.PromoteGen)
+	}
+	if rep.Floor == 0 || rep.Backfilled == 0 {
+		t.Fatalf("seed %d: floor=%d backfilled=%d, want nonzero", seed, rep.Floor, rep.Backfilled)
+	}
+	if rep.PromoteTTR <= 0 {
+		t.Fatalf("seed %d: promotion TTR %v not modeled", seed, rep.PromoteTTR)
+	}
+	if rep.CatchUp <= 0 {
+		t.Fatalf("seed %d: catch-up time %v not modeled", seed, rep.CatchUp)
+	}
+	if rep.StaleRejected < 2 {
+		t.Fatalf("seed %d: staleRejected=%d, want the fenced flush and the refused barrier", seed, rep.StaleRejected)
+	}
+	if rep.Quarantined < 4 {
+		t.Fatalf("seed %d: quarantined=%d, want >= 4 divergent epochs", seed, rep.Quarantined)
+	}
+	if rep.Released <= rep.Floor {
+		t.Fatalf("seed %d: released watermark %d did not advance past the promotion floor %d", seed, rep.Released, rep.Floor)
+	}
+	t.Logf("seed %d: %d checkpoints, %d crashes, %d partitions, floor %d, gen %d, catch-up %v, promote TTR %v",
+		seed, rep.Checkpoints, rep.Crashes, rep.Partitions, rep.Floor, rep.PromoteGen, rep.CatchUp, rep.PromoteTTR)
+}
+
+func TestChaosSeed1(t *testing.T)  { runChaos(t, 1) }
+func TestChaosSeed7(t *testing.T)  { runChaos(t, 7) }
+func TestChaosSeed42(t *testing.T) { runChaos(t, 42) }

@@ -48,7 +48,19 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 	epoch := g.epoch + 1
 	full := opts.Full || !g.everFull
 	prev := g.last
+	gen := g.generation
+	fencedBy := g.fencedBy
 	g.mu.Unlock()
+
+	// A fenced group is a stale primary: a store or replica rejected
+	// its generation because a promotion superseded it. Refusing the
+	// barrier up front keeps it from minting epochs no backend will
+	// ever accept; the operator demotes it to catch-up resync instead.
+	if fencedBy != 0 {
+		return CheckpointBreakdown{}, fmt.Errorf(
+			"core: group %d generation %d fenced by generation %d: %w",
+			g.ID, gen, fencedBy, ErrStaleGeneration)
+	}
 
 	bd := CheckpointBreakdown{Epoch: epoch, Full: full}
 	total := clock.Watch()
@@ -135,6 +147,7 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 	img := &Image{
 		Group:  g.ID,
 		Epoch:  epoch,
+		Gen:    gen,
 		Name:   opts.Name,
 		Full:   full,
 		Meta:   meta,

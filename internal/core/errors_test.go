@@ -1,0 +1,168 @@
+package core
+
+// Typed-error round trips: every sentinel the public API documents
+// must survive its wrap sites so callers dispatch with errors.Is, not
+// string matching. Each test drives a real end-to-end path — the
+// wrap chain under test is the one production callers actually see.
+
+import (
+	"errors"
+	"testing"
+
+	"aurora/internal/kernel"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// TestErrNoImageRoundTrip: a store that never flushed anything
+// surfaces ErrNoImage both from the backend Load and through the full
+// Restore resolution loop (which wraps it again per chain searched).
+func TestErrNoImageRoundTrip(t *testing.T) {
+	r := newRig(t)
+	p := spawnCounter(t, r)
+	g, err := r.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.o.Attach(g, r.store)
+	if _, _, err := r.store.Load(g.ID, 7); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("store Load = %v, want ErrNoImage wrap", err)
+	}
+	if _, _, err := r.o.Restore(g, 0, RestoreOpts{}); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("Restore = %v, want ErrNoImage wrap", err)
+	}
+}
+
+// TestQuarantineCorruptionRoundTrip: corruption caught by the eager
+// load's hash-verified reads surfaces BOTH sentinels when the chain
+// runs dry — ErrEpochQuarantined (the epoch was poisoned) and
+// objstore.ErrCorruptBlock (why) — through one wrap chain.
+func TestQuarantineCorruptionRoundTrip(t *testing.T) {
+	r := newRig(t)
+	p := spawnCounter(t, r)
+	g, err := r.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.o.Attach(g, r.store)
+	r.k.Run(2)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Sync(g); err != nil {
+		t.Fatal(err)
+	}
+	corruptEpochBlock(t, r.store, g.ID, 1)
+	_, _, rerr := r.o.Restore(g, 1, RestoreOpts{})
+	if !errors.Is(rerr, ErrEpochQuarantined) {
+		t.Fatalf("Restore = %v, want ErrEpochQuarantined wrap", rerr)
+	}
+	if !errors.Is(rerr, objstore.ErrCorruptBlock) {
+		t.Fatalf("Restore = %v, must keep the ErrCorruptBlock cause", rerr)
+	}
+}
+
+// TestFlushAllDeferredRoundTrip: an epoch every backend deferred (the
+// lone backend is down, probe pacing skipped the device) records the
+// typed ErrBackendDown on its flush job, selectable with errors.Is.
+func TestFlushAllDeferredRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.o.FlushWorkers = 1
+	r.o.FlushRetries = 1
+	r.o.DownAfter = 1
+	p := spawnCounter(t, r)
+	g, err := r.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := &ledgerBackend{}
+	lb.setErr(errors.New("dead controller"))
+	r.o.Attach(g, lb)
+
+	r.k.Run(2)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	r.o.Drain(g) // epoch 1 fails on the device; backend down (DownAfter=1)
+
+	r.k.Run(2)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	r.o.Drain(g) // epoch 2 skip-defers: no backend held it
+
+	f := r.o.flusherOf(g)
+	f.mu.Lock()
+	job := f.byEpoch[2]
+	f.mu.Unlock()
+	if job == nil || job.err == nil {
+		t.Fatalf("epoch 2 job = %+v, want a recorded failure", job)
+	}
+	if !errors.Is(job.err, ErrBackendDown) {
+		t.Fatalf("all-deferred epoch error = %v, want ErrBackendDown wrap", job.err)
+	}
+}
+
+// TestRestoreFallsBackWhenDurableEpochElsewhere: durability is a group
+// property — an epoch retires once ANY non-ephemeral backend holds it.
+// When the store's flush of the durable epoch was still deferred at
+// crash time, a flexible restore (epoch 0) must fall back to the
+// newest epoch the store does hold instead of failing outright.
+func TestRestoreFallsBackWhenDurableEpochElsewhere(t *testing.T) {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := NewOrchestrator(k)
+	o.FlushWorkers = 1
+	fd := storage.NewFaultDevice(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock, storage.FaultConfig{Seed: 5})
+	store := NewStoreBackend(objstore.Create(fd, clock), k.Mem, clock)
+
+	p, err := k.Spawn(0, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetProgram(&counter{addr: p.HeapBase()})
+	g, err := o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := &ledgerBackend{} // the healthy non-ephemeral peer (a replica stand-in)
+	o.Attach(g, store)
+	o.Attach(g, lb)
+
+	k.Run(2)
+	if _, err := o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Sync(g); err != nil {
+		t.Fatal(err) // epoch 1 on both backends
+	}
+
+	// Every further store write fails: epoch 2 lands only on the peer.
+	fd.FailOps(storage.FaultWrite, fd.OpCount()+1, 1<<62)
+	k.Run(2)
+	if _, err := o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	o.Drain(g)
+	if got := g.Durable(); got != 2 {
+		t.Fatalf("durable = %d, want 2 (the peer held it)", got)
+	}
+
+	ng, bd, err := o.Restore(g, 0, RestoreOpts{})
+	if err != nil {
+		t.Fatalf("flexible restore must fall back, got %v", err)
+	}
+	if ng.Epoch() != 1 {
+		t.Fatalf("restored epoch = %d, want 1 (the store's newest)", ng.Epoch())
+	}
+	if bd.FallbackFrom != 2 {
+		t.Fatalf("FallbackFrom = %d, want 2", bd.FallbackFrom)
+	}
+
+	// An explicit epoch request keeps its strict meaning: epoch 2 is
+	// not on this store, so the restore fails with ErrNoImage.
+	if _, _, err := o.Restore(g, 2, RestoreOpts{}); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("explicit restore of a missing epoch = %v, want ErrNoImage", err)
+	}
+}

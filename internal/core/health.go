@@ -50,6 +50,27 @@ func (s HealthState) String() string {
 // the down device). Callers select on it with errors.Is.
 var ErrBackendDown = errors.New("core: backend down")
 
+// PartitionAware is implemented by backends whose failures mean "the
+// network between us is broken", not "the backend is broken" — the
+// replica on the far side is presumed alive and holding everything it
+// acked. Such a backend is capped at degraded, never marked down: a
+// partition heals, and every epoch queues for catch-up with the
+// backend probed on each epoch so the hello/hello-ack resume
+// handshake reconnects as soon as the link returns.
+type PartitionAware interface {
+	// Partitions counts connection-loss events observed so far.
+	Partitions() int64
+}
+
+// downState returns the deepest health state a failing backend may
+// sink to: down in general, degraded for partition-aware backends.
+func downState(b Backend) HealthState {
+	if _, ok := b.(PartitionAware); ok {
+		return BackendDegraded
+	}
+	return BackendDown
+}
+
 // Health policy defaults, overridable per Orchestrator.
 const (
 	defaultFlushRetries = 3                      // extra attempts per flush
@@ -113,7 +134,12 @@ type BackendHealthInfo struct {
 	Pending int   // catch-up queue depth (missed epochs)
 	Retries int64 // extra flush attempts so far
 	Resyncs int64 // epochs replayed after recovery
-	LastErr string
+	// Partitions and CatchUp surface a partition-aware backend's link
+	// history: connection losses, and epochs replayed to it after
+	// heals (zero for ordinary backends).
+	Partitions int64
+	CatchUp    int64
+	LastErr    string
 }
 
 // healthOf returns (creating on demand) the health record for b.
@@ -147,6 +173,10 @@ func (g *Group) Health() []BackendHealthInfo {
 		}
 		if h.lastErr != nil {
 			info.LastErr = h.lastErr.Error()
+		}
+		if pa, ok := b.(PartitionAware); ok {
+			info.Partitions = pa.Partitions()
+			info.CatchUp = h.resyncs
 		}
 		g.healthMu.Unlock()
 		out = append(out, info)
@@ -223,6 +253,7 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 	g.healthMu.Unlock()
 
 	dur, attempts, err := o.attemptFlush(b, img, o.flushRetries())
+	fenced := err != nil && noteFence(g, err)
 	g.healthMu.Lock()
 	defer g.healthMu.Unlock()
 	h.retries += int64(attempts - 1)
@@ -231,12 +262,19 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 		h.lastErr = nil
 		return dur, false, nil
 	}
+	if fenced {
+		// The backend rejected our store generation: the group is a
+		// stale primary, not the backend sick. Queuing the epoch would
+		// retry a flush that can never succeed.
+		h.lastErr = err
+		return dur, false, err
+	}
 	// All attempts failed: degrade and queue the epoch for catch-up.
 	h.consecFails++
 	h.lastErr = err
 	h.state = BackendDegraded
 	if h.consecFails >= o.downAfter() {
-		h.state = BackendDown
+		h.state = downState(b)
 	}
 	h.queueLocked(img)
 	return dur, true, err
@@ -257,6 +295,14 @@ func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img
 	delivered := img == nil
 
 	fail := func(next *Image, err error) {
+		if noteFence(g, err) {
+			// Fenced: drop the rejected epoch (it is divergent and can
+			// never be delivered) instead of requeueing it forever.
+			g.healthMu.Lock()
+			h.lastErr = err
+			g.healthMu.Unlock()
+			return
+		}
 		g.healthMu.Lock()
 		if next != nil {
 			h.queueLocked(next)
@@ -270,7 +316,7 @@ func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img
 			h.state = BackendDegraded
 		}
 		if h.consecFails >= o.downAfter() {
-			h.state = BackendDown
+			h.state = downState(b)
 		}
 		g.healthMu.Unlock()
 	}
@@ -389,7 +435,14 @@ func (o *Orchestrator) Resync(g *Group) error {
 			}
 			h.probing = true
 			g.healthMu.Unlock()
-			if _, _, err := o.probeAndResync(g, h, b, nil); err != nil {
+			// Foreground resync: the caller waits for the replay, so the
+			// modeled catch-up time (charged to a detached lane inside
+			// attemptFlush) merges back into the group's timeline.
+			dur, _, err := o.probeAndResync(g, h, b, nil)
+			if dur > 0 {
+				o.K.Clock.Advance(dur)
+			}
+			if err != nil {
 				lastErr = fmt.Errorf("core: resyncing %s: %w", b.Name(), err)
 				continue
 			}

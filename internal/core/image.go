@@ -67,6 +67,11 @@ type Image struct {
 	Epoch uint64
 	Name  string
 	Full  bool
+	// Gen is the store generation (fencing token) of the group that
+	// checkpointed this image. A store or replica whose fence for the
+	// image's lineage has moved past Gen rejects the flush: the writer
+	// is a stale primary superseded by a promotion.
+	Gen uint64
 	// Meta holds every serialized kernel object.
 	Meta []MetaRec
 	// Memory holds per-VM-object page captures. For incremental
@@ -250,6 +255,7 @@ func (img *Image) Encode() []byte {
 	e := codec.NewEncoder()
 	e.U64(img.Group)
 	e.U64(img.Epoch)
+	e.U64(img.Gen)
 	e.Str(img.Name)
 	meta := img.AllMeta()
 	e.U64(uint64(len(meta)))
@@ -296,6 +302,7 @@ func DecodeImage(payload []byte, pm *vm.PhysMem) (*Image, error) {
 	img := &Image{
 		Group:  d.U64(),
 		Epoch:  d.U64(),
+		Gen:    d.U64(),
 		Name:   d.Str(),
 		Full:   true,
 		Memory: make(map[uint64]*MemImage),
@@ -353,6 +360,7 @@ func (img *Image) EncodeDelta() []byte {
 	e := codec.NewEncoder()
 	e.U64(img.Group)
 	e.U64(img.Epoch)
+	e.U64(img.Gen)
 	e.Str(img.Name)
 	e.Bool(img.Full)
 	e.U64(uint64(len(img.Meta)))
@@ -391,6 +399,7 @@ func DecodeDelta(payload []byte, pm *vm.PhysMem) (*Image, error) {
 	img := &Image{
 		Group:  d.U64(),
 		Epoch:  d.U64(),
+		Gen:    d.U64(),
 		Name:   d.Str(),
 		Full:   d.Bool(),
 		Memory: make(map[uint64]*MemImage),

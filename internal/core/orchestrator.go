@@ -54,6 +54,18 @@ type Group struct {
 	// ntSeq is the group's NT-log sequence counter (sls_ntflush).
 	ntSeq uint64
 
+	// generation is the group's store generation: the fencing token
+	// stamped into every image it checkpoints. It starts at 1 and only
+	// moves when a promotion bumps it (see promote.go).
+	generation uint64
+	// fencedBy/fenceFloor record that a flush was rejected by a newer
+	// generation: this group is a stale primary that was superseded
+	// while partitioned. A fenced group refuses new checkpoints;
+	// fenceFloor is the new primary's contiguous floor at fencing time
+	// (epochs above it are divergent and must be quarantined).
+	fencedBy   uint64
+	fenceFloor uint64
+
 	// restorePeers are out-of-band block providers lazy restores may
 	// fail over to; sources are the demand-paging sources created by
 	// lazy restores of this group (both guarded by mu).
@@ -132,6 +144,62 @@ func (g *Group) LastImage() *Image {
 	return g.last
 }
 
+// Generation returns the group's store generation (fencing token).
+func (g *Group) Generation() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.generation
+}
+
+// Fenced reports whether this group has been fenced off by a newer
+// store generation (a promotion elsewhere), and by which generation
+// and contiguous floor.
+func (g *Group) Fenced() (gen, floor uint64, fenced bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fencedBy, g.fenceFloor, g.fencedBy != 0
+}
+
+// markFenced records that a flush of this group was rejected by a
+// newer store generation. Idempotent; keeps the highest generation.
+func (g *Group) markFenced(gen, floor uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if gen > g.fencedBy {
+		g.fencedBy, g.fenceFloor = gen, floor
+	}
+}
+
+// Replicated returns the group's replication frontier: the newest
+// epoch that is actually present on every non-ephemeral backend. It
+// equals Durable() while all backends are caught up, and is capped
+// below the oldest epoch still owed to a sick or partitioned backend
+// — degraded-mode durability keeps Durable() advancing on the healthy
+// peer, but output gated on replication must wait for the catch-up
+// queue to drain.
+func (g *Group) Replicated() uint64 {
+	g.mu.Lock()
+	rep := g.durable
+	backends := make([]Backend, len(g.backends))
+	copy(backends, g.backends)
+	g.mu.Unlock()
+	g.healthMu.Lock()
+	defer g.healthMu.Unlock()
+	for _, b := range backends {
+		if b.Ephemeral() {
+			continue
+		}
+		h := g.health[b]
+		if h == nil || len(h.pending) == 0 {
+			continue
+		}
+		if floor := h.pending[0].Epoch - 1; floor < rep {
+			rep = floor
+		}
+	}
+	return rep
+}
+
 // Orchestrator is the SLS orchestrator: it owns persistence groups,
 // maps kernel objects to backends, and implements the kernel's
 // GroupResolver so IPC can enforce external consistency.
@@ -182,7 +250,7 @@ func (o *Orchestrator) Persist(name string, p *kernel.Process) (*Group, error) {
 	tree := o.K.ProcessTree(p)
 	o.mu.Lock()
 	o.nextID++
-	g := &Group{ID: o.nextID, Name: name, origin: o.nextID, pids: make(map[int]bool)}
+	g := &Group{ID: o.nextID, Name: name, origin: o.nextID, generation: 1, pids: make(map[int]bool)}
 	o.groups[g.ID] = g
 	for _, proc := range tree {
 		g.pids[proc.PID] = true
@@ -411,9 +479,14 @@ func (o *Orchestrator) EpochOf(group uint64) uint64 {
 }
 
 // Released implements kernel.GroupResolver: an epoch's output may
-// cross the group boundary once it is durable on every non-ephemeral
-// backend (or once flushed anywhere when only ephemeral backends are
-// attached — debugging setups accept that risk explicitly).
+// cross the group boundary once it is actually present on every
+// non-ephemeral backend (or once flushed anywhere when only ephemeral
+// backends are attached — debugging setups accept that risk
+// explicitly). This gates on Replicated(), not Durable(): in degraded
+// mode the durable frontier keeps advancing on the healthy peer while
+// a sick or partitioned backend owes catch-up epochs, and releasing
+// output the replica does not yet hold would lose it if the primary
+// then died and the replica were promoted.
 func (o *Orchestrator) Released(group, epoch uint64) bool {
 	o.mu.Lock()
 	g := o.groups[group]
@@ -423,8 +496,8 @@ func (o *Orchestrator) Released(group, epoch uint64) bool {
 	}
 	// Data written during epoch E is covered by checkpoint E+1 (the
 	// one whose barrier happens after the write). It is releasable
-	// when that epoch is durable.
-	return g.Durable() > epoch
+	// when that epoch is replicated.
+	return g.Replicated() > epoch
 }
 
 // members resolves the group's live member processes.

@@ -274,6 +274,12 @@ func (o *Orchestrator) RestoreImage(img *Image, readTime time.Duration, opts Res
 	g.last = img
 	g.epoch = img.Epoch
 	g.durable = img.Epoch
+	// Inherit the image's store generation (fencing token); images from
+	// before generations existed restore at the base generation.
+	g.generation = img.Gen
+	if g.generation == 0 {
+		g.generation = 1
+	}
 	o.groups[g.ID] = g
 	for _, rp := range procs {
 		g.pids[rp.proc.PID] = true
@@ -583,11 +589,27 @@ func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group
 					ep = want
 					if _, err := sb.epochUsable(gid, ep); err != nil {
 						lastErr = err
-						if !errors.Is(err, ErrEpochQuarantined) {
-							break // next chain / backend
+						if errors.Is(err, ErrEpochQuarantined) {
+							fbFrom, quarCount, below = ep, quarCount+1, ep
+							continue
 						}
-						fbFrom, quarCount, below = ep, quarCount+1, ep
-						continue
+						if epoch == 0 && errors.Is(err, ErrNoImage) {
+							// The caller asked for "the durable frontier",
+							// not this exact epoch. Durability is a group
+							// property — an epoch is durable once ANY
+							// non-ephemeral backend holds it — so this
+							// store's flush of it may still have been
+							// deferred when the group died. Fall back to
+							// the newest epoch this store does hold; the
+							// suffix lives on whichever backend made it
+							// durable (a replica serves it at promotion).
+							if fbFrom == 0 {
+								fbFrom = ep
+							}
+							below = ep
+							continue
+						}
+						break // next chain / backend
 					}
 				} else {
 					var err error
@@ -609,7 +631,7 @@ func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group
 							fbFrom = ep
 						}
 						quarCount++
-						lastErr = fmt.Errorf("%w: epoch %d of group %d: %v", ErrEpochQuarantined, ep, gid, verr)
+						lastErr = fmt.Errorf("%w: epoch %d of group %d: %w", ErrEpochQuarantined, ep, gid, verr)
 						below = ep
 						continue
 					}
@@ -633,7 +655,7 @@ func (o *Orchestrator) Restore(g *Group, epoch uint64, opts RestoreOpts) (*Group
 							fbFrom = ep
 						}
 						quarCount++
-						lastErr = fmt.Errorf("%w: epoch %d of group %d: %v", ErrEpochQuarantined, ep, gid, err)
+						lastErr = fmt.Errorf("%w: epoch %d of group %d: %w", ErrEpochQuarantined, ep, gid, err)
 						below = ep
 						continue
 					}

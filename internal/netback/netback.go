@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"time"
@@ -35,13 +36,27 @@ const (
 var (
 	ErrBadFrame = errors.New("netback: bad frame")
 	ErrClosed   = errors.New("netback: stream closed")
+	// ErrCorruptFrame marks a frame whose payload failed its CRC: the
+	// bytes were damaged in flight. The connection is unusable from
+	// here (framing may have lost sync), so callers treat it like a
+	// connection loss and resume via the hello handshake.
+	ErrCorruptFrame = errors.New("netback: corrupt frame")
 )
 
-// writeFrame emits [type][len][payload].
+// frameHdrSize is the wire header: [type u8][len u64][crc32c u32].
+// The CRC (Castagnoli, as used end-to-end by the object store) covers
+// the payload, so a flipped bit on the wire is detected at the frame
+// layer instead of surfacing as a garbled image decode.
+const frameHdrSize = 13
+
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame emits [type][len][crc32c][payload].
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var hdr [9]byte
+	var hdr [frameHdrSize]byte
 	hdr[0] = typ
-	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[9:], crc32.Checksum(payload, frameCRC))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -54,19 +69,23 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame, verifying the payload CRC.
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [9]byte
+	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint64(hdr[1:])
+	n := binary.LittleEndian.Uint64(hdr[1:9])
 	if n > 1<<32 {
 		return 0, nil, ErrBadFrame
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
+	}
+	if got, want := crc32.Checksum(payload, frameCRC), binary.LittleEndian.Uint32(hdr[9:]); got != want {
+		return 0, nil, fmt.Errorf("%w: type %d payload %d bytes: crc %08x, want %08x",
+			ErrCorruptFrame, hdr[0], n, got, want)
 	}
 	return hdr[0], payload, nil
 }
@@ -172,6 +191,7 @@ type Receiver struct {
 
 	mu     sync.Mutex
 	chains map[uint64][]*core.Image // group -> images sorted by epoch
+	fences map[uint64]uint64        // group -> highest generation witnessed or adopted
 	recvd  int64
 
 	// blockIdx maps content hash -> page bytes across every held
@@ -183,7 +203,13 @@ type Receiver struct {
 
 // NewReceiver creates a receiver allocating frames from pm.
 func NewReceiver(pm *vm.PhysMem, clock *storage.Clock) *Receiver {
-	return &Receiver{pm: pm, clock: clock, nic: storage.ParamsNIC10G, chains: make(map[uint64][]*core.Image)}
+	return &Receiver{
+		pm:     pm,
+		clock:  clock,
+		nic:    storage.ParamsNIC10G,
+		chains: make(map[uint64][]*core.Image),
+		fences: make(map[uint64]uint64),
+	}
 }
 
 // ReceivedBytes reports bytes taken off the wire.
@@ -238,6 +264,9 @@ func (r *Receiver) Serve(conn io.Reader) (int, error) {
 func (r *Receiver) install(img *core.Image) {
 	r.mu.Lock()
 	r.chains[img.Group] = []*core.Image{img}
+	if img.Gen > r.fences[img.Group] {
+		r.fences[img.Group] = img.Gen
+	}
 	r.blockStale = true
 	r.mu.Unlock()
 }
@@ -309,6 +338,9 @@ func (r *Receiver) link(img *core.Image) {
 		}
 	}
 	r.chains[img.Group] = chain
+	if img.Gen > r.fences[img.Group] {
+		r.fences[img.Group] = img.Gen
+	}
 	r.blockStale = true
 }
 
@@ -332,6 +364,59 @@ func (r *Receiver) Groups() []uint64 {
 		out = append(out, g)
 	}
 	return out
+}
+
+// The methods below make a Receiver a core.ReplicaSource: the view
+// promotion consumes when this replica is elected the new primary.
+
+// ImageAt returns the replica's image for (group, epoch), linked into
+// its chain.
+func (r *Receiver) ImageAt(group, epoch uint64) (*core.Image, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, img := range r.chains[group] {
+		if img.Epoch == epoch {
+			return img, nil
+		}
+	}
+	return nil, fmt.Errorf("netback: replica holds no epoch %d of group %d: %w", epoch, group, core.ErrNoImage)
+}
+
+// ContiguousEpoch is the newest epoch with no holes below it — the
+// replica's durable line, and the floor a promotion restores from.
+func (r *Receiver) ContiguousEpoch(group uint64) uint64 {
+	return r.lastContiguous(group)
+}
+
+// ReplicaEpochs lists every epoch held for the group, ascending.
+func (r *Receiver) ReplicaEpochs(group uint64) []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	chain := r.chains[group]
+	out := make([]uint64, 0, len(chain))
+	for _, img := range chain {
+		out = append(out, img.Epoch)
+	}
+	return out
+}
+
+// FenceGen is the highest store generation witnessed in received
+// images or adopted via AdoptFence for the group.
+func (r *Receiver) FenceGen(group uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fences[group]
+}
+
+// AdoptFence raises the replica-side fence: deltas stamped with an
+// older generation are answered with a fencing rejection instead of an
+// ack (see ServeReplica). Raise-only; an older generation is ignored.
+func (r *Receiver) AdoptFence(group, gen uint64) {
+	r.mu.Lock()
+	if gen > r.fences[group] {
+		r.fences[group] = gen
+	}
+	r.mu.Unlock()
 }
 
 // Migrate performs a live migration: checkpoint the group, stream the

@@ -2,6 +2,9 @@ package netback
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"io"
 	"net"
 	"testing"
@@ -208,13 +211,33 @@ func TestLiveMigration(t *testing.T) {
 	}
 }
 
+// rawFrame hand-builds a wire frame, optionally with a bogus CRC.
+func rawFrame(typ byte, payload []byte, badCRC bool) []byte {
+	f := make([]byte, frameHdrSize+len(payload))
+	f[0] = typ
+	binary.LittleEndian.PutUint64(f[1:9], uint64(len(payload)))
+	crc := crc32.Checksum(payload, frameCRC)
+	if badCRC {
+		crc ^= 0xdeadbeef
+	}
+	binary.LittleEndian.PutUint32(f[9:13], crc)
+	copy(f[frameHdrSize:], payload)
+	return f
+}
+
 func TestFrameCorruption(t *testing.T) {
 	recv := NewReceiver(vm.NewPhysMem(0), storage.NewClock())
-	if _, err := recv.Serve(bytes.NewReader([]byte{frameDelta, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})); err == nil {
+	oversized := rawFrame(frameDelta, nil, false)
+	binary.LittleEndian.PutUint64(oversized[1:9], 1<<40)
+	if _, err := recv.Serve(bytes.NewReader(oversized)); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
-	if _, err := recv.Serve(bytes.NewReader([]byte{99, 1, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+	if _, err := recv.Serve(bytes.NewReader(rawFrame(99, []byte{0}, false))); err == nil {
 		t.Fatal("unknown frame type accepted")
+	}
+	_, err := recv.Serve(bytes.NewReader(rawFrame(frameDelta, []byte{1, 2, 3}, true)))
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bad CRC err = %v, want ErrCorruptFrame", err)
 	}
 }
 

@@ -25,6 +25,7 @@ const (
 	frameAck      byte = iota + 4 // receiver -> sender: [group u64][epoch u64]
 	frameHello                    // sender -> receiver: [group u64]
 	frameHelloAck                 // receiver -> sender: [group u64][last contiguous epoch u64]
+	frameFenced                   // receiver -> sender: [group u64][fence gen u64][floor epoch u64]
 )
 
 // ErrDisconnected is wrapped into replica flush errors once the
@@ -35,8 +36,12 @@ var ErrDisconnected = errors.New("netback: replica disconnected")
 // ServeReplica consumes an acknowledged replication stream: every
 // image or delta applied is acked with its (group, epoch), and a hello
 // is answered with the group's last contiguous epoch so the sender can
-// resume where it left off. It returns the number of frames applied;
-// the error is nil on a clean bye or EOF.
+// resume where it left off. A frame stamped with a store generation
+// behind the group's fence (see AdoptFence) is not applied: it is
+// answered with a fenced frame carrying the fence generation and the
+// replica's contiguous floor, so a stale primary learns it has been
+// superseded. It returns the number of frames applied; the error is
+// nil on a clean bye or EOF.
 func (r *Receiver) ServeReplica(conn io.ReadWriter) (int, error) {
 	applied := 0
 	for {
@@ -72,6 +77,12 @@ func (r *Receiver) ServeReplica(conn io.ReadWriter) (int, error) {
 			if err != nil {
 				return applied, err
 			}
+			if rejected, err := r.fenceCheck(conn, img); err != nil {
+				return applied, err
+			} else if rejected {
+				img.Release(r.pm)
+				continue
+			}
 			r.install(img)
 			applied++
 			if err := writeAck(conn, img.Group, img.Epoch); err != nil {
@@ -81,6 +92,12 @@ func (r *Receiver) ServeReplica(conn io.ReadWriter) (int, error) {
 			img, err := core.DecodeDelta(payload, r.pm)
 			if err != nil {
 				return applied, err
+			}
+			if rejected, err := r.fenceCheck(conn, img); err != nil {
+				return applied, err
+			} else if rejected {
+				img.Release(r.pm)
+				continue
 			}
 			r.link(img)
 			applied++
@@ -98,6 +115,24 @@ func writeAck(w io.Writer, group, epoch uint64) error {
 	binary.LittleEndian.PutUint64(p[:8], group)
 	binary.LittleEndian.PutUint64(p[8:], epoch)
 	return writeFrame(w, frameAck, p[:])
+}
+
+// fenceCheck rejects an image stamped with a generation behind the
+// group's fence, answering with a fenced frame instead of an ack. The
+// unstamped generation 0 only passes while no fence is raised (a
+// legacy stream to a replica that never saw a promotion).
+func (r *Receiver) fenceCheck(conn io.Writer, img *core.Image) (rejected bool, err error) {
+	r.mu.Lock()
+	fence := r.fences[img.Group]
+	r.mu.Unlock()
+	if fence == 0 || img.Gen >= fence {
+		return false, nil
+	}
+	var p [24]byte
+	binary.LittleEndian.PutUint64(p[:8], img.Group)
+	binary.LittleEndian.PutUint64(p[8:16], fence)
+	binary.LittleEndian.PutUint64(p[16:], r.lastContiguous(img.Group))
+	return true, writeFrame(conn, frameFenced, p[:])
 }
 
 // lastContiguous reports the newest epoch e such that the receiver
@@ -126,11 +161,21 @@ func (r *Receiver) lastContiguous(group uint64) uint64 {
 // the protocol is synchronous per delta, so concurrent flush workers
 // serialize here.
 type replicaCore struct {
-	mu    sync.Mutex
-	conn  io.ReadWriter
-	floor uint64 // receiver's last contiguous epoch at handshake
-	sent  int64  // bytes
-	nic   storage.DeviceParams
+	mu         sync.Mutex
+	conn       io.ReadWriter
+	floor      uint64 // receiver's last contiguous epoch at handshake
+	sent       int64  // bytes
+	partitions int64  // established connections lost
+	nic        storage.DeviceParams
+}
+
+// lost drops an established connection, counting the partition.
+// Callers hold mu.
+func (rc *replicaCore) lost() {
+	if rc.conn != nil {
+		rc.conn = nil
+		rc.partitions++
+	}
 }
 
 // ReplicaBackend is a core.Backend that replicates every checkpoint to
@@ -156,7 +201,10 @@ func NewReplicaBackend(clock *storage.Clock) *ReplicaBackend {
 // Connect performs the resume handshake over rw for group: it sends a
 // hello, reads back the receiver's last contiguous epoch, and records
 // it as the floor below which flushes are skipped. It returns that
-// epoch so the caller knows where replication resumes.
+// epoch so the caller knows where replication resumes. Stray acks and
+// fenced frames left in flight by a faulty link (duplicated or
+// reordered across the reconnect) are skipped: only the hello ack
+// answers a hello, so a stale ack can never set the resume floor.
 func (rb *ReplicaBackend) Connect(rw io.ReadWriter, group uint64) (uint64, error) {
 	rb.core.mu.Lock()
 	defer rb.core.mu.Unlock()
@@ -165,27 +213,55 @@ func (rb *ReplicaBackend) Connect(rw io.ReadWriter, group uint64) (uint64, error
 	if err := writeFrame(rw, frameHello, hello[:]); err != nil {
 		return 0, fmt.Errorf("%w: hello: %w", ErrDisconnected, err)
 	}
-	typ, payload, err := readFrame(rw)
-	if err != nil {
-		return 0, fmt.Errorf("%w: hello ack: %w", ErrDisconnected, err)
+	for {
+		typ, payload, err := readFrame(rw)
+		if err != nil {
+			return 0, fmt.Errorf("%w: hello ack: %w", ErrDisconnected, err)
+		}
+		switch {
+		case typ == frameAck && len(payload) == 16:
+			// A duplicated or delayed ack from before the reconnect.
+			continue
+		case typ == frameFenced && len(payload) == 24:
+			// A stale fenced reply; the fence re-fires on the next
+			// flush if it still stands.
+			continue
+		}
+		if typ != frameHelloAck || len(payload) != 16 {
+			return 0, fmt.Errorf("%w: expected hello ack, got type %d", ErrBadFrame, typ)
+		}
+		if got := binary.LittleEndian.Uint64(payload[:8]); got != group {
+			return 0, fmt.Errorf("%w: hello ack for group %d, want %d", ErrBadFrame, got, group)
+		}
+		rb.core.conn = rw
+		rb.core.floor = binary.LittleEndian.Uint64(payload[8:])
+		return rb.core.floor, nil
 	}
-	if typ != frameHelloAck || len(payload) != 16 {
-		return 0, fmt.Errorf("%w: expected hello ack, got type %d", ErrBadFrame, typ)
-	}
-	if got := binary.LittleEndian.Uint64(payload[:8]); got != group {
-		return 0, fmt.Errorf("%w: hello ack for group %d, want %d", ErrBadFrame, got, group)
-	}
-	rb.core.conn = rw
-	rb.core.floor = binary.LittleEndian.Uint64(payload[8:])
-	return rb.core.floor, nil
 }
 
 // Disconnect drops the connection; subsequent flushes fail with
 // ErrDisconnected until Connect succeeds again.
 func (rb *ReplicaBackend) Disconnect() {
 	rb.core.mu.Lock()
-	rb.core.conn = nil
+	rb.core.lost()
 	rb.core.mu.Unlock()
+}
+
+// Partitions implements core.PartitionAware: the number of established
+// replica connections lost so far. A partitioned replica is degraded,
+// never down — its machine still holds every acked epoch.
+func (rb *ReplicaBackend) Partitions() int64 {
+	rb.core.mu.Lock()
+	defer rb.core.mu.Unlock()
+	return rb.core.partitions
+}
+
+// Floor reports the receiver's last contiguous epoch recorded at the
+// most recent handshake.
+func (rb *ReplicaBackend) Floor() uint64 {
+	rb.core.mu.Lock()
+	defer rb.core.mu.Unlock()
+	return rb.core.floor
 }
 
 // SentBytes reports bytes placed on the wire.
@@ -210,8 +286,13 @@ func (rb *ReplicaBackend) WithLane(lane *storage.Clock) core.Backend {
 
 // Flush implements core.Backend: send the delta, wait for the
 // matching ack. Epochs at or below the handshake floor are already on
-// the replica and are skipped. Any transport failure drops the
-// connection and returns an error wrapping ErrDisconnected.
+// the replica and are skipped. Stale duplicated acks and stray hello
+// acks (a faulty link can duplicate or reorder frames) are skipped
+// while waiting. A fenced reply — the receiver has adopted a newer
+// store generation — returns a core.FenceError wrapping
+// core.ErrStaleGeneration without dropping the connection. Any
+// transport failure drops the connection and returns an error
+// wrapping ErrDisconnected.
 func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
 	rc := rb.core
 	rc.mu.Lock()
@@ -224,24 +305,48 @@ func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
 	}
 	payload := img.EncodeDelta()
 	if err := writeFrame(rc.conn, frameDelta, payload); err != nil {
-		rc.conn = nil
+		rc.lost()
 		return 0, fmt.Errorf("%w: sending epoch %d: %w", ErrDisconnected, img.Epoch, err)
 	}
-	typ, ack, err := readFrame(rc.conn)
-	if err != nil {
-		rc.conn = nil
-		return 0, fmt.Errorf("%w: awaiting ack for epoch %d: %w", ErrDisconnected, img.Epoch, err)
-	}
-	if typ != frameAck || len(ack) != 16 {
-		rc.conn = nil
-		return 0, fmt.Errorf("%w: expected ack, got type %d", ErrBadFrame, typ)
-	}
-	group := binary.LittleEndian.Uint64(ack[:8])
-	epoch := binary.LittleEndian.Uint64(ack[8:])
-	if group != img.Group || epoch != img.Epoch {
-		rc.conn = nil
-		return 0, fmt.Errorf("%w: ack for group %d epoch %d, want %d/%d",
-			ErrBadFrame, group, epoch, img.Group, img.Epoch)
+	for {
+		typ, ack, err := readFrame(rc.conn)
+		if err != nil {
+			rc.lost()
+			return 0, fmt.Errorf("%w: awaiting ack for epoch %d: %w", ErrDisconnected, img.Epoch, err)
+		}
+		switch {
+		case typ == frameHelloAck && len(ack) == 16:
+			// A duplicated handshake reply; the floor was already set
+			// by Connect, a copy must not be mistaken for an ack.
+			continue
+		case typ == frameFenced && len(ack) == 24:
+			if group := binary.LittleEndian.Uint64(ack[:8]); group != img.Group {
+				continue // fence for another group's stream
+			}
+			gen := binary.LittleEndian.Uint64(ack[8:16])
+			floor := binary.LittleEndian.Uint64(ack[16:])
+			return 0, &core.FenceError{Gen: gen, Floor: floor,
+				Err: fmt.Errorf("netback: epoch %d of group %d rejected by replica: %w",
+					img.Epoch, img.Group, core.ErrStaleGeneration)}
+		}
+		if typ != frameAck || len(ack) != 16 {
+			rc.lost()
+			return 0, fmt.Errorf("%w: expected ack, got type %d", ErrBadFrame, typ)
+		}
+		group := binary.LittleEndian.Uint64(ack[:8])
+		epoch := binary.LittleEndian.Uint64(ack[8:])
+		if group == img.Group && epoch < img.Epoch {
+			// A stale duplicated ack for an earlier epoch: skipping it
+			// (rather than trusting it) is what keeps a duplicated ack
+			// from ever advancing past the deltas actually received.
+			continue
+		}
+		if group != img.Group || epoch != img.Epoch {
+			rc.lost()
+			return 0, fmt.Errorf("%w: ack for group %d epoch %d, want %d/%d",
+				ErrBadFrame, group, epoch, img.Group, img.Epoch)
+		}
+		break
 	}
 	rc.sent += int64(len(payload))
 	cost := rc.nic.Latency + time.Duration(int64(len(payload))*int64(time.Second)/rc.nic.WriteBW)

@@ -278,3 +278,33 @@ func TestScrubReportsLoss(t *testing.T) {
 		t.Fatalf("lost records: %+v", rep.LostRecords)
 	}
 }
+
+// TestPutBlockFailedWriteNotDeduped: a block put whose device write
+// fails must leave no dedup-index entry behind. Before the fix, the
+// entry was published before the write, so a retried put of the same
+// content dedup-hit a block that never landed — durably poisoning
+// every epoch that referenced the page.
+func TestPutBlockFailedWriteNotDeduped(t *testing.T) {
+	s, fd := faultStore(storage.FaultConfig{Seed: 3})
+	data := onePage(0x42)
+	fd.FailOps(storage.FaultWrite, fd.OpCount()+1, fd.OpCount()+1)
+	if _, err := s.putBlock(data); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("faulted put = %v, want ErrInjected", err)
+	}
+	fd.ClearScripts()
+	// The retry must write fresh bytes, not reference the ghost block.
+	ref, err := s.putBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadBlock(ref)
+	if err != nil {
+		t.Fatalf("block written by the retry must verify: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("retried block has wrong contents")
+	}
+	if hits := s.Stats().DedupHits; hits != 0 {
+		t.Fatalf("dedup hits = %d, want 0: the failed put must not seed the index", hits)
+	}
+}

@@ -1,0 +1,93 @@
+package objstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"aurora/internal/storage"
+)
+
+// TestFenceCheckGen pins the three CheckGen outcomes: equal passes,
+// newer adopts (demoting a primary claim), older is rejected.
+func TestFenceCheckGen(t *testing.T) {
+	s := testStore(t)
+	// Unfenced lineage: generation 0 (legacy) and any positive
+	// generation pass.
+	if err := s.CheckGen(1, 0); err != nil {
+		t.Fatalf("unfenced gen 0: %v", err)
+	}
+	if err := s.SetPrimary(1, 2); err != nil {
+		t.Fatalf("SetPrimary: %v", err)
+	}
+	if gen, primary := s.PrimaryGen(1); gen != 2 || !primary {
+		t.Fatalf("PrimaryGen = (%d, %v), want (2, true)", gen, primary)
+	}
+	// Equal generation passes and keeps the primary claim.
+	if err := s.CheckGen(1, 2); err != nil {
+		t.Fatalf("equal gen: %v", err)
+	}
+	if _, primary := s.PrimaryGen(1); !primary {
+		t.Fatal("equal-generation flush demoted the primary")
+	}
+	// Stale generation is rejected with the typed error.
+	if err := s.CheckGen(1, 1); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale gen error = %v, want ErrStaleGeneration", err)
+	}
+	// A newer generation is adopted and demotes the primary claim:
+	// someone else was promoted.
+	if err := s.CheckGen(1, 3); err != nil {
+		t.Fatalf("newer gen: %v", err)
+	}
+	if gen, primary := s.PrimaryGen(1); gen != 3 || primary {
+		t.Fatalf("after adopt PrimaryGen = (%d, %v), want (3, false)", gen, primary)
+	}
+	// SetPrimary cannot move the fence backwards either.
+	if err := s.SetPrimary(1, 2); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale SetPrimary error = %v, want ErrStaleGeneration", err)
+	}
+	if got := s.PrimaryLineages(); len(got) != 0 {
+		t.Fatalf("PrimaryLineages = %v, want none", got)
+	}
+}
+
+// TestFencePersistence: the fencing table survives Sync/Open and the
+// superblock header carries the fence high-water mark.
+func TestFencePersistence(t *testing.T) {
+	clock := storage.NewClock()
+	dev := storage.NewMemDevice(storage.ParamsOptaneNVMe, clock)
+	s := Create(dev, clock)
+	if err := s.SetPrimary(7, 3); err != nil {
+		t.Fatal(err)
+	}
+	s.AdoptFence(9, 5)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The published superblock slot carries the high-water mark.
+	var buf [sbSize]byte
+	if _, err := dev.ReadAt(buf[:], slotOffset(s.Generation())); err != nil {
+		t.Fatal(err)
+	}
+	if hw := binary.LittleEndian.Uint64(buf[36:]); hw != 5 {
+		t.Fatalf("superblock fence high-water = %d, want 5", hw)
+	}
+
+	re, err := Open(dev, storage.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, primary := re.PrimaryGen(7); gen != 3 || !primary {
+		t.Fatalf("reopened PrimaryGen(7) = (%d, %v), want (3, true)", gen, primary)
+	}
+	if gen, primary := re.PrimaryGen(9); gen != 5 || primary {
+		t.Fatalf("reopened PrimaryGen(9) = (%d, %v), want (5, false)", gen, primary)
+	}
+	if err := re.CheckGen(7, 2); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("reopened store forgot the fence: %v", err)
+	}
+	if hw := re.FenceHighWater(); hw != 5 {
+		t.Fatalf("FenceHighWater = %d, want 5", hw)
+	}
+}

@@ -32,10 +32,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // superblock is the decoded form of one slot.
 type superblock struct {
-	gen    uint64
-	idxOff int64
-	idxLen int64
-	idxCRC uint32
+	gen     uint64
+	idxOff  int64
+	idxLen  int64
+	idxCRC  uint32
+	fenceHW uint64 // highest fencing generation across lineages
 }
 
 // Slot layout (64 bytes):
@@ -46,7 +47,8 @@ type superblock struct {
 //	[16:24) index offset
 //	[24:32) index length
 //	[32:36) index CRC-32C
-//	[36:60) reserved (zero)
+//	[36:44) fencing-generation high-water
+//	[44:60) reserved (zero)
 //	[60:64) header CRC-32C over bytes [0:60)
 func encodeSuperblock(sb superblock) []byte {
 	buf := make([]byte, sbSize)
@@ -56,6 +58,7 @@ func encodeSuperblock(sb superblock) []byte {
 	binary.LittleEndian.PutUint64(buf[16:], uint64(sb.idxOff))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(sb.idxLen))
 	binary.LittleEndian.PutUint32(buf[32:], sb.idxCRC)
+	binary.LittleEndian.PutUint64(buf[36:], sb.fenceHW)
 	binary.LittleEndian.PutUint32(buf[60:], crc32.Checksum(buf[:60], castagnoli))
 	return buf
 }
@@ -76,10 +79,11 @@ func decodeSuperblock(buf []byte) (superblock, bool) {
 		return superblock{}, false
 	}
 	return superblock{
-		gen:    binary.LittleEndian.Uint64(buf[8:]),
-		idxOff: int64(binary.LittleEndian.Uint64(buf[16:])),
-		idxLen: int64(binary.LittleEndian.Uint64(buf[24:])),
-		idxCRC: binary.LittleEndian.Uint32(buf[32:]),
+		gen:     binary.LittleEndian.Uint64(buf[8:]),
+		idxOff:  int64(binary.LittleEndian.Uint64(buf[16:])),
+		idxLen:  int64(binary.LittleEndian.Uint64(buf[24:])),
+		idxCRC:  binary.LittleEndian.Uint32(buf[32:]),
+		fenceHW: binary.LittleEndian.Uint64(buf[36:]),
 	}, true
 }
 
@@ -167,10 +171,20 @@ func (s *Store) Sync() error {
 	e.I64(s.stats.LogicalBytes)
 	e.I64(s.stats.MetaBytes)
 	e.I64(s.stats.DedupHits)
+	// Fencing table: a promotion this store has witnessed must never
+	// be forgotten across a remount, or a stale primary could write
+	// again after a reboot.
+	e.U64(uint64(len(s.fences)))
+	for lineage, fe := range s.fences {
+		e.U64(lineage)
+		e.U64(fe.gen)
+		e.Bool(fe.primary)
+	}
 
 	idx := e.Bytes()
 	idxOff := s.allocExtent(len(idx))
 	gen := s.sbGen + 1
+	fenceHW := s.fenceHighLocked()
 	s.mu.Unlock()
 
 	// Durability barrier: the index must be stable on media before the
@@ -183,10 +197,11 @@ func (s *Store) Sync() error {
 		return fmt.Errorf("objstore: syncing index generation %d: %w", gen, err)
 	}
 	sb := encodeSuperblock(superblock{
-		gen:    gen,
-		idxOff: idxOff,
-		idxLen: int64(len(idx)),
-		idxCRC: crc32.Checksum(idx, castagnoli),
+		gen:     gen,
+		idxOff:  idxOff,
+		idxLen:  int64(len(idx)),
+		idxCRC:  crc32.Checksum(idx, castagnoli),
+		fenceHW: fenceHW,
 	})
 	if _, err := s.dev.WriteAt(sb, slotOffset(gen)); err != nil {
 		return fmt.Errorf("objstore: publishing superblock generation %d: %w", gen, err)
@@ -326,6 +341,11 @@ func decodeIndex(dev storage.Device, clock *storage.Clock, idx []byte) (*Store, 
 	s.stats.LogicalBytes = d.I64()
 	s.stats.MetaBytes = d.I64()
 	s.stats.DedupHits = d.I64()
+	nFences := d.U64()
+	for i := uint64(0); i < nFences && d.Err() == nil; i++ {
+		lineage := d.U64()
+		s.fences[lineage] = fenceEntry{gen: d.U64(), primary: d.Bool()}
+	}
 	if err := d.Finish("objstore index"); err != nil {
 		return nil, err
 	}

@@ -50,7 +50,7 @@ const BlockSize = vm.PageSize
 // previous good generation (see persist.go).
 const (
 	magic     = 0x41555253 // "AURS"
-	sbVersion = 3          // adds the quarantine table to the index
+	sbVersion = 4          // adds the fencing table + superblock fence high-water
 	sbSize    = 64         // one superblock slot
 	sbSlot0   = 0          // even generations
 	sbSlot1   = 512        // odd generations
@@ -136,8 +136,12 @@ type storeCore struct {
 	// quarantined marks epochs that failed restore validation; they
 	// are skipped by fallback resolution and persisted by Sync.
 	quarantined map[manifestID]string
-	sbGen       uint64 // superblock generation last published
-	stats       Stats
+	// fences maps a lineage (original group ID) to the highest store
+	// generation witnessed there and whether this store is the
+	// lineage's primary (see fence.go).
+	fences map[uint64]fenceEntry
+	sbGen  uint64 // superblock generation last published
+	stats  Stats
 }
 
 // Store is the object store over one device.
@@ -163,6 +167,7 @@ func Create(dev storage.Device, clock *storage.Clock) *Store {
 			manifests:   make(map[uint64][]*Manifest),
 			named:       make(map[string]manifestID),
 			quarantined: make(map[manifestID]string),
+			fences:      make(map[uint64]fenceEntry),
 		},
 		dev:   dev,
 		clock: clock,
@@ -242,13 +247,32 @@ func (s *Store) putBlock(data []byte) (BlockRef, error) {
 		return ref, nil
 	}
 	off := s.allocBlock()
+	s.mu.Unlock()
+
+	// Publish the dedup entry only after the bytes are on media: a
+	// failed write must not leave the index pointing at a block that
+	// never landed, or every later put of the same content dedups
+	// against garbage and poisons each epoch referencing the page.
+	if _, err := s.dev.WriteAt(data, off); err != nil {
+		s.mu.Lock()
+		s.freeList = append(s.freeList, off)
+		s.mu.Unlock()
+		return BlockRef{}, err
+	}
+	s.mu.Lock()
+	if be, ok := s.blocks[h]; ok {
+		// A concurrent put landed the same content first: reference
+		// its block and recycle the one written here.
+		be.refs++
+		s.stats.DedupHits++
+		ref := be.ref
+		s.freeList = append(s.freeList, off)
+		s.mu.Unlock()
+		return ref, nil
+	}
 	be := &blockEntry{ref: BlockRef{Off: off, Hash: h}, refs: 1}
 	s.blocks[h] = be
 	s.mu.Unlock()
-
-	if _, err := s.dev.WriteAt(data, off); err != nil {
-		return BlockRef{}, err
-	}
 	return be.ref, nil
 }
 
