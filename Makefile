@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
-## matrix, crash-recovery harness, whole-system chaos sweep
+## matrix, crash-recovery harness, whole-system chaos sweep, space-
+## pressure survival
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -11,6 +12,7 @@ check:
 	$(MAKE) faultcheck
 	$(MAKE) recoverycheck
 	$(MAKE) chaoscheck
+	$(MAKE) spacecheck
 
 build:
 	$(GO) build ./...
@@ -46,7 +48,17 @@ chaoscheck:
 	$(GO) test -race -count=1 -run 'TestChaos|TestPromote|TestCLIPromote' \
 		./internal/core/ ./cmd/sls/
 
+## spacecheck: graceful degradation under space pressure, race-enabled —
+## watermark retention GC with the reachability audit after every
+## reclaimed epoch, end-to-end ENOSPC survival on a ~10-epoch device
+## (seeds 1, 7, 42), admission-control shedding, the GC interleaving
+## property test, and the space-composed chaos run.
+spacecheck:
+	$(GO) test -race -count=1 -run 'TestSpace|TestReclaimer|TestAdmission|TestFlushENOSPC|TestSyncWithReclaim|TestGCInterleaving|TestControlPlaneReserve|TestStatsLiveAndReclaimable|TestCapacityGrowthOnly|TestSetFull|TestCLIGC|TestCLIDF|TestCLISpacePressure' \
+		./internal/core/ ./internal/storage/ ./internal/objstore/ ./internal/bench/ ./cmd/sls/
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
-## BENCH_faults.json, BENCH_recovery.json, and BENCH_chaos.json)
+## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json, and
+## BENCH_space.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

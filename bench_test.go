@@ -423,23 +423,27 @@ func TestEmitRecoveryBench(t *testing.T) {
 
 // chaosAt runs the whole-system chaos schedule with every link fault
 // probability scaled by rate (drops, duplicates, reorders at rate,
-// corruption at half), against fixed moderate storage fault rates.
+// corruption at half), against fixed moderate storage fault rates. The
+// primary store is bounded to ~16 steady-state epochs, so the space
+// scheduler (watermark reclamation under the replica's catch-up floor)
+// is part of the standing fault mix.
 func chaosAt(rate float64) (*bench.ChaosReport, error) {
 	return bench.ChaosRun(bench.ChaosConfig{
-		Seed:            42,
-		Checkpoints:     24,
-		StepsPerEpoch:   3,
-		LinkDrop:        rate,
-		LinkDup:         rate,
-		LinkReorder:     rate,
-		LinkCorrupt:     rate / 2,
-		StoreWriteErr:   0.01,
-		StoreReadErr:    0.005,
-		CrashEvery:      8,
-		PartitionAt:     10,
-		PartitionLen:    3,
-		DivergentEpochs: 4,
-		PostEpochs:      6,
+		Seed:                42,
+		Checkpoints:         24,
+		StepsPerEpoch:       3,
+		LinkDrop:            rate,
+		LinkDup:             rate,
+		LinkReorder:         rate,
+		LinkCorrupt:         rate / 2,
+		StoreWriteErr:       0.01,
+		StoreReadErr:        0.005,
+		CrashEvery:          8,
+		PartitionAt:         10,
+		PartitionLen:        3,
+		DivergentEpochs:     4,
+		PostEpochs:          6,
+		StoreCapacityEpochs: 16,
 	})
 }
 
@@ -482,6 +486,74 @@ func TestEmitChaosBench(t *testing.T) {
 	}
 }
 
+// BenchmarkSpaceMatrix measures sustained checkpoint throughput as
+// device headroom disappears: the same workload on an unbounded device
+// and on devices sized to 20, 10, and 5 steady-state epochs, with the
+// retention reclaimer and admission control keeping the stream alive.
+// Every retained epoch is verified bit-identical against the unbounded
+// control before a point is reported.
+func BenchmarkSpaceMatrix(b *testing.B) {
+	var last []*bench.SpaceReport
+	for i := 0; i < b.N; i++ {
+		reps, err := bench.SpaceSweep(120, []int{0, 20, 10, 5}, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = reps
+		for _, r := range reps {
+			b.ReportMetric(r.CkptPerVSec, fmt.Sprintf("ckpt/vsec-%dep", r.CapacityEpochs))
+		}
+	}
+	if err := writeSpaceJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitSpaceBench writes BENCH_space.json on every plain `go test`
+// run, so the space-matrix datapoint exists without -bench.
+func TestEmitSpaceBench(t *testing.T) {
+	reps, err := bench.SpaceSweep(120, []int{0, 20, 10, 5}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSpaceJSON(reps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeSpaceJSON(reps []*bench.SpaceReport) error {
+	rows := make([]map[string]any, 0, len(reps))
+	for _, r := range reps {
+		rows = append(rows, map[string]any{
+			"capacity_epochs":  r.CapacityEpochs,
+			"capacity_bytes":   r.Capacity,
+			"checkpoints":      r.Checkpoints,
+			"admitted":         r.Admitted,
+			"durable_epoch":    r.Durable,
+			"sheds":            r.Sheds,
+			"emergency_sheds":  r.EmergencySheds,
+			"scans":            r.Scans,
+			"emergency_scans":  r.EmergencyScans,
+			"epochs_reclaimed": r.EpochsReclaimed,
+			"bytes_reclaimed":  r.BytesReclaimed,
+			"retained_epochs":  r.RetainedEpochs,
+			"max_usage":        r.MaxUsage,
+			"final_usage":      r.FinalUsage,
+			"ckpt_per_vsec":    r.CkptPerVSec,
+		})
+	}
+	out := map[string]any{
+		"benchmark": "space-matrix",
+		"seed":      42,
+		"points":    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_space.json", append(data, '\n'), 0o644)
+}
+
 func writeChaosJSON(reps []*bench.ChaosReport) error {
 	rates := []float64{0, 0.01, 0.05}
 	rows := make([]map[string]any, 0, len(reps))
@@ -504,6 +576,9 @@ func writeChaosJSON(reps []*bench.ChaosReport) error {
 			"quarantined":       r.Quarantined,
 			"stale_rejected":    r.StaleRejected,
 			"released":          r.Released,
+			"store_capacity":    r.StoreCapacity,
+			"epochs_reclaimed":  r.EpochsReclaimed,
+			"emergency_scans":   r.EmergencyScans,
 		})
 	}
 	out := map[string]any{

@@ -22,6 +22,8 @@
 //	promote <group> <backend> move the primary role to another backend
 //	ps                        list applications in Aurora
 //	epochs <group> [backend]  list store epochs with quarantine status
+//	gc <backend>              run a retention scan, reclaiming old epochs
+//	df                        show per-backend space usage and pressure
 //	scrub <backend> [source]  verify block hashes, repair rot from a peer
 //	send <group> <file>       export an application to a file
 //	recv <file>               import an application and restore it
@@ -35,7 +37,8 @@
 // epoch, 4 restore failed on a corrupt (quarantined) image, 5 restore
 // failed because the backing store was down, 6 promotion refused
 // because the current primary is still healthy, 7 promotion refused
-// because the group was fenced by a newer generation.
+// because the group was fenced by a newer generation, 8 `df` found a
+// backend at or above its emergency space watermark.
 package main
 
 import (
@@ -44,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -85,12 +89,20 @@ func newSession(out *bufio.Writer) *session {
 		out:      out,
 	}
 	s.backends["memory"] = s.mem
-	s.backends["nvme"] = core.NewStoreBackend(objs, k.Mem, clock)
-	ssd := objstore.Create(storage.NewMemDevice(storage.ParamsSATASSD, clock), clock)
-	s.backends["ssd"] = core.NewStoreBackend(ssd, k.Mem, clock)
-	hdd := objstore.Create(storage.NewMemDevice(storage.ParamsHDD, clock), clock)
-	s.backends["hdd"] = core.NewStoreBackend(hdd, k.Mem, clock)
+	s.addStore("nvme", objs)
+	s.addStore("ssd", objstore.Create(storage.NewMemDevice(storage.ParamsSATASSD, clock), clock))
+	s.addStore("hdd", objstore.Create(storage.NewMemDevice(storage.ParamsHDD, clock), clock))
 	return s
+}
+
+// addStore registers a store backend under name with a default
+// retention reclaimer attached, so `gc`/`df` and watermark-driven
+// reclamation work out of the box (a no-op on unbounded devices).
+func (s *session) addStore(name string, st *objstore.Store) *core.StoreBackend {
+	sb := core.NewStoreBackend(st, s.k.Mem, s.clock)
+	sb.SetReclaimer(core.NewReclaimer(s.o, sb, core.RetentionPolicy{}, core.Watermarks{}))
+	s.backends[name] = sb
+	return sb
 }
 
 func (s *session) printf(format string, args ...any) {
@@ -203,6 +215,27 @@ func healthColumn(g *core.Group) string {
 		}
 	}
 	return strings.Join(parts, ",")
+}
+
+// useColumn renders a group's worst store-backend space usage for ps:
+// the highest used fraction across attached bounded store backends, or
+// "-" when every attached store is unbounded (capacity unknown).
+func useColumn(g *core.Group) string {
+	worst := -1.0
+	for _, b := range g.Backends() {
+		sb, ok := b.(*core.StoreBackend)
+		if !ok || sb.Reclaimer() == nil {
+			continue
+		}
+		_, capacity, frac := sb.Reclaimer().Usage()
+		if capacity > 0 && frac > worst {
+			worst = frac
+		}
+	}
+	if worst < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d%%", int(worst*100))
 }
 
 func (s *session) groupArg(name string) (*core.Group, error) {
@@ -390,9 +423,9 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-4s %-14s %-8s %-6s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "DURABLE", "QUEUE", "HEALTH", "QUAR", "PIDS")
+		s.printf("%-6s %-6s %-4s %-14s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "DURABLE", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-4d %-14s %-8d %-6d %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, g.Durable(), g.QueueDepth(), healthColumn(g), quarColumn(g), g.PIDs())
+			s.printf("%-6d %-6d %-4d %-14s %-8d %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, g.Durable(), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
@@ -453,6 +486,52 @@ func (s *session) exec(line string) bool {
 		// nonzero only for partition-aware ones (network replicas).
 		for _, info := range g.Health() {
 			s.printf("link %-22s partitions=%d catchup=%d\n", info.Name, info.Partitions, info.CatchUp)
+		}
+
+	case "gc":
+		if len(args) < 1 {
+			s.printf("usage: gc <backend>\n")
+			return true
+		}
+		sb, err := s.storeArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		rec := sb.Reclaimer()
+		if rec == nil {
+			s.printf("backend %q has no reclaimer\n", args[0])
+			return true
+		}
+		freed := rec.Scan()
+		st := rec.Stats()
+		_, _, frac := rec.Usage()
+		s.printf("gc %s: freed %d bytes (%d epochs reclaimed total), usage %d%%, pressure %s\n",
+			args[0], freed, st.EpochsReclaimed, int(frac*100), rec.Level())
+
+	case "df":
+		names := make([]string, 0, len(s.backends))
+		for name := range s.backends {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		s.printf("%-10s %-12s %-12s %-5s %s\n", "BACKEND", "USED", "CAPACITY", "USE%", "PRESSURE")
+		for _, name := range names {
+			sb, ok := s.backends[name].(*core.StoreBackend)
+			if !ok || sb.Reclaimer() == nil {
+				continue
+			}
+			rec := sb.Reclaimer()
+			used, capacity, frac := rec.Usage()
+			capStr, useStr := "-", "-"
+			if capacity > 0 {
+				capStr = strconv.FormatInt(capacity, 10)
+				useStr = fmt.Sprintf("%d%%", int(frac*100))
+			}
+			level := rec.Level()
+			if level == core.PressureEmergency {
+				s.code = 8
+			}
+			s.printf("%-10s %-12d %-12s %-5s %s\n", name, used, capStr, useStr, level)
 		}
 
 	case "send":
@@ -591,6 +670,13 @@ const helpText = `Aurora single level store (Table 1):
   epochs <group> [backend]   list a group's store epochs with durability and
                              quarantine status, plus per-backend link history
                              (partitions seen, epochs caught up after heals)
+  gc <backend>               run a retention scan on a store backend,
+                             reclaiming unprotected old epochs when the
+                             device is past its space watermarks
+  df                         show used/capacity/pressure per store backend
+                             (ps USE% is the worst attached backend);
+                             exit code 8 when any backend is at or above
+                             the emergency watermark
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
   scrub <backend> [source]   verify every block hash on a store backend,

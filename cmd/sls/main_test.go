@@ -331,6 +331,86 @@ func TestCLIEpochsLinkCounters(t *testing.T) {
 	}
 }
 
+// TestCLIDF: df renders one row per store backend. The stock session
+// devices are unbounded, so capacity and USE% render as placeholders,
+// pressure is none, and the exit code stays 0.
+func TestCLIDF(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app",
+		nil,
+		"df")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (no space pressure):\n%s", code, got)
+	}
+	for _, want := range []string{"BACKEND", "USED", "CAPACITY", "PRESSURE", "nvme", "ssd", "hdd", "none"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("df output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIGC: a retention scan on an unbounded device is a no-op (no
+// watermark can be crossed), and the non-store backends are rejected.
+func TestCLIGC(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app; gc nvme; gc memory; gc nope; gc")
+	for _, want := range []string{
+		"gc nvme: freed 0 bytes",
+		"pressure none",
+		"not store-backed",
+		`unknown backend "nope"`,
+		"usage: gc",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("gc output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLISpacePressure drives the full space story through the CLI: a
+// bounded backend with watermarks set so any resident byte counts as
+// emergency pressure. Retention reclaims old epochs as checkpoints
+// retire, durable still advances, ps grows a USE% figure, gc reports
+// the reclamation, and df exits 8.
+func TestCLISpacePressure(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; run 5; persist 1 app",
+		func(s *session) {
+			p := storage.ParamsOptaneNVMe
+			p.Capacity = 8 << 20
+			st := objstore.Create(storage.NewMemDevice(p, s.clock), s.clock)
+			sb := core.NewStoreBackend(st, s.k.Mem, s.clock)
+			sb.SetReclaimer(core.NewReclaimer(s.o, sb, core.RetentionPolicy{},
+				core.Watermarks{Low: 1e-9, High: 2e-9, Emergency: 3e-9}))
+			s.backends["tiny"] = sb
+		},
+		"attach app tiny; checkpoint app; run 5; checkpoint app; run 5; checkpoint app; sync app; ps; gc tiny; df")
+	if code != 8 {
+		t.Fatalf("exit code = %d, want 8 (emergency watermark):\n%s", code, got)
+	}
+	for _, want := range []string{
+		"durable through epoch 3", // pressure shed frequency, not durability
+		"USE%",
+		"epochs reclaimed total",
+		"emergency",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The group's USE% column must render a real percentage for the
+	// bounded backend, not the unbounded placeholder.
+	psLine := ""
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "app") && strings.Contains(line, "%") {
+			psLine = line
+		}
+	}
+	if psLine == "" {
+		t.Fatalf("ps USE%% column missing a percentage:\n%s", got)
+	}
+}
+
 func TestCLIHealthColumn(t *testing.T) {
 	got := runScript(t,
 		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app; ps")

@@ -101,6 +101,18 @@ type ChaosConfig struct {
 	// PostEpochs is how many epochs the promoted primary runs after
 	// the failover.
 	PostEpochs int
+
+	// StoreCapacityEpochs bounds the primary store's device to roughly
+	// this many steady-state epochs of room (0 = unbounded), measured by
+	// a clean sizing probe, and composes the space scheduler — retention
+	// reclaimer, ENOSPC emergency reclamation, checkpoint admission —
+	// into the fault mix. The reachability audit runs after every
+	// reclaimed epoch. Leave margin above KeepLast: epochs above the
+	// replica's contiguous-ack floor are unreclaimable, so a partition
+	// pins everything minted while it lasts.
+	StoreCapacityEpochs int
+	// KeepLast is the bounded store's retention floor (0 = default).
+	KeepLast int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -147,6 +159,10 @@ type ChaosReport struct {
 
 	PerCheckpoint time.Duration // mean virtual time per steady-state checkpoint
 	Released      uint64        // released watermark on the promoted line at exit
+
+	StoreCapacity   int64 // primary device capacity in bytes (0 = unbounded)
+	EpochsReclaimed int64 // epochs retention GC merged forward on the primary
+	EmergencyScans  int64 // ENOSPC-triggered reclamations survived
 }
 
 // chaosRun carries the harness state across phases.
@@ -457,21 +473,32 @@ func (c *chaosRun) crash() error {
 }
 
 // epoch runs one workload slice and checkpoints it, recording the
-// counter value the epoch captured.
+// counter value the epoch captured. Under space pressure admission
+// control may shed the barrier (no epoch minted, no state captured);
+// the workload keeps running and the next barrier coalesces the slices,
+// so the harness retries until one is admitted — shedding bounds
+// checkpoint frequency, never progress.
 func (c *chaosRun) epoch() (uint64, error) {
-	if _, err := c.srcK.Run(c.cfg.StepsPerEpoch); err != nil {
-		return 0, err
+	for attempt := 0; attempt < 16; attempt++ {
+		if _, err := c.srcK.Run(c.cfg.StepsPerEpoch); err != nil {
+			return 0, err
+		}
+		counter, err := c.readCounter()
+		if err != nil {
+			return 0, err
+		}
+		bd, err := c.srcO.Checkpoint(c.g, core.CheckpointOpts{})
+		if err != nil {
+			return 0, err
+		}
+		if bd.Shed {
+			continue
+		}
+		ep := c.g.Epoch()
+		c.counterAt[ep] = counter
+		return ep, nil
 	}
-	counter, err := c.readCounter()
-	if err != nil {
-		return 0, err
-	}
-	if _, err := c.srcO.Checkpoint(c.g, core.CheckpointOpts{}); err != nil {
-		return 0, err
-	}
-	ep := c.g.Epoch()
-	c.counterAt[ep] = counter
-	return ep, nil
+	return 0, fmt.Errorf("bench: chaos seed %d: admission control starved the checkpoint barrier", c.cfg.Seed)
 }
 
 // ChaosRun executes one full chaos schedule: steady state with
@@ -495,9 +522,22 @@ func ChaosRun(cfg ChaosConfig) (*ChaosReport, error) {
 	c.srcO = core.NewOrchestrator(c.srcK)
 	c.srcO.FlushWorkers = 1 // deterministic fault-schedule ordering
 	c.sup = core.NewSupervisor(c.srcO, core.SupervisorConfig{MaxRestarts: 64})
-	c.fd = storage.NewFaultDevice(storage.NewMemDevice(storage.ParamsOptaneNVMe, c.srcClock), c.srcClock,
+	params := storage.ParamsOptaneNVMe
+	if cfg.StoreCapacityEpochs > 0 {
+		first, perEpoch, err := chaosFootprint(cfg.Seed, cfg.StepsPerEpoch)
+		if err != nil {
+			return nil, fmt.Errorf("bench: chaos seed %d: sizing probe: %w", cfg.Seed, err)
+		}
+		params.Capacity = first + perEpoch*int64(cfg.StoreCapacityEpochs)
+	}
+	c.fd = storage.NewFaultDevice(storage.NewMemDevice(params, c.srcClock), c.srcClock,
 		storage.FaultConfig{Seed: cfg.Seed, WriteErr: cfg.StoreWriteErr, ReadErr: cfg.StoreReadErr})
 	c.srcStore = core.NewStoreBackend(objstore.Create(c.fd, c.srcClock), c.srcK.Mem, c.srcClock)
+	if cfg.StoreCapacityEpochs > 0 {
+		rec := core.NewReclaimer(c.srcO, c.srcStore, core.RetentionPolicy{KeepLast: cfg.KeepLast}, core.Watermarks{})
+		rec.Audit = (*objstore.Store).AuditReachability
+		c.srcStore.SetReclaimer(rec)
+	}
 
 	// Standby machine: the replica receiver, promoted later.
 	c.dstClock = storage.NewClock()
@@ -794,5 +834,67 @@ func ChaosRun(cfg ChaosConfig) (*ChaosReport, error) {
 	c.rep.LinkInjected = c.link.InjectedCount()
 	c.rep.StoreInjected = c.fd.InjectedCount()
 	c.rep.Released = c.maxReleased
+	if rec := c.srcStore.Reclaimer(); rec != nil {
+		_, c.rep.StoreCapacity, _ = rec.Usage()
+		st := rec.Stats()
+		c.rep.EpochsReclaimed = st.EpochsReclaimed
+		c.rep.EmergencyScans = st.EmergencyScans
+		if st.LastAuditErr != "" {
+			return nil, fmt.Errorf("bench: chaos seed %d: reachability audit failed during reclamation: %s",
+				cfg.Seed, st.LastAuditErr)
+		}
+	}
 	return c.rep, nil
+}
+
+// chaosFootprint measures the chaos workload's storage footprint on an
+// unbounded, fault-free machine: the residency after the first durable
+// epoch (superblock + full image) and the steady-state growth per
+// incremental epoch. ChaosRun uses it to size a bounded device in
+// epochs instead of guessing bytes.
+func chaosFootprint(seed int64, steps int) (first, perEpoch int64, err error) {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	o.FlushWorkers = 1
+	sb := core.NewStoreBackend(objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock), k.Mem, clock)
+
+	p, err := k.Spawn(0, "chaos-probe")
+	if err != nil {
+		return 0, 0, err
+	}
+	p.SetProgram(&chaosCounter{addr: p.HeapBase()})
+	for pg := 1; pg <= chaosPages; pg++ {
+		if err := p.WriteMem(p.HeapBase()+vm.Addr(pg*vm.PageSize), recoveryPattern(pg, seed)); err != nil {
+			return 0, 0, err
+		}
+	}
+	g, err := o.Persist("chaos-probe", p)
+	if err != nil {
+		return 0, 0, err
+	}
+	o.Attach(g, sb)
+
+	const probeEpochs = 8
+	for i := 1; i <= probeEpochs; i++ {
+		if _, err := k.Run(steps); err != nil {
+			return 0, 0, err
+		}
+		if _, err := o.Checkpoint(g, core.CheckpointOpts{}); err != nil {
+			return 0, 0, err
+		}
+		if err := o.Sync(g); err != nil {
+			return 0, 0, err
+		}
+		used, _, _ := sb.Store().Usage()
+		if i == 1 {
+			first = used
+		} else if i == probeEpochs {
+			perEpoch = (used - first) / int64(probeEpochs-1)
+		}
+	}
+	if perEpoch <= 0 {
+		perEpoch = 1
+	}
+	return first, perEpoch, nil
 }

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+
+	"aurora/internal/core"
+)
+
+// TestSpaceAcceptance is the PR's end-to-end acceptance bar: on a
+// device sized to ~10 steady-state epochs, a 500-checkpoint run must
+// survive indefinitely under space pressure. KeepLast above the
+// capacity makes retention and capacity fight, forcing the whole
+// degradation ladder: watermark reclamation, ENOSPC-triggered
+// emergency reclamation, and emergency checkpoint shedding. The run
+// only passes if the durable epoch advanced monotonically, no
+// ErrOutOfSpace surfaced to a caller, the reachability audit held
+// after every reclamation, and every retained epoch restored
+// bit-identical to the unbounded control run.
+func TestSpaceAcceptance(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		r, err := SpaceRun(SpaceConfig{
+			Seed:           seed,
+			Checkpoints:    500,
+			CapacityEpochs: 10,
+			KeepLast:       16,
+			Marks:          core.Watermarks{Low: 0.50, High: 0.65, Emergency: 0.80},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Durable != uint64(r.Admitted) {
+			t.Errorf("seed %d: durable %d != admitted %d", seed, r.Durable, r.Admitted)
+		}
+		if r.Sheds < 1 {
+			t.Errorf("seed %d: admission control never shed a barrier", seed)
+		}
+		if r.EmergencySheds < 1 {
+			t.Errorf("seed %d: no shed taken at the emergency watermark", seed)
+		}
+		if r.EmergencyScans < 1 {
+			t.Errorf("seed %d: ENOSPC emergency reclamation never ran", seed)
+		}
+		if r.EpochsReclaimed < 1 {
+			t.Errorf("seed %d: nothing reclaimed on a %d-epoch device", seed, r.CapacityEpochs)
+		}
+		t.Logf("seed %d: admitted %d/%d, shed %d (%d emergency), reclaimed %d epochs / %d bytes, %d emergency scans, max usage %.0f%%",
+			seed, r.Admitted, r.Checkpoints, r.Sheds, r.EmergencySheds,
+			r.EpochsReclaimed, r.BytesReclaimed, r.EmergencyScans, r.MaxUsage*100)
+	}
+}
+
+// TestSpaceFaultComposed layers injected write faults on top of space
+// pressure: the degraded-retry path and the ENOSPC reclaim-retry path
+// must compose without ever surfacing either failure to a caller.
+func TestSpaceFaultComposed(t *testing.T) {
+	r, err := SpaceRun(SpaceConfig{
+		Seed:           42,
+		Checkpoints:    200,
+		CapacityEpochs: 10,
+		KeepLast:       16,
+		WriteErr:       0.01,
+		Marks:          core.Watermarks{Low: 0.50, High: 0.65, Emergency: 0.80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Injected == 0 {
+		t.Error("no device faults injected")
+	}
+	if r.EpochsReclaimed < 1 {
+		t.Error("nothing reclaimed under composed faults")
+	}
+}
+
+// TestSpaceChaosComposed runs the whole-system chaos script — crashes,
+// a transient partition, a permanent partition with replica promotion,
+// stale-primary fencing and demotion — on a primary store bounded to
+// ~16 steady-state epochs, so the space scheduler joins the fault mix.
+// The four standing chaos invariants (durable never regresses, restores
+// bit-identical, released output never lost, exactly one primary claim
+// at the maximum generation) must hold at every fault rate while the
+// reclaimer is dropping epochs under the replica's catch-up floor.
+func TestSpaceChaosComposed(t *testing.T) {
+	for _, rate := range []float64{0, 0.01, 0.05} {
+		r, err := ChaosRun(ChaosConfig{
+			Seed: 42, Checkpoints: 24, StepsPerEpoch: 3,
+			LinkDrop: rate, LinkDup: rate, LinkReorder: rate, LinkCorrupt: rate / 2,
+			CrashEvery: 8, PartitionAt: 10, PartitionLen: 3,
+			DivergentEpochs: 4, PostEpochs: 6,
+			StoreCapacityEpochs: 16,
+		})
+		if err != nil {
+			t.Fatalf("rate %g: %v", rate, err)
+		}
+		if r.StoreCapacity == 0 {
+			t.Fatalf("rate %g: primary store was not bounded", rate)
+		}
+		if r.EpochsReclaimed < 1 {
+			t.Errorf("rate %g: bounded chaos run reclaimed nothing", rate)
+		}
+		t.Logf("rate %g: capacity %d bytes, reclaimed %d epochs, %d emergency scans",
+			rate, r.StoreCapacity, r.EpochsReclaimed, r.EmergencyScans)
+	}
+}

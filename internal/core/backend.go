@@ -202,6 +202,9 @@ type StoreBackend struct {
 	// History bounds the per-group epoch history kept on disk
 	// (0 = unlimited); older epochs are garbage collected in place.
 	HistoryLimit int
+	// rec is the space-pressure reclaimer bound to this store (nil =
+	// unbounded retention). Shared across WithLane views.
+	rec *Reclaimer
 }
 
 // NewStoreBackend wraps an object store as a checkpoint backend.
@@ -220,6 +223,25 @@ func (sb *StoreBackend) Ephemeral() bool { return false }
 // Store exposes the underlying object store.
 func (sb *StoreBackend) Store() *objstore.Store { return sb.store }
 
+// SetReclaimer binds a space-pressure reclaimer to this backend: epoch
+// retirements poke it (Trim), ENOSPC flushes trigger its emergency
+// path, and the checkpoint admission control consults its watermarks.
+func (sb *StoreBackend) SetReclaimer(r *Reclaimer) { sb.rec = r }
+
+// Reclaimer returns the bound reclaimer (nil when none).
+func (sb *StoreBackend) Reclaimer() *Reclaimer { return sb.rec }
+
+// Trim implements the flush pipeline's trimmer hook: every epoch
+// retirement is a chance to fold history forward. With a reclaimer
+// attached this is watermark-driven (a no-op below the low watermark);
+// without one it does nothing — HistoryLimit-based trimming already
+// runs inside Flush.
+func (sb *StoreBackend) Trim(group uint64) {
+	if sb.rec != nil {
+		sb.rec.Scan()
+	}
+}
+
 // WithLane implements LaneBackend: the view shares the store's index
 // and device state but charges hash and I/O costs to lane.
 func (sb *StoreBackend) WithLane(lane *storage.Clock) Backend {
@@ -228,6 +250,7 @@ func (sb *StoreBackend) WithLane(lane *storage.Clock) Backend {
 		pm:           sb.pm,
 		clock:        lane,
 		HistoryLimit: sb.HistoryLimit,
+		rec:          sb.rec,
 	}
 }
 

@@ -30,6 +30,11 @@ type CheckpointBreakdown struct {
 	Objects       int
 	MetaBytes     int
 	PTEOps        int64
+
+	// Shed reports that admission control skipped this barrier under
+	// space pressure: no epoch was minted and nothing was captured or
+	// queued. Epoch holds the group's (unchanged) current epoch.
+	Shed bool
 }
 
 // String formats the breakdown like the paper's table rows.
@@ -37,6 +42,9 @@ func (b CheckpointBreakdown) String() string {
 	mode := "full"
 	if !b.Full {
 		mode = "incremental"
+	}
+	if b.Shed {
+		mode = "shed"
 	}
 	return fmt.Sprintf("ckpt[%s] metadata=%s data=%s stop=%s flush=%s pages=%d",
 		mode, storage.Micros(b.MetadataCopy), storage.Micros(b.LazyDataCopy),

@@ -62,6 +62,14 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 			g.ID, gen, fencedBy, ErrStaleGeneration)
 	}
 
+	// Admission control: under space pressure (or a saturated flush
+	// pipeline) shedding this barrier beats blocking resume or minting
+	// an epoch no device can hold. The caller sees Shed=true and no
+	// error; the process group keeps running on its current epoch.
+	if shed, sbd := o.admitCheckpoint(g); shed {
+		return sbd, nil
+	}
+
 	bd := CheckpointBreakdown{Epoch: epoch, Full: full}
 	total := clock.Watch()
 
@@ -176,6 +184,72 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 		o.flusherOf(g).Enqueue(img, bdIdx)
 	}
 	return bd, nil
+}
+
+// admitCheckpoint decides whether a barrier may proceed. It sheds the
+// barrier — no stop, no epoch, no capture — when a reclaimer-equipped
+// store backend sits above the high watermark even after a reclaim
+// scan, or when the flush pipeline's backlog exceeds ShedQueueDepth.
+// Shedding lowers checkpoint *frequency*, not durability: a shed
+// streak is capped (ShedAdmitEvery) so the durable frontier keeps
+// advancing, and shedding never touches g.durable. With no reclaimer
+// attached and ShedQueueDepth unset this is a no-op, preserving the
+// exact legacy checkpoint cadence.
+func (o *Orchestrator) admitCheckpoint(g *Group) (bool, CheckpointBreakdown) {
+	var recs []*Reclaimer
+	for _, b := range g.Backends() {
+		if sb, ok := b.(*StoreBackend); ok && sb.rec != nil {
+			recs = append(recs, sb.rec)
+		}
+	}
+	shedDepth := o.ShedQueueDepth
+	if len(recs) == 0 && shedDepth <= 0 {
+		return false, CheckpointBreakdown{}
+	}
+
+	pressured, emergency := false, false
+	for _, r := range recs {
+		if r.Level() < PressureHigh {
+			continue
+		}
+		// Reclaim before shedding: dropping history is strictly better
+		// than dropping a checkpoint.
+		r.Scan()
+		if lvl := r.Level(); lvl >= PressureHigh {
+			pressured = true
+			if lvl == PressureEmergency {
+				emergency = true
+			}
+		}
+	}
+	if !pressured && shedDepth > 0 && g.QueueDepth() >= shedDepth {
+		pressured = true
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !pressured {
+		g.shedStreak = 0
+		return false, CheckpointBreakdown{}
+	}
+	admitEvery := o.ShedAdmitEvery
+	if admitEvery <= 0 {
+		admitEvery = defaultShedAdmitEvery
+	}
+	g.shedStreak++
+	if g.shedStreak >= admitEvery {
+		// Coalesce, don't starve: every Nth barrier goes through even
+		// under sustained pressure so durability still advances.
+		g.shedStreak = 0
+		return false, CheckpointBreakdown{}
+	}
+	g.sheds++
+	if emergency {
+		g.emergencySheds++
+	}
+	bd := CheckpointBreakdown{Epoch: g.epoch, Shed: true}
+	g.ckpts = append(g.ckpts, bd)
+	return true, bd
 }
 
 // flushImage delivers one image to every backend concurrently, under

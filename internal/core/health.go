@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"aurora/internal/storage"
 )
 
 // This file implements per-backend health tracking for the flush
@@ -63,9 +65,15 @@ type PartitionAware interface {
 }
 
 // downState returns the deepest health state a failing backend may
-// sink to: down in general, degraded for partition-aware backends.
-func downState(b Backend) HealthState {
+// sink to: down in general, degraded for partition-aware backends and
+// for out-of-space failures. ENOSPC means the device is full, not
+// broken — reclamation (or operator GC) brings it back, and a down
+// mark would stop the very probes that notice the space returning.
+func downState(b Backend, err error) HealthState {
 	if _, ok := b.(PartitionAware); ok {
+		return BackendDegraded
+	}
+	if errors.Is(err, storage.ErrOutOfSpace) {
 		return BackendDegraded
 	}
 	return BackendDown
@@ -140,6 +148,12 @@ type BackendHealthInfo struct {
 	Partitions int64
 	CatchUp    int64
 	LastErr    string
+	// Space pressure, for store backends with a reclaimer attached:
+	// the device-usage fraction, epochs reclaimed by retention GC, and
+	// checkpoints the group shed under admission control.
+	Usage    float64
+	Reclaims int64
+	Sheds    int64
 }
 
 // healthOf returns (creating on demand) the health record for b.
@@ -179,6 +193,12 @@ func (g *Group) Health() []BackendHealthInfo {
 			info.CatchUp = h.resyncs
 		}
 		g.healthMu.Unlock()
+		if sb, ok := b.(*StoreBackend); ok && sb.rec != nil {
+			_, _, info.Usage = sb.rec.Usage()
+			info.Reclaims = sb.rec.Stats().EpochsReclaimed
+			sheds, _ := g.Sheds()
+			info.Sheds = sheds
+		}
 		out = append(out, info)
 	}
 	return out
@@ -253,6 +273,21 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 	g.healthMu.Unlock()
 
 	dur, attempts, err := o.attemptFlush(b, img, o.flushRetries())
+	if err != nil && errors.Is(err, storage.ErrOutOfSpace) {
+		// The store ran out of space mid-flush. Space pressure is a
+		// condition, not a fault: trigger emergency reclamation and — if
+		// it freed anything — deliver the epoch again. The failed write
+		// left no partial state behind (the store registers records and
+		// publishes superblocks only after their bytes land), so the
+		// retry is a clean re-delivery.
+		if o.emergencyReclaim(b) {
+			var dur2 time.Duration
+			var attempts2 int
+			dur2, attempts2, err = o.attemptFlush(b, img, o.flushRetries())
+			dur += dur2
+			attempts += attempts2
+		}
+	}
 	fenced := err != nil && noteFence(g, err)
 	g.healthMu.Lock()
 	defer g.healthMu.Unlock()
@@ -274,7 +309,7 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 	h.lastErr = err
 	h.state = BackendDegraded
 	if h.consecFails >= o.downAfter() {
-		h.state = downState(b)
+		h.state = downState(b, err)
 	}
 	h.queueLocked(img)
 	return dur, true, err
@@ -316,9 +351,22 @@ func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img
 			h.state = BackendDegraded
 		}
 		if h.consecFails >= o.downAfter() {
-			h.state = downState(b)
+			h.state = downState(b, err)
 		}
 		g.healthMu.Unlock()
+	}
+
+	// deliver retries one catch-up image, running emergency reclamation
+	// between attempts when the store reports out of space.
+	deliver := func(target *Image) (time.Duration, int, error) {
+		dur, attempts, err := o.attemptFlush(b, target, o.flushRetries())
+		if err != nil && errors.Is(err, storage.ErrOutOfSpace) && o.emergencyReclaim(b) {
+			dur2, attempts2, err2 := o.attemptFlush(b, target, o.flushRetries())
+			dur += dur2
+			attempts += attempts2
+			err = err2
+		}
+		return dur, attempts, err
 	}
 
 	// Replay missed epochs oldest-first. The queue may grow while we
@@ -335,7 +383,7 @@ func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img
 		if next == nil {
 			break
 		}
-		dur, attempts, err := o.attemptFlush(b, next, o.flushRetries())
+		dur, attempts, err := deliver(next)
 		total += dur
 		g.healthMu.Lock()
 		h.retries += int64(attempts - 1)
@@ -361,7 +409,7 @@ func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img
 	}
 
 	if !delivered {
-		dur, attempts, err := o.attemptFlush(b, img, o.flushRetries())
+		dur, attempts, err := deliver(img)
 		total += dur
 		g.healthMu.Lock()
 		h.retries += int64(attempts - 1)

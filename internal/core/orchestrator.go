@@ -66,6 +66,19 @@ type Group struct {
 	fencedBy   uint64
 	fenceFloor uint64
 
+	// originEpoch is the epoch of the image a restored group came from:
+	// the lineage anchor its crash-loop fallback restores would target.
+	// Space reclamation must never drop it while this group lives.
+	originEpoch uint64
+
+	// Admission-control counters (guarded by mu): checkpoints shed
+	// under space pressure, sheds at the emergency watermark, and the
+	// current shed streak (reset by every admitted barrier so the
+	// durable frontier keeps advancing under sustained pressure).
+	sheds          int64
+	emergencySheds int64
+	shedStreak     int
+
 	// restorePeers are out-of-band block providers lazy restores may
 	// fail over to; sources are the demand-paging sources created by
 	// lazy restores of this group (both guarded by mu).
@@ -85,6 +98,38 @@ func (g *Group) Origin() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.origin
+}
+
+// originAnchor returns the lineage a restored group came from and the
+// epoch it restored at (0, 0 for a group that was never restored).
+func (g *Group) originAnchor() (lineage, epoch uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.origin, g.originEpoch
+}
+
+// Sheds reports the checkpoints this group's admission control shed
+// under space pressure, and how many of those happened at the
+// emergency watermark.
+func (g *Group) Sheds() (total, emergency int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sheds, g.emergencySheds
+}
+
+// sourcePins lists the (lineage, epoch) pairs this group's live
+// demand-paging sources still read blocks from: reclamation must not
+// merge those epochs away while a restore pages against them.
+func (g *Group) sourcePins() [][2]uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([][2]uint64, 0, len(g.sources))
+	for _, s := range g.sources {
+		if s.pinGroup != 0 || s.pinEpoch != 0 {
+			out = append(out, [2]uint64{s.pinGroup, s.pinEpoch})
+		}
+	}
+	return out
 }
 
 // Epoch returns the group's current checkpoint epoch.
@@ -226,6 +271,15 @@ type Orchestrator struct {
 	// DownAfter is the number of consecutive failed epochs after which
 	// a degraded backend is marked down (0 = package default).
 	DownAfter int
+	// ShedQueueDepth, when positive, makes Checkpoint shed (skip)
+	// barriers while the group's flush pipeline holds at least this
+	// many un-retired epochs, instead of blocking the group's resume on
+	// the bounded queue (0 = never shed on queue depth).
+	ShedQueueDepth int
+	// ShedAdmitEvery bounds consecutive sheds: every Nth barrier is
+	// admitted even under sustained pressure, so the durable frontier
+	// keeps advancing (0 = package default).
+	ShedAdmitEvery int
 }
 
 // NewOrchestrator attaches an orchestrator to a kernel and installs

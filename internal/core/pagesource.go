@@ -54,6 +54,14 @@ type lazyPageSource struct {
 	refs   map[int64]objstore.BlockRef
 	inline map[int64][]byte // pages already materialized as bytes
 
+	// pinGroup/pinEpoch name the store epoch this source's block
+	// references were resolved against. They are immutable after
+	// construction; the space reclaimer must not drop that epoch while
+	// the source lives, because a merge-forward drop can free
+	// superseded blocks the source still addresses by raw offset.
+	pinGroup uint64
+	pinEpoch uint64
+
 	mu    sync.Mutex
 	g     *Group // bound once the restored group exists; may stay nil
 	peers []BlockProvider

@@ -164,7 +164,7 @@ func (o *Orchestrator) Promote(src ReplicaSource, lineage uint64, primary *Store
 		if err := primary.Store().SetPrimary(lineage, newGen); err != nil {
 			return nil, fmt.Errorf("core: promoting lineage %d: %w", lineage, err)
 		}
-		if err := primary.Store().Sync(); err != nil {
+		if err := o.syncWithReclaim(primary); err != nil {
 			return nil, fmt.Errorf("core: promoting lineage %d: persisting fence: %w", lineage, err)
 		}
 	}
@@ -241,7 +241,7 @@ func (o *Orchestrator) PromoteBackend(g *Group, name string) (*PromoteReport, er
 	if err := target.Store().SetPrimary(lineage, newGen); err != nil {
 		return nil, fmt.Errorf("core: promoting %s: %w", name, err)
 	}
-	if err := target.Store().Sync(); err != nil {
+	if err := o.syncWithReclaim(target); err != nil {
 		return nil, fmt.Errorf("core: promoting %s: persisting fence: %w", name, err)
 	}
 	g.mu.Lock()
@@ -288,7 +288,7 @@ func (o *Orchestrator) DemoteStale(g *Group) ([]uint64, error) {
 			}
 		}
 		sb.Store().AdoptFence(g.ID, gen)
-		if err := sb.Store().Sync(); err != nil {
+		if err := o.syncWithReclaim(sb); err != nil {
 			return quarantined, fmt.Errorf("core: demoting group %d: persisting fence on %s: %w", g.ID, b.Name(), err)
 		}
 	}

@@ -266,8 +266,11 @@ func (o *Orchestrator) RestoreImage(img *Image, readTime time.Duration, opts Res
 	o.nextID++
 	g := &Group{ID: o.nextID, Name: name, pids: make(map[int]bool)}
 	// The lineage the image was persisted under: restores of this group
-	// before it checkpoints on its own fall back to that chain.
+	// before it checkpoints on its own fall back to that chain. The
+	// anchor epoch is the crash-loop fallback target; space reclamation
+	// keeps it while this group lives.
 	g.origin = img.Group
+	g.originEpoch = img.Epoch
 	// Anchor the group on the image it came from: rollback can reuse
 	// it, and the next checkpoint (a fresh full one) starts a new
 	// chain from this epoch.
@@ -366,6 +369,7 @@ func (o *Orchestrator) restoreObjectMemory(img *Image, oldID uint64, obj *vm.Obj
 		// Store-resident pages: demand-page through the fault-tolerant
 		// source (bounded retry, peer failover, read-repair).
 		src := newLazyPageSource(o, img.source, refPages, bytesPages, img.peers)
+		src.pinGroup, src.pinEpoch = img.Group, img.Epoch
 		img.mu.Lock()
 		img.sources = append(img.sources, src)
 		img.mu.Unlock()

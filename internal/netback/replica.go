@@ -167,6 +167,52 @@ type replicaCore struct {
 	sent       int64  // bytes
 	partitions int64  // established connections lost
 	nic        storage.DeviceParams
+
+	// ackMu guards the live acked-epoch ledger below. It is separate
+	// from mu — which is held across whole send/ack round trips — so
+	// readers (the space reclaimer computing catch-up floors) never
+	// stall behind an in-flight delta.
+	ackMu   sync.Mutex
+	acked   map[uint64]uint64          // group -> contiguous acked frontier
+	ackedHi map[uint64]map[uint64]bool // out-of-order acks above the frontier
+}
+
+// noteAcked records a receiver ack for (group, epoch), advancing the
+// contiguous frontier across any out-of-order acks already seen.
+func (rc *replicaCore) noteAcked(group, epoch uint64) {
+	rc.ackMu.Lock()
+	defer rc.ackMu.Unlock()
+	if rc.acked == nil {
+		rc.acked = make(map[uint64]uint64)
+		rc.ackedHi = make(map[uint64]map[uint64]bool)
+	}
+	if epoch <= rc.acked[group] {
+		return
+	}
+	hi := rc.ackedHi[group]
+	if hi == nil {
+		hi = make(map[uint64]bool)
+		rc.ackedHi[group] = hi
+	}
+	hi[epoch] = true
+	for hi[rc.acked[group]+1] {
+		delete(hi, rc.acked[group]+1)
+		rc.acked[group]++
+	}
+}
+
+// noteFloor folds a handshake floor into the acked ledger: everything
+// the receiver reports contiguously held is, by definition, acked.
+func (rc *replicaCore) noteFloor(group, floor uint64) {
+	rc.ackMu.Lock()
+	defer rc.ackMu.Unlock()
+	if rc.acked == nil {
+		rc.acked = make(map[uint64]uint64)
+		rc.ackedHi = make(map[uint64]map[uint64]bool)
+	}
+	if floor > rc.acked[group] {
+		rc.acked[group] = floor
+	}
 }
 
 // lost drops an established connection, counting the partition.
@@ -235,6 +281,7 @@ func (rb *ReplicaBackend) Connect(rw io.ReadWriter, group uint64) (uint64, error
 		}
 		rb.core.conn = rw
 		rb.core.floor = binary.LittleEndian.Uint64(payload[8:])
+		rb.core.noteFloor(group, rb.core.floor)
 		return rb.core.floor, nil
 	}
 }
@@ -262,6 +309,19 @@ func (rb *ReplicaBackend) Floor() uint64 {
 	rb.core.mu.Lock()
 	defer rb.core.mu.Unlock()
 	return rb.core.floor
+}
+
+// CatchUpFloor implements core.CatchUpFloorer: the first epoch of the
+// lineage the replica has NOT contiguously acknowledged — the point
+// catch-up replication resumes from. Space reclamation keeps every
+// epoch at or above it, so a heal-and-resync (or a promotion on the
+// far side) always lands on history the primary still holds. Unlike
+// Floor it is live, advancing with every ack, not only at handshakes.
+func (rb *ReplicaBackend) CatchUpFloor(group uint64) uint64 {
+	rc := rb.core
+	rc.ackMu.Lock()
+	defer rc.ackMu.Unlock()
+	return rc.acked[group] + 1
 }
 
 // SentBytes reports bytes placed on the wire.
@@ -346,6 +406,7 @@ func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
 			return 0, fmt.Errorf("%w: ack for group %d epoch %d, want %d/%d",
 				ErrBadFrame, group, epoch, img.Group, img.Epoch)
 		}
+		rc.noteAcked(group, epoch)
 		break
 	}
 	rc.sent += int64(len(payload))

@@ -36,11 +36,14 @@ func (s *Store) DropEpoch(group, epoch uint64) error {
 
 	for _, key := range victim.Records {
 		rec := s.records[key]
-		if rec == nil {
+		if rec == nil || rec.Epoch != epoch {
+			// Already merged away, or re-keyed to a later epoch by an
+			// earlier drop (the manifest entry is stale).
 			continue
 		}
+		adopted := false
 		if next != nil {
-			s.mergeForwardLocked(rec, next)
+			adopted = s.mergeForwardLocked(rec, next)
 		} else {
 			// Last remaining checkpoint: release everything.
 			for _, ref := range rec.Pages {
@@ -48,7 +51,13 @@ func (s *Store) DropEpoch(group, epoch uint64) error {
 			}
 		}
 		delete(s.records, key)
-		s.stats.MetaBytes -= int64(rec.metaLen)
+		if !adopted {
+			// The record is gone for good: release its metadata extent.
+			// (An adopted record lives on under the heir epoch and keeps
+			// its metadata.)
+			s.stats.MetaBytes -= int64(rec.metaLen)
+			s.freeExtentLocked(rec.metaOff, rec.metaLen+1)
+		}
 	}
 
 	// Relink the next manifest's history pointer and drop the victim.
@@ -59,12 +68,16 @@ func (s *Store) DropEpoch(group, epoch uint64) error {
 	if victim.Name != "" {
 		delete(s.named, victim.Name)
 	}
+	// A dropped epoch cannot poison anything anymore.
+	delete(s.quarantined, manifestID{group, epoch})
 	s.stats.EpochsDropped++
 	return nil
 }
 
-// mergeForwardLocked folds a dropped record into the next epoch.
-func (s *Store) mergeForwardLocked(rec *Record, next *Manifest) {
+// mergeForwardLocked folds a dropped record into the next epoch. It
+// reports whether the record itself was adopted as the next epoch's
+// record (in which case its metadata stays live).
+func (s *Store) mergeForwardLocked(rec *Record, next *Manifest) bool {
 	key := RecordKey{rec.OID, next.Epoch}
 	heir, ok := s.records[key]
 	if !ok {
@@ -73,7 +86,7 @@ func (s *Store) mergeForwardLocked(rec *Record, next *Manifest) {
 		rec.Epoch = next.Epoch
 		s.records[key] = rec
 		next.Records = append(next.Records, key)
-		return
+		return true
 	}
 	for idx, ref := range rec.Pages {
 		if _, shadowed := heir.Pages[idx]; shadowed {
@@ -89,6 +102,7 @@ func (s *Store) mergeForwardLocked(rec *Record, next *Manifest) {
 	if rec.Full {
 		heir.Full = true
 	}
+	return false
 }
 
 func (s *Store) releaseBlockLocked(ref BlockRef) {

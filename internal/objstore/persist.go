@@ -187,14 +187,25 @@ func (s *Store) Sync() error {
 	fenceHW := s.fenceHighLocked()
 	s.mu.Unlock()
 
+	// failed frees the unpublished index extent: no superblock points at
+	// it (a torn slot write never passes the header CRC), so the space
+	// is immediately reusable. Without this every failed Sync on a
+	// pressured device would leak an extent and make the pressure worse.
+	failed := func(err error) error {
+		s.mu.Lock()
+		s.freeExtentLocked(idxOff, len(idx))
+		s.mu.Unlock()
+		return wrapSpace(err)
+	}
+
 	// Durability barrier: the index must be stable on media before the
 	// superblock that points at it becomes visible, and the superblock
 	// must be stable before Sync reports success.
 	if _, err := s.dev.WriteAt(idx, idxOff); err != nil {
-		return fmt.Errorf("objstore: writing index generation %d: %w", gen, err)
+		return failed(fmt.Errorf("objstore: writing index generation %d: %w", gen, err))
 	}
 	if _, err := s.dev.Sync(); err != nil {
-		return fmt.Errorf("objstore: syncing index generation %d: %w", gen, err)
+		return failed(fmt.Errorf("objstore: syncing index generation %d: %w", gen, err))
 	}
 	sb := encodeSuperblock(superblock{
 		gen:     gen,
@@ -204,15 +215,25 @@ func (s *Store) Sync() error {
 		fenceHW: fenceHW,
 	})
 	if _, err := s.dev.WriteAt(sb, slotOffset(gen)); err != nil {
-		return fmt.Errorf("objstore: publishing superblock generation %d: %w", gen, err)
+		return failed(fmt.Errorf("objstore: publishing superblock generation %d: %w", gen, err))
 	}
 	if _, err := s.dev.Sync(); err != nil {
-		return fmt.Errorf("objstore: syncing superblock generation %d: %w", gen, err)
+		return failed(fmt.Errorf("objstore: syncing superblock generation %d: %w", gen, err))
 	}
 
 	s.mu.Lock()
 	if gen > s.sbGen {
 		s.sbGen = gen
+	}
+	// Generation N's slot header just overwrote generation N-2's (slot
+	// parity), so N-2's index extent is unreachable by any crash
+	// fallback and its space comes back. Generations N and N-1 stay
+	// intact: either slot must remain mountable until the next publish.
+	s.idxHist = append(s.idxHist, extent{idxOff, len(idx)})
+	for len(s.idxHist) > 2 {
+		old := s.idxHist[0]
+		s.idxHist = s.idxHist[1:]
+		s.freeExtentLocked(old.off, old.n)
 	}
 	s.mu.Unlock()
 	return nil
@@ -265,6 +286,15 @@ func Open(dev storage.Device, clock *storage.Clock) (*Store, error) {
 			continue
 		}
 		s.sbGen = sb.gen
+		// Seed the index-extent history so recycling continues across a
+		// remount: the alternate slot's (older) extent is freed after
+		// the second publish, exactly as if this process had written it.
+		for _, c := range cands {
+			if c.gen < sb.gen {
+				s.idxHist = append(s.idxHist, extent{c.idxOff, int(c.idxLen)})
+			}
+		}
+		s.idxHist = append(s.idxHist, extent{sb.idxOff, int(sb.idxLen)})
 		return s, nil
 	}
 	return nil, fmt.Errorf("objstore: no usable superblock generation: %w", lastErr)

@@ -40,7 +40,22 @@ var (
 	// ErrCorruptBlock marks a block whose device contents no longer
 	// match its content hash: silent media rot caught at read time.
 	ErrCorruptBlock = errors.New("objstore: block content hash mismatch")
+	// ErrStoreFull marks an operation refused because the backing device
+	// is out of space. It always wraps storage.ErrOutOfSpace, so callers
+	// can match either sentinel. A full store is degraded, not broken:
+	// reclaiming epochs and retrying is the expected response.
+	ErrStoreFull = errors.New("objstore: store device full")
 )
+
+// wrapSpace tags device out-of-space errors with ErrStoreFull so the
+// flush pipeline can distinguish "no room" (reclaim and retry) from
+// media failure (degrade toward down).
+func wrapSpace(err error) error {
+	if err != nil && errors.Is(err, storage.ErrOutOfSpace) {
+		return fmt.Errorf("%w: %w", ErrStoreFull, err)
+	}
+	return err
+}
 
 // BlockSize is the data block granularity: one VM page.
 const BlockSize = vm.PageSize
@@ -115,6 +130,14 @@ type Stats struct {
 	DedupHits     int64 // block writes absorbed by an existing block
 	BlocksFreed   int64
 	EpochsDropped int64
+	// LiveBytes is the physical footprint pinned by retained state:
+	// referenced data blocks plus record metadata. It cannot be
+	// reclaimed without dropping epochs.
+	LiveBytes int64
+	// ReclaimableBytes counts freed blocks still resident on the device
+	// (on the free list but not yet TRIMmed): space a ReleaseSpace call
+	// returns to the device without touching any retained epoch.
+	ReclaimableBytes int64
 }
 
 type blockEntry struct {
@@ -129,6 +152,16 @@ type storeCore struct {
 	syncMu    sync.Mutex // serializes Sync's write-index/publish protocol
 	nextOff   int64
 	freeList  []int64 // freed block offsets, reusable in place
+	// trimmedFree splits freeList: entries [0:trimmedFree) have been
+	// TRIMmed off the device (non-resident, still reusable), entries
+	// [trimmedFree:) are freed but still resident. Not persisted: a
+	// remount conservatively treats every free block as resident.
+	trimmedFree int
+	// idxHist tracks the extents holding the last two published index
+	// generations. Slot parity means generation N overwrites N-2's
+	// superblock header, so once N publishes, N-2's index extent can
+	// never be needed by crash fallback again and is freed.
+	idxHist []extent
 	blocks    map[Hash]*blockEntry
 	records   map[RecordKey]*Record
 	manifests map[uint64][]*Manifest // group -> epoch-sorted manifests
@@ -155,6 +188,12 @@ type Store struct {
 type manifestID struct {
 	Group uint64
 	Epoch uint64
+}
+
+// extent is a variable-length allocation on the device.
+type extent struct {
+	off int64
+	n   int
 }
 
 // Create initializes an empty store on dev.
@@ -199,6 +238,8 @@ func (s *Store) Stats() Stats {
 	st.Records = len(s.records)
 	st.Blocks = len(s.blocks)
 	st.BlockBytes = int64(len(s.blocks)) * BlockSize
+	st.LiveBytes = st.BlockBytes + st.MetaBytes
+	st.ReclaimableBytes = int64(len(s.freeList)-s.trimmedFree) * BlockSize
 	n := 0
 	for _, ms := range s.manifests {
 		n += len(ms)
@@ -207,12 +248,97 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// Usage reports the device occupancy the watermark scheduler acts on:
+// resident bytes, the device capacity (0 = unbounded), and their ratio
+// (0 when the device is unbounded or cannot report residency).
+func (s *Store) Usage() (used, capacity int64, frac float64) {
+	capacity = s.dev.Params().Capacity
+	used = storage.ResidentBytes(s.dev)
+	if used < 0 {
+		// The device cannot report residency; approximate with the
+		// allocation high-water mark minus resident free blocks.
+		s.mu.Lock()
+		used = s.nextOff - int64(len(s.freeList)-s.trimmedFree)*BlockSize
+		s.mu.Unlock()
+	}
+	if capacity > 0 {
+		frac = float64(used) / float64(capacity)
+	}
+	return used, capacity, frac
+}
+
+// ReleaseSpace TRIMs every freed-but-resident block off the device and
+// returns the number of bytes released. The offsets stay on the free
+// list — reuse simply re-materializes them. No-op on devices without
+// TRIM support.
+func (s *Store) ReleaseSpace() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.freeList) - s.trimmedFree
+	if n <= 0 {
+		return 0
+	}
+	for _, off := range s.freeList[s.trimmedFree:] {
+		storage.DiscardRange(s.dev, off, BlockSize)
+	}
+	s.trimmedFree = len(s.freeList)
+	return int64(n) * BlockSize
+}
+
+// controlReserveLocked is the device tail held back from data-path
+// allocation so Sync can always publish: room for one more index
+// snapshot (sized from the last generation published, doubled for
+// growth) plus slack for the superblock slots. A full device must
+// degrade the data plane — checkpoint writes fail typed and get
+// retried after reclamation — never the control plane, or a fence or
+// generation write could be starved by checkpoint history at exactly
+// the moment a failover depends on it.
+func (s *Store) controlReserveLocked() int64 {
+	reserve := int64(4 * BlockSize)
+	if n := len(s.idxHist); n > 0 {
+		sz := int64((s.idxHist[n-1].n + BlockSize - 1) &^ (BlockSize - 1))
+		reserve += 2 * sz
+	}
+	return reserve
+}
+
+// dataGrowthLocked reports whether the next single-block allocation
+// would grow device residency (bump allocation or re-materializing a
+// trimmed block) instead of reusing a resident free block.
+func (s *Store) dataGrowthLocked() bool {
+	return len(s.freeList) == s.trimmedFree
+}
+
+// dataRoomLocked refuses a data-path allocation of need bytes once a
+// bounded device's remaining space is down to the control-plane
+// reserve. The error wraps ErrStoreFull, so callers reclaim and retry
+// exactly as for a physically full device.
+func (s *Store) dataRoomLocked(need int64) error {
+	capacity := s.dev.Params().Capacity
+	if capacity == 0 {
+		return nil
+	}
+	used := storage.ResidentBytes(s.dev)
+	if used < 0 {
+		return nil
+	}
+	if used+need > capacity-s.controlReserveLocked() {
+		return fmt.Errorf("%w: %d bytes held back as control-plane reserve: %w",
+			ErrStoreFull, s.controlReserveLocked(), storage.ErrOutOfSpace)
+	}
+	return nil
+}
+
 // allocBlock returns a device offset for one block, reusing freed
-// space in place when available.
+// space in place when available. Resident free blocks (the list's
+// tail) are preferred so reuse never has to re-grow the device.
 func (s *Store) allocBlock() int64 {
 	if n := len(s.freeList); n > 0 {
 		off := s.freeList[n-1]
 		s.freeList = s.freeList[:n-1]
+		if s.trimmedFree > n-1 {
+			s.trimmedFree = n - 1
+		}
 		return off
 	}
 	off := s.nextOff
@@ -220,11 +346,31 @@ func (s *Store) allocBlock() int64 {
 	return off
 }
 
-// allocExtent reserves a variable-sized metadata extent.
+// allocExtent reserves a variable-sized metadata extent. Single-block
+// extents (almost every record's metadata) reuse the free list; larger
+// extents need contiguity and bump-allocate.
 func (s *Store) allocExtent(n int) int64 {
+	need := int64((n + BlockSize - 1) &^ (BlockSize - 1))
+	if need == BlockSize && len(s.freeList) > 0 {
+		return s.allocBlock()
+	}
 	off := s.nextOff
-	s.nextOff += int64((n + BlockSize - 1) &^ (BlockSize - 1))
+	s.nextOff += need
 	return off
+}
+
+// freeExtentLocked returns an extent's blocks to the free list, where
+// data-block and metadata allocations both draw from. Without this,
+// record metadata and index generations leak device space forever —
+// fatal on a bounded device.
+func (s *Store) freeExtentLocked(off int64, n int) {
+	if off < dataStart || n <= 0 {
+		return
+	}
+	end := off + int64((n+BlockSize-1)&^(BlockSize-1))
+	for o := off; o < end; o += BlockSize {
+		s.freeList = append(s.freeList, o)
+	}
 }
 
 // HashPage computes the dedup hash of a page, charging the hash cost.
@@ -246,6 +392,12 @@ func (s *Store) putBlock(data []byte) (BlockRef, error) {
 		s.mu.Unlock()
 		return ref, nil
 	}
+	if s.dataGrowthLocked() {
+		if err := s.dataRoomLocked(BlockSize); err != nil {
+			s.mu.Unlock()
+			return BlockRef{}, err
+		}
+	}
 	off := s.allocBlock()
 	s.mu.Unlock()
 
@@ -257,7 +409,7 @@ func (s *Store) putBlock(data []byte) (BlockRef, error) {
 		s.mu.Lock()
 		s.freeList = append(s.freeList, off)
 		s.mu.Unlock()
-		return BlockRef{}, err
+		return BlockRef{}, wrapSpace(err)
 	}
 	s.mu.Lock()
 	if be, ok := s.blocks[h]; ok {
@@ -386,16 +538,37 @@ func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte
 		Pages: make(map[int64]BlockRef, len(pages)+len(refs)),
 		Heat:  heat,
 	}
+	var logical int64
+	// unwind releases every reference the attempt took so far. A failed
+	// put — most importantly an out-of-space one — must leave the index
+	// exactly as it found it: no registered record, no leaked refcounts,
+	// no orphaned metadata extent.
+	unwind := func() {
+		s.mu.Lock()
+		for _, ref := range rec.Pages {
+			s.releaseBlockLocked(ref)
+		}
+		s.stats.LogicalBytes -= logical
+		s.mu.Unlock()
+	}
 	s.mu.Lock()
 	for idx, ref := range refs {
 		be, ok := s.blocks[ref.Hash]
 		if !ok {
+			// Drop the refs taken on earlier loop iterations.
+			for pi, pr := range rec.Pages {
+				if pi != idx {
+					s.releaseBlockLocked(pr)
+				}
+			}
+			s.stats.LogicalBytes -= logical
 			s.mu.Unlock()
 			return nil, fmt.Errorf("objstore: dangling block reference at page %d", idx)
 		}
 		be.refs++
 		rec.Pages[idx] = be.ref
 		s.stats.LogicalBytes += BlockSize
+		logical += BlockSize
 	}
 	s.mu.Unlock()
 	for idx, data := range pages {
@@ -406,25 +579,62 @@ func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte
 		}
 		ref, err := s.putBlock(data)
 		if err != nil {
+			unwind()
 			return nil, err
 		}
-		rec.Pages[idx] = ref // fresh data wins over a stale ref
-		s.mu.Lock()
-		s.stats.LogicalBytes += BlockSize
-		s.mu.Unlock()
+		if old, dup := rec.Pages[idx]; dup {
+			// Fresh data wins over a stale ref from the refs map; drop
+			// the reference the refs loop already took for this page.
+			s.releaseBlock(old)
+			rec.Pages[idx] = ref
+		} else {
+			rec.Pages[idx] = ref
+			s.mu.Lock()
+			s.stats.LogicalBytes += BlockSize
+			logical += BlockSize
+			s.mu.Unlock()
+		}
 	}
-	// Write the metadata extent.
+	// Write the metadata extent, then register the record. Registration
+	// must come last: a record visible in the index before its metadata
+	// landed would be poisoned by a failed write.
 	rec.metaLen = len(meta)
 	s.mu.Lock()
+	metaNeed := int64((len(meta) + 1 + BlockSize - 1) &^ (BlockSize - 1))
+	if metaNeed > BlockSize || s.dataGrowthLocked() {
+		if err := s.dataRoomLocked(metaNeed); err != nil {
+			s.mu.Unlock()
+			unwind()
+			return nil, err
+		}
+	}
 	rec.metaOff = s.allocExtent(len(meta) + 1)
-	s.records[RecordKey{oid, epoch}] = rec
-	s.stats.MetaBytes += int64(len(meta))
 	s.mu.Unlock()
 	if len(meta) > 0 {
 		if _, err := s.dev.WriteAt(meta, rec.metaOff); err != nil {
-			return nil, err
+			s.mu.Lock()
+			s.freeExtentLocked(rec.metaOff, len(meta)+1)
+			s.mu.Unlock()
+			unwind()
+			return nil, wrapSpace(err)
 		}
 	}
+	key := RecordKey{oid, epoch}
+	s.mu.Lock()
+	if old, ok := s.records[key]; ok && old != rec {
+		// Re-delivery (a flush retried after a partial failure):
+		// replace the previous attempt's record, releasing everything
+		// it pinned so refcounts stay exact.
+		for _, ref := range old.Pages {
+			s.releaseBlockLocked(ref)
+		}
+		s.stats.LogicalBytes -= int64(len(old.Pages)) * BlockSize
+		s.stats.MetaBytes -= int64(old.metaLen)
+		s.freeExtentLocked(old.metaOff, old.metaLen+1)
+	}
+	s.records[key] = rec
+	s.stats.MetaBytes += int64(len(meta))
+	s.mu.Unlock()
 	return rec, nil
 }
 
@@ -607,6 +817,7 @@ func (s *Store) DeleteRecord(oid, epoch uint64) {
 	}
 	delete(s.records, RecordKey{oid, epoch})
 	s.stats.MetaBytes -= int64(rec.metaLen)
+	s.freeExtentLocked(rec.metaOff, rec.metaLen+1)
 	for _, ref := range rec.Pages {
 		s.releaseBlockLocked(ref)
 	}

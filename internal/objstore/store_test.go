@@ -245,13 +245,23 @@ func TestGCFreedSpaceReusedInPlace(t *testing.T) {
 	s.PutRecord(1, 1, 1, true, nil, map[int64][]byte{0: page(1)}, nil)
 	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1}}})
 	rec, _ := s.GetRecord(1, 1)
-	freedOff := rec.Pages[0].Off
+	freed := map[int64]bool{rec.Pages[0].Off: true, rec.metaOff: true}
 	s.DropEpoch(1, 1)
+	s.mu.Lock()
+	highWater := s.nextOff
+	s.mu.Unlock()
 
-	// The next block allocation lands exactly where the old one was.
+	// The next record's allocations (page block and metadata extent)
+	// land on the freed space instead of growing the device.
 	rec2, _ := s.PutRecord(2, 1, 1, true, nil, map[int64][]byte{0: page(99)}, nil)
-	if rec2.Pages[0].Off != freedOff {
-		t.Fatalf("new block at %d, want reused offset %d", rec2.Pages[0].Off, freedOff)
+	if !freed[rec2.Pages[0].Off] {
+		t.Fatalf("new block at %d, want a reused offset from %v", rec2.Pages[0].Off, freed)
+	}
+	s.mu.Lock()
+	grown := s.nextOff != highWater
+	s.mu.Unlock()
+	if grown {
+		t.Fatal("allocation grew the device despite freed space")
 	}
 }
 

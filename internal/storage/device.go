@@ -72,6 +72,37 @@ func Redirect(dev Device, c *Clock) Device {
 	return dev
 }
 
+// ResidentReporter is implemented by devices that can report how many
+// bytes are physically resident. Space-pressure watermarks are computed
+// from Resident() against Params().Capacity.
+type ResidentReporter interface {
+	Resident() int64
+}
+
+// Trimmer is implemented by devices that support releasing a byte range
+// back to the free pool (TRIM).
+type Trimmer interface {
+	Discard(off, length int64)
+}
+
+// ResidentBytes reports dev's resident byte count, unwrapping fault or
+// redirection layers that forward the capability. It returns -1 when the
+// device cannot report residency.
+func ResidentBytes(dev Device) int64 {
+	if r, ok := dev.(ResidentReporter); ok {
+		return r.Resident()
+	}
+	return -1
+}
+
+// DiscardRange TRIMs [off, off+length) on dev when the device supports
+// it, and is a no-op otherwise.
+func DiscardRange(dev Device, off, length int64) {
+	if t, ok := dev.(Trimmer); ok {
+		t.Discard(off, length)
+	}
+}
+
 // memCore is the shared state behind a MemDevice and all of its
 // clock-redirected views: one set of blocks, counters, and locks.
 type memCore struct {
@@ -186,11 +217,23 @@ func (d *MemDevice) WriteAt(p []byte, off int64) (time.Duration, error) {
 		d.mu.Unlock()
 		return 0, ErrClosed
 	}
-	if d.params.Capacity > 0 && d.used+int64(len(p)) > d.params.Capacity {
-		d.mu.Unlock()
-		return 0, ErrOutOfSpace
-	}
 	bs := int64(d.params.BlockSize)
+	if d.params.Capacity > 0 && len(p) > 0 {
+		// Only bytes the write would newly materialize count against
+		// capacity: rewriting resident blocks in place must keep working
+		// on a full device or reclamation could never publish its own
+		// results (superblock slots, reused free-list blocks).
+		var growth int64
+		for blk := off / bs; blk <= (off+int64(len(p))-1)/bs; blk++ {
+			if _, ok := d.blocks[blk]; !ok {
+				growth += bs
+			}
+		}
+		if d.used+growth > d.params.Capacity {
+			d.mu.Unlock()
+			return 0, ErrOutOfSpace
+		}
+	}
 	for n := 0; n < len(p); {
 		blk := (off + int64(n)) / bs
 		bo := (off + int64(n)) % bs

@@ -105,6 +105,7 @@ type faultCore struct {
 	ops      int64
 	injected int64
 	down     bool
+	full     bool
 	scripts  []faultScript
 	logging  bool
 	logData  bool
@@ -115,6 +116,7 @@ type faultCore struct {
 type decision struct {
 	n      int64
 	down   bool
+	full   bool
 	inject bool
 	torn   bool
 	rot    bool
@@ -158,7 +160,12 @@ func (c *faultCore) decide(kind FaultKind, prob float64) decision {
 	if spikeRoll < c.cfg.SpikeProb {
 		d.spike = true
 	}
-	if d.inject || d.rot {
+	// The out-of-space mode is a flag check, not a probability draw, so
+	// toggling it never perturbs the (seed, op-number) fault schedule.
+	if c.full && kind == FaultWrite && !d.inject {
+		d.full = true
+	}
+	if d.inject || d.rot || d.full {
 		c.injected++
 	}
 	return d
@@ -222,6 +229,16 @@ func (d *FaultDevice) Down() {
 func (d *FaultDevice) Up() {
 	d.mu.Lock()
 	d.down = false
+	d.mu.Unlock()
+}
+
+// SetFull toggles the injectable out-of-space mode: while on, every
+// write fails with an error wrapping ErrOutOfSpace (reads and syncs
+// still succeed, as on a real full disk). Unlike Down, a full device is
+// degraded, not dead — callers are expected to reclaim and retry.
+func (d *FaultDevice) SetFull(on bool) {
+	d.mu.Lock()
+	d.full = on
 	d.mu.Unlock()
 }
 
@@ -333,6 +350,11 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (time.Duration, error) {
 		return 0, fmt.Errorf("%w: write %d bytes at %d", ErrDeviceDown, len(p), off)
 	}
 	cost := d.spikeCost(dec)
+	if dec.full {
+		d.record(dec.n, "write", off, len(p), true, nil)
+		return cost, fmt.Errorf("%w: injected full device, write %d bytes at %d (op %d)",
+			ErrOutOfSpace, len(p), off, dec.n)
+	}
 	if dec.inject {
 		if dec.torn && len(p) > 1 {
 			// Torn write: a prefix lands on media, then power dies.
@@ -404,3 +426,13 @@ func (d *FaultDevice) Sync() (time.Duration, error) {
 func (d *FaultDevice) Params() DeviceParams { return d.inner.Params() }
 
 func (d *FaultDevice) Stats() DeviceStats { return d.inner.Stats() }
+
+// Resident forwards the residency capability of the inner device so
+// space-pressure watermarks see through the fault layer. Returns -1 when
+// the inner device cannot report it.
+func (d *FaultDevice) Resident() int64 { return ResidentBytes(d.inner) }
+
+// Discard forwards TRIM to the inner device when supported. Discards do
+// not consume fault-schedule draws: reclamation toggling on or off must
+// not shift the seeded fault timeline of the data path.
+func (d *FaultDevice) Discard(off, length int64) { DiscardRange(d.inner, off, length) }

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCapacityGrowthOnly pins the capacity check to residency growth:
+// a device at 100% must keep accepting in-place rewrites of resident
+// blocks, or reclamation could never publish its own results
+// (superblock slots, reused free-list blocks) on the full device it
+// exists to rescue.
+func TestCapacityGrowthOnly(t *testing.T) {
+	clock := NewClock()
+	params := ParamsOptaneNVMe
+	params.Capacity = 4 * int64(params.BlockSize)
+	d := NewMemDevice(params, clock)
+	buf := make([]byte, params.BlockSize)
+
+	for i := int64(0); i < 4; i++ {
+		if _, err := d.WriteAt(buf, i*int64(params.BlockSize)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if got := ResidentBytes(d); got != params.Capacity {
+		t.Fatalf("resident %d, want full %d", got, params.Capacity)
+	}
+	// Full: growth refused, in-place rewrite accepted.
+	if _, err := d.WriteAt(buf, 4*int64(params.BlockSize)); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("growth on a full device: %v, want ErrOutOfSpace", err)
+	}
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("in-place rewrite on a full device: %v", err)
+	}
+	// TRIM makes room; growth works again.
+	d.Discard(0, int64(params.BlockSize))
+	if _, err := d.WriteAt(buf, 4*int64(params.BlockSize)); err != nil {
+		t.Fatalf("growth after TRIM: %v", err)
+	}
+}
+
+// TestSetFullScheduleStability checks that the injectable out-of-space
+// mode is a flag, not a probability draw: toggling it on and off must
+// not shift the seeded fault timeline, so a space scenario composes
+// with a fault scenario without changing which ops fail.
+func TestSetFullScheduleStability(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ReadErr: 0.2, WriteErr: 0.2, SyncErr: 0.2}
+	plain, _ := newFaulty(cfg)
+	toggled, _ := newFaulty(cfg)
+
+	base := runSchedule(plain, 150)
+
+	buf := make([]byte, 4096)
+	got := make([]bool, 0, 150)
+	for i := 0; i < 150; i++ {
+		// Flip the full mode constantly; writes under it fail with
+		// ErrOutOfSpace but consume no RNG draws.
+		toggled.SetFull(i%10 >= 5)
+		var err error
+		switch i % 3 {
+		case 0:
+			_, err = toggled.WriteAt(buf, int64(i)*4096)
+			if i%10 >= 5 && err == nil {
+				t.Fatalf("op %d: write on a full device succeeded", i)
+			}
+			if err != nil && i%10 >= 5 && !errors.Is(err, ErrOutOfSpace) && !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: unexpected error %v", i, err)
+			}
+		case 1:
+			_, err = toggled.ReadAt(buf, int64(i-1)*4096)
+		case 2:
+			_, err = toggled.Sync()
+		}
+		got = append(got, err != nil)
+	}
+	toggled.SetFull(false)
+
+	// Reads and syncs — untouched by full mode — must fail at exactly
+	// the same schedule positions as the undisturbed twin.
+	for i := range base {
+		if i%3 == 0 {
+			continue
+		}
+		if base[i] != got[i] {
+			t.Fatalf("op %d: fault schedule shifted (base %v, toggled %v)", i, base[i], got[i])
+		}
+	}
+}
+
+// TestSetFullReadsSurvive pins the degraded-not-dead contract: a full
+// device keeps serving reads, unlike a Down device.
+func TestSetFullReadsSurvive(t *testing.T) {
+	d, _ := newFaulty(FaultConfig{Seed: 1})
+	buf := []byte("space pressure")
+	if _, err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFull(true)
+	if _, err := d.WriteAt(buf, 8192); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("write on full device: %v, want ErrOutOfSpace", err)
+	}
+	got := make([]byte, len(buf))
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("read on full device: %v", err)
+	}
+	if _, err := d.Sync(); err != nil {
+		t.Fatalf("sync on full device: %v", err)
+	}
+	d.SetFull(false)
+	if _, err := d.WriteAt(buf, 8192); err != nil {
+		t.Fatalf("write after clearing full: %v", err)
+	}
+}
