@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
 ## matrix, crash-recovery harness, whole-system chaos sweep, space-
@@ -13,6 +13,7 @@ check:
 	$(MAKE) recoverycheck
 	$(MAKE) chaoscheck
 	$(MAKE) spacecheck
+	$(MAKE) fleetcheck
 
 build:
 	$(GO) build ./...
@@ -57,8 +58,19 @@ spacecheck:
 	$(GO) test -race -count=1 -run 'TestSpace|TestReclaimer|TestAdmission|TestFlushENOSPC|TestSyncWithReclaim|TestGCInterleaving|TestControlPlaneReserve|TestStatsLiveAndReclaimable|TestCapacityGrowthOnly|TestSetFull|TestCLIGC|TestCLIDF|TestCLISpacePressure' \
 		./internal/core/ ./internal/storage/ ./internal/objstore/ ./internal/bench/ ./cmd/sls/
 
+## fleetcheck: the fleet-scale sharded-orchestrator harness under the
+## race detector — 10k groups per seed (1, 7, 42) driven through
+## spawn/checkpoint/crash/restore/unpersist on the shard-worker pool,
+## the determinism replay, clone dedup, goroutine-leak teardown checks,
+## supervisor restart-budget edges, and the cross-group dedup GC
+## property test. Plain `go test` runs the same tests at smoke scale.
+fleetcheck:
+	AURORA_FLEET_GROUPS=10000 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestFleetSimulation|TestFleetCloneDedup|TestUnpersistWithQueuedEpochsDoesNotLeak|TestCloseReapsFleetWorkers|TestSupervisor|TestDedupCrossGroupGCInterleaving|TestCLIFleet' \
+		./internal/core/ ./internal/objstore/ ./cmd/sls/
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
-## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json, and
-## BENCH_space.json)
+## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json,
+## BENCH_space.json, and BENCH_fleet.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

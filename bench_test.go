@@ -424,9 +424,12 @@ func TestEmitRecoveryBench(t *testing.T) {
 // chaosAt runs the whole-system chaos schedule with every link fault
 // probability scaled by rate (drops, duplicates, reorders at rate,
 // corruption at half), against fixed moderate storage fault rates. The
-// primary store is bounded to ~16 steady-state epochs, so the space
-// scheduler (watermark reclamation under the replica's catch-up floor)
-// is part of the standing fault mix.
+// primary store is bounded to ~20 steady-state epochs — enough to hold
+// the divergent suffix the permanent partition pins (epochs above the
+// replica's catch-up floor are unreclaimable, and with sub-block
+// metadata packing each pinned record also pins its pack block) — so
+// the space scheduler (watermark reclamation under the replica's
+// catch-up floor) is part of the standing fault mix.
 func chaosAt(rate float64) (*bench.ChaosReport, error) {
 	return bench.ChaosRun(bench.ChaosConfig{
 		Seed:                42,
@@ -443,7 +446,7 @@ func chaosAt(rate float64) (*bench.ChaosReport, error) {
 		PartitionLen:        3,
 		DivergentEpochs:     4,
 		PostEpochs:          6,
-		StoreCapacityEpochs: 16,
+		StoreCapacityEpochs: 20,
 	})
 }
 
@@ -643,6 +646,68 @@ func writeFaultJSON(pts []bench.FaultPoint) error {
 		return err
 	}
 	return os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644)
+}
+
+// BenchmarkFleetStorm measures fleet density: an open-loop checkpoint
+// storm across a growing number of groups multiplexed onto the fixed
+// shard-worker pool, reporting p99 stop time and aggregate throughput.
+func BenchmarkFleetStorm(b *testing.B) {
+	var last []bench.FleetPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.FleetStorm([]int{16, 64, 256}, 8, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			b.ReportMetric(vus(int64(pt.StopP99)), fmt.Sprintf("vus-stop-p99-%dg", pt.Groups))
+			b.ReportMetric(pt.CkptPerVSec, fmt.Sprintf("ckpt/vsec-%dg", pt.Groups))
+		}
+	}
+	if err := writeFleetJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitFleetBench writes BENCH_fleet.json on every plain `go test`
+// run, so the fleet-density datapoint exists without -bench.
+func TestEmitFleetBench(t *testing.T) {
+	pts, err := bench.FleetStorm([]int{16, 64, 256}, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFleetJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeFleetJSON(pts []bench.FleetPoint) error {
+	rows := make([]map[string]any, 0, len(pts))
+	for _, pt := range pts {
+		rows = append(rows, map[string]any{
+			"groups":        pt.Groups,
+			"checkpoints":   pt.Checkpoints,
+			"stop_p50_us":   vus(int64(pt.StopP50)),
+			"stop_p99_us":   vus(int64(pt.StopP99)),
+			"stop_max_us":   vus(int64(pt.StopMax)),
+			"ckpt_per_vsec": pt.CkptPerVSec,
+			"dispatches":    pt.Dispatches,
+			"shards":        pt.Shards,
+			"mem_peak":      pt.MemPeak,
+			"budget_stalls": pt.BudgetStall,
+			"dedup_hits":    pt.DedupHits,
+		})
+	}
+	out := map[string]any{
+		"benchmark": "fleet-storm",
+		"seed":      42,
+		"points":    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_fleet.json", append(data, '\n'), 0o644)
 }
 
 func writePipelineJSON(r *bench.PipelineResult) error {

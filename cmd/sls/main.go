@@ -24,6 +24,7 @@
 //	epochs <group> [backend]  list store epochs with quarantine status
 //	gc <backend>              run a retention scan, reclaiming old epochs
 //	df                        show per-backend space usage and pressure
+//	fleet                     show the shard runtime and dedup stats
 //	scrub <backend> [source]  verify block hashes, repair rot from a peer
 //	send <group> <file>       export an application to a file
 //	recv <file>               import an application and restore it
@@ -534,6 +535,36 @@ func (s *session) exec(line string) bool {
 			s.printf("%-10s %-12d %-12s %-5s %s\n", name, used, capStr, useStr, level)
 		}
 
+	case "fleet":
+		st := s.o.FleetStats()
+		if st.Shards == 0 {
+			s.printf("fleet runtime idle (no group has checkpointed yet)\n")
+			return true
+		}
+		s.printf("shards=%d workers/shard=%d dispatches=%d\n", st.Shards, st.WorkersPerShard, st.Dispatches)
+		for i, n := range st.Placements {
+			s.printf("  shard %d: %d groups placed\n", i, n)
+		}
+		budget := "unbounded"
+		if st.MemBudget > 0 {
+			budget = strconv.FormatInt(st.MemBudget, 10)
+		}
+		s.printf("mem budget=%s in-use=%d peak=%d stalls=%d\n", budget, st.MemInUse, st.MemPeak, st.BudgetStalls)
+		names := make([]string, 0, len(s.backends))
+		for name := range s.backends {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sb, ok := s.backends[name].(*core.StoreBackend)
+			if !ok {
+				continue
+			}
+			os := sb.Store().Stats()
+			s.printf("%s: dedup-hits=%d pack-blocks=%d blocks=%d live=%dB\n",
+				name, os.DedupHits, os.PackBlocks, os.Blocks, os.LiveBytes)
+		}
+
 	case "send":
 		if len(args) < 2 {
 			s.printf("usage: send <group> <file>\n")
@@ -677,6 +708,9 @@ const helpText = `Aurora single level store (Table 1):
                              (ps USE% is the worst attached backend);
                              exit code 8 when any backend is at or above
                              the emergency watermark
+  fleet                      show the shard runtime (worker pool, group
+                             placements, flush memory budget) and each
+                             store backend's dedup and metadata packing
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
   scrub <backend> [source]   verify every block hash on a store backend,

@@ -349,6 +349,22 @@ func TestCLIDF(t *testing.T) {
 	}
 }
 
+// TestCLIFleet: the fleet command reports the shard runtime once work
+// has flowed through it, and the idle message before that.
+func TestCLIFleet(t *testing.T) {
+	got := runScript(t, "fleet")
+	if !strings.Contains(got, "fleet runtime idle") {
+		t.Fatalf("idle fleet output = %q", got)
+	}
+	got = runScript(t,
+		"boot counter; persist 1 app; attach app nvme; checkpoint app; sync app; fleet")
+	for _, want := range []string{"shards=", "workers/shard=", "dispatches=1", "shard 0:", "mem budget=", "nvme: dedup-hits="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // TestCLIGC: a retention scan on an unbounded device is a no-op (no
 // watermark can be crossed), and the non-store backends are rejected.
 func TestCLIGC(t *testing.T) {

@@ -896,5 +896,12 @@ func chaosFootprint(seed int64, steps int) (first, perEpoch int64, err error) {
 	if perEpoch <= 0 {
 		perEpoch = 1
 	}
+	// Budget the control-plane reserve (superblock slots + two index
+	// generations) on top of the measured data footprint: it is held
+	// back from data allocations and, with sub-block metadata packing,
+	// no longer disappears inside the per-epoch growth. The run's index
+	// outgrows the probe's (longer history, catch-up pinning), so give
+	// it double the probe's reserve.
+	first += 2 * sb.Store().ControlOverhead()
 	return first, perEpoch, nil
 }

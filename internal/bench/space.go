@@ -314,7 +314,12 @@ func (control *spaceOutcome) sizeFor(epochs int) int64 {
 	if perEpoch <= 0 {
 		perEpoch = 1
 	}
-	return control.usedFirst + perEpoch*int64(epochs)
+	// The control-plane reserve (superblock slots + two index
+	// generations) is held back from data allocations and never
+	// amortizes into per-epoch growth. Since sub-block metadata packing
+	// made per-epoch growth a few KB, the reserve must be budgeted
+	// explicitly or it would eat a meaningful slice of the headroom.
+	return control.usedFirst + perEpoch*int64(epochs) + control.sb.Store().ControlOverhead()
 }
 
 // SpaceRun runs the unbounded control and then, if cfg bounds the

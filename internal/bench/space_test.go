@@ -53,10 +53,19 @@ func TestSpaceAcceptance(t *testing.T) {
 // pressure: the degraded-retry path and the ENOSPC reclaim-retry path
 // must compose without ever surfacing either failure to a caller.
 func TestSpaceFaultComposed(t *testing.T) {
+	// 14 epochs of headroom, not 10: sub-block metadata packing cut
+	// net per-epoch growth to a few hundred bytes, so an epoch-sized
+	// device shrank in absolute bytes and the minimum live set (one
+	// merged epoch per lineage plus the in-flight delta the final sync
+	// drains) now sits within a block or two of a 10-epoch allowance.
+	// Which side of the line a run lands on depends on real flush
+	// interleaving, so the race detector made this flaky; four more
+	// epochs of slack covers the transient without relieving the
+	// pressure that drives reclamation all run long.
 	r, err := SpaceRun(SpaceConfig{
 		Seed:           42,
 		Checkpoints:    200,
-		CapacityEpochs: 10,
+		CapacityEpochs: 14,
 		KeepLast:       16,
 		WriteErr:       0.01,
 		Marks:          core.Watermarks{Low: 0.50, High: 0.65, Emergency: 0.80},
@@ -75,7 +84,13 @@ func TestSpaceFaultComposed(t *testing.T) {
 // TestSpaceChaosComposed runs the whole-system chaos script — crashes,
 // a transient partition, a permanent partition with replica promotion,
 // stale-primary fencing and demotion — on a primary store bounded to
-// ~16 steady-state epochs, so the space scheduler joins the fault mix.
+// ~20 steady-state epochs, so the space scheduler joins the fault mix.
+// The headroom must clear the script's unreclaimable pinned floor
+// (epochs minted during the partition and divergence phases, held by
+// catch-up floors): with sub-block metadata packing an "epoch" of
+// headroom is a few KB of data, not data plus a block of metadata per
+// record, so the floor costs ~20 packed epochs where it used to hide
+// inside 16 bloated ones.
 // The four standing chaos invariants (durable never regresses, restores
 // bit-identical, released output never lost, exactly one primary claim
 // at the maximum generation) must hold at every fault rate while the
@@ -87,7 +102,7 @@ func TestSpaceChaosComposed(t *testing.T) {
 			LinkDrop: rate, LinkDup: rate, LinkReorder: rate, LinkCorrupt: rate / 2,
 			CrashEvery: 8, PartitionAt: 10, PartitionLen: 3,
 			DivergentEpochs: 4, PostEpochs: 6,
-			StoreCapacityEpochs: 16,
+			StoreCapacityEpochs: 20,
 		})
 		if err != nil {
 			t.Fatalf("rate %g: %v", rate, err)

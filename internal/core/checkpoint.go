@@ -270,8 +270,20 @@ func (o *Orchestrator) admitCheckpoint(g *Group) (bool, CheckpointBreakdown) {
 // backend retains the image and no catch-up queue still owes it, its
 // frames are released (the object store now owns the data).
 func (o *Orchestrator) flushImage(g *Group, img *Image, background bool) (time.Duration, error) {
+	return o.flushImageOn(g, img, background, nil)
+}
+
+// flushImageOn is flushImage running against an explicit base clock:
+// background flushes dispatched by the fleet pass their shard worker's
+// flush lane, so consecutive flushes on a busy worker model device
+// queueing instead of all starting at the foreground time. A nil base
+// means the kernel clock (foreground callers and legacy paths).
+func (o *Orchestrator) flushImageOn(g *Group, img *Image, background bool, base *storage.Clock) (time.Duration, error) {
 	backends := g.Backends()
 	clock := o.K.Clock
+	if base == nil {
+		base = clock
+	}
 	start := clock.Now()
 
 	type outcome struct {
@@ -285,7 +297,7 @@ func (o *Orchestrator) flushImage(g *Group, img *Image, background bool) (time.D
 		wg.Add(1)
 		go func(i int, b Backend) {
 			defer wg.Done()
-			d, deferred, err := o.flushBackend(g, b, img, !background)
+			d, deferred, err := o.flushBackendOn(g, b, img, !background, base)
 			outs[i] = outcome{dur: d, deferred: deferred, err: err}
 		}(i, b)
 	}
@@ -327,7 +339,7 @@ func (o *Orchestrator) flushImage(g *Group, img *Image, background bool) (time.D
 	}
 	// Keep file state in the same store generation as process state.
 	if o.FS != nil {
-		lane := clock.Lane()
+		lane := base.Lane()
 		sw := lane.Watch()
 		if _, err := o.FS.SnapshotOn(o.FS.Store().WithClock(lane), ""); err != nil {
 			return worst, fmt.Errorf("core: file system snapshot: %w", err)

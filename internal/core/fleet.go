@@ -1,0 +1,329 @@
+package core
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aurora/internal/storage"
+)
+
+// This file implements the fleet runtime: the shared, sharded worker
+// pool behind every group's flush pipeline. The paper's FaaS claim
+// (Table 4) needs thousands of concurrent persistence groups; giving
+// each group its own goroutine stack (the pre-fleet design) costs two
+// idle goroutines and a channel per group and makes 10k groups 20k
+// goroutines. The fleet replaces that with a fixed pool:
+//
+//   - groups are placed onto shards by consistent hashing on the group
+//     ID (virtual nodes keep placement balanced and stable as the
+//     shard count changes);
+//   - each shard runs a small set of worker goroutines that pull
+//     dispatchable flushers from an event-driven run queue (workers
+//     sleep on a condition variable; an enqueue wakes exactly one);
+//   - each worker owns a persistent clock lane — the shard's flush
+//     lane — so back-to-back flushes on a busy worker model device
+//     queueing in virtual time without inflating the foreground
+//     timeline; and
+//   - a bounded global memory budget caps the frame bytes pinned by
+//     queued-but-unflushed images across the whole fleet, so a
+//     checkpoint storm cannot hold an unbounded amount of captured
+//     memory alive while the devices catch up.
+//
+// Per-group ordering semantics are unchanged from the per-group
+// pipeline: a flusher's in-flight jobs are bounded by its credit count
+// (Orchestrator.FlushWorkers), epochs retire strictly in order, and
+// Enqueue still exerts backpressure through the same admission window.
+
+// Fleet sizing defaults, overridable per Orchestrator.
+const (
+	defaultFleetShards  = 4
+	defaultShardWorkers = 2
+	fleetVirtualNodes   = 32 // ring points per shard
+)
+
+// fleet is the orchestrator-wide shard runtime.
+type fleet struct {
+	o      *Orchestrator
+	shards []*fleetShard
+	ring   []ringPoint // sorted by hash
+	wg     sync.WaitGroup
+
+	dispatches atomic.Int64
+
+	// Global memory budget over queued image frame bytes. Guarded by
+	// budgetMu; budgetCond wakes Enqueue callers when bytes come back.
+	budgetMu     sync.Mutex
+	budgetCond   *sync.Cond
+	memBudget    int64 // 0 = unbounded
+	memInUse     int64
+	memPeak      int64
+	budgetStalls int64
+	closed       bool
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// fleetShard is one shard: a run queue of flushers with dispatchable
+// work, drained by the shard's workers.
+type fleetShard struct {
+	id int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	runq   []*flusher
+	queued map[*flusher]bool
+	closed bool
+
+	placements atomic.Int64 // flushers placed on this shard, cumulative
+}
+
+func newFleet(o *Orchestrator) *fleet {
+	shards := o.FleetShards
+	if shards <= 0 {
+		shards = defaultFleetShards
+	}
+	workers := o.FleetWorkersPerShard
+	if workers <= 0 {
+		workers = defaultShardWorkers
+	}
+	fl := &fleet{o: o, memBudget: o.FleetMemBudget}
+	fl.budgetCond = sync.NewCond(&fl.budgetMu)
+	for i := 0; i < shards; i++ {
+		fs := &fleetShard{id: i, queued: make(map[*flusher]bool)}
+		fs.cond = sync.NewCond(&fs.mu)
+		fl.shards = append(fl.shards, fs)
+		for j := 0; j < fleetVirtualNodes; j++ {
+			fl.ring = append(fl.ring, ringPoint{hash: vnodeHash(i, j), shard: i})
+		}
+	}
+	sort.Slice(fl.ring, func(i, j int) bool { return fl.ring[i].hash < fl.ring[j].hash })
+	for _, fs := range fl.shards {
+		for j := 0; j < workers; j++ {
+			fl.wg.Add(1)
+			go fl.worker(fs)
+		}
+	}
+	return fl
+}
+
+// vnodeHash hashes one (shard, vnode) pair onto the ring.
+func vnodeHash(shard, vnode int) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(shard >> (8 * i))
+		buf[8+i] = byte(vnode >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// groupHash hashes a group ID onto the ring.
+func groupHash(group uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(group >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// place maps a group onto its shard: the first virtual node at or
+// after the group's hash, wrapping around the ring.
+func (fl *fleet) place(group uint64) *fleetShard {
+	gh := groupHash(group)
+	i := sort.Search(len(fl.ring), func(i int) bool { return fl.ring[i].hash >= gh })
+	if i == len(fl.ring) {
+		i = 0
+	}
+	fs := fl.shards[fl.ring[i].shard]
+	fs.placements.Add(1)
+	return fs
+}
+
+// wake marks a flusher dispatchable on its shard. After shutdown the
+// job runs inline on the caller — correctness over concurrency once
+// the runtime is gone.
+func (fs *fleetShard) wake(f *flusher) {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		f.dispatch(nil)
+		return
+	}
+	if !fs.queued[f] {
+		fs.queued[f] = true
+		fs.runq = append(fs.runq, f)
+		fs.cond.Signal()
+	}
+	fs.mu.Unlock()
+}
+
+// worker is one shard worker: it owns a persistent flush lane and
+// drains the shard's run queue until shutdown.
+func (fl *fleet) worker(fs *fleetShard) {
+	defer fl.wg.Done()
+	lane := fl.o.K.Clock.Lane()
+	for {
+		fs.mu.Lock()
+		for len(fs.runq) == 0 && !fs.closed {
+			fs.cond.Wait()
+		}
+		if len(fs.runq) == 0 {
+			// Closed and drained.
+			fs.mu.Unlock()
+			return
+		}
+		f := fs.runq[0]
+		fs.runq = fs.runq[1:]
+		delete(fs.queued, f)
+		fs.mu.Unlock()
+		fl.dispatches.Add(1)
+		f.dispatch(lane)
+	}
+}
+
+// acquireBudget charges n bytes of captured frame memory against the
+// global budget, blocking while the fleet is over budget. To guarantee
+// progress an acquisition is always admitted when nothing else is
+// charged, even if it alone exceeds the budget. It returns the bytes
+// actually charged (0 when the budget is unbounded or n is 0), which
+// the caller must hand back through releaseBudget.
+func (fl *fleet) acquireBudget(n int64) int64 {
+	if fl.memBudget <= 0 || n <= 0 {
+		return 0
+	}
+	fl.budgetMu.Lock()
+	defer fl.budgetMu.Unlock()
+	for fl.memInUse > 0 && fl.memInUse+n > fl.memBudget && !fl.closed {
+		fl.budgetStalls++
+		fl.budgetCond.Wait()
+	}
+	fl.memInUse += n
+	if fl.memInUse > fl.memPeak {
+		fl.memPeak = fl.memInUse
+	}
+	return n
+}
+
+// releaseBudget returns charged bytes to the budget.
+func (fl *fleet) releaseBudget(n int64) {
+	if n <= 0 {
+		return
+	}
+	fl.budgetMu.Lock()
+	fl.memInUse -= n
+	fl.budgetMu.Unlock()
+	fl.budgetCond.Broadcast()
+}
+
+// shutdown stops the shard workers after they drain their run queues,
+// and wakes anything blocked on the memory budget.
+func (fl *fleet) shutdown() {
+	for _, fs := range fl.shards {
+		fs.mu.Lock()
+		fs.closed = true
+		fs.cond.Broadcast()
+		fs.mu.Unlock()
+	}
+	fl.budgetMu.Lock()
+	fl.closed = true
+	fl.budgetMu.Unlock()
+	fl.budgetCond.Broadcast()
+	fl.wg.Wait()
+}
+
+// FleetStats is the externally visible state of the shard runtime
+// (`sls fleet`, the fleet bench harness).
+type FleetStats struct {
+	Shards          int
+	WorkersPerShard int
+	Placements      []int // flushers placed per shard, cumulative
+	Dispatches      int64 // jobs handed to shard workers
+	MemBudget       int64 // configured budget (0 = unbounded)
+	MemInUse        int64 // frame bytes currently charged
+	MemPeak         int64 // high-water mark of charged bytes
+	BudgetStalls    int64 // Enqueue waits caused by the budget
+}
+
+// FleetStats snapshots the shard runtime. All zero values when no
+// group has checkpointed yet (the runtime starts lazily).
+func (o *Orchestrator) FleetStats() FleetStats {
+	o.fleetMu.Lock()
+	fl := o.fleet
+	o.fleetMu.Unlock()
+	if fl == nil {
+		return FleetStats{}
+	}
+	st := FleetStats{
+		Shards:     len(fl.shards),
+		Dispatches: fl.dispatches.Load(),
+	}
+	if w := o.FleetWorkersPerShard; w > 0 {
+		st.WorkersPerShard = w
+	} else {
+		st.WorkersPerShard = defaultShardWorkers
+	}
+	for _, fs := range fl.shards {
+		st.Placements = append(st.Placements, int(fs.placements.Load()))
+	}
+	fl.budgetMu.Lock()
+	st.MemBudget = fl.memBudget
+	st.MemInUse = fl.memInUse
+	st.MemPeak = fl.memPeak
+	st.BudgetStalls = fl.budgetStalls
+	fl.budgetMu.Unlock()
+	return st
+}
+
+// fleetOf returns the orchestrator's shard runtime, starting it on
+// first use. fleetMu is a leaf lock: it is never taken with o.mu or
+// any group lock held by this code.
+func (o *Orchestrator) fleetOf() *fleet {
+	o.fleetMu.Lock()
+	defer o.fleetMu.Unlock()
+	if o.fleet == nil {
+		o.fleet = newFleet(o)
+	}
+	return o.fleet
+}
+
+// Close shuts the fleet runtime down: every group's in-flight flushes
+// are drained first (failed epochs stay stalled, exactly as Unpersist
+// leaves them), then the shard workers exit. Zero goroutines remain
+// after Close returns. A closed orchestrator may keep serving
+// checkpoints — flushes then run inline on the enqueuing goroutine —
+// but the expected sequence is Unpersist/Close at teardown.
+func (o *Orchestrator) Close() {
+	for _, g := range o.Groups() {
+		g.mu.Lock()
+		f := g.fl
+		g.mu.Unlock()
+		if f != nil {
+			f.drain()
+		}
+	}
+	o.fleetMu.Lock()
+	fl := o.fleet
+	o.fleet = nil
+	o.fleetMu.Unlock()
+	if fl != nil {
+		fl.shutdown()
+	}
+}
+
+// laneFor seeds a detached flush lane from base, or from the kernel
+// clock when base is nil (foreground callers).
+func (o *Orchestrator) laneFor(base *storage.Clock) *storage.Clock {
+	if base == nil {
+		base = o.K.Clock
+	}
+	return base.Lane()
+}

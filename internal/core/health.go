@@ -210,7 +210,14 @@ func (g *Group) Health() []BackendHealthInfo {
 // and folded into the returned duration so synchronous callers merge
 // it back.
 func (o *Orchestrator) attemptFlush(b Backend, img *Image, retries int) (time.Duration, int, error) {
-	lane := o.K.Clock.Lane()
+	return o.attemptFlushOn(b, img, retries, nil)
+}
+
+// attemptFlushOn is attemptFlush with the retry lane seeded from an
+// explicit base clock — the shard worker's flush lane for fleet
+// dispatch, the kernel clock when base is nil.
+func (o *Orchestrator) attemptFlushOn(b Backend, img *Image, retries int, base *storage.Clock) (time.Duration, int, error) {
+	lane := o.laneFor(base)
 	target := b
 	if lb, ok := b.(LaneBackend); ok {
 		target = lb.WithLane(lane)
@@ -241,6 +248,12 @@ func (o *Orchestrator) attemptFlush(b Backend, img *Image, retries int) (time.Du
 // retire if a healthy peer holds it. force (foreground Sync) probes a
 // down backend unconditionally; background flushes pace their probes.
 func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool) (time.Duration, bool, error) {
+	return o.flushBackendOn(g, b, img, force, nil)
+}
+
+// flushBackendOn is flushBackend charging device time to lanes seeded
+// from base (nil = the kernel clock).
+func (o *Orchestrator) flushBackendOn(g *Group, b Backend, img *Image, force bool, base *storage.Clock) (time.Duration, bool, error) {
 	h := g.healthOf(b)
 
 	g.healthMu.Lock()
@@ -268,11 +281,11 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 		}
 		h.probing = true
 		g.healthMu.Unlock()
-		return o.probeAndResync(g, h, b, img)
+		return o.probeAndResync(g, h, b, img, base)
 	}
 	g.healthMu.Unlock()
 
-	dur, attempts, err := o.attemptFlush(b, img, o.flushRetries())
+	dur, attempts, err := o.attemptFlushOn(b, img, o.flushRetries(), base)
 	if err != nil && errors.Is(err, storage.ErrOutOfSpace) {
 		// The store ran out of space mid-flush. Space pressure is a
 		// condition, not a fault: trigger emergency reclamation and — if
@@ -283,7 +296,7 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 		if o.emergencyReclaim(b) {
 			var dur2 time.Duration
 			var attempts2 int
-			dur2, attempts2, err = o.attemptFlush(b, img, o.flushRetries())
+			dur2, attempts2, err = o.attemptFlushOn(b, img, o.flushRetries(), base)
 			dur += dur2
 			attempts += attempts2
 		}
@@ -319,7 +332,7 @@ func (o *Orchestrator) flushBackend(g *Group, b Backend, img *Image, force bool)
 // order, then delivers img (nil during an explicit Resync). Success
 // all the way through marks the backend healthy again. The caller must
 // have set h.probing; it is cleared on return.
-func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img *Image) (time.Duration, bool, error) {
+func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img *Image, base *storage.Clock) (time.Duration, bool, error) {
 	defer func() {
 		g.healthMu.Lock()
 		h.probing = false
@@ -359,9 +372,9 @@ func (o *Orchestrator) probeAndResync(g *Group, h *backendHealth, b Backend, img
 	// deliver retries one catch-up image, running emergency reclamation
 	// between attempts when the store reports out of space.
 	deliver := func(target *Image) (time.Duration, int, error) {
-		dur, attempts, err := o.attemptFlush(b, target, o.flushRetries())
+		dur, attempts, err := o.attemptFlushOn(b, target, o.flushRetries(), base)
 		if err != nil && errors.Is(err, storage.ErrOutOfSpace) && o.emergencyReclaim(b) {
-			dur2, attempts2, err2 := o.attemptFlush(b, target, o.flushRetries())
+			dur2, attempts2, err2 := o.attemptFlushOn(b, target, o.flushRetries(), base)
 			dur += dur2
 			attempts += attempts2
 			err = err2
@@ -486,7 +499,7 @@ func (o *Orchestrator) Resync(g *Group) error {
 			// Foreground resync: the caller waits for the replay, so the
 			// modeled catch-up time (charged to a detached lane inside
 			// attemptFlush) merges back into the group's timeline.
-			dur, _, err := o.probeAndResync(g, h, b, nil)
+			dur, _, err := o.probeAndResync(g, h, b, nil, nil)
 			if dur > 0 {
 				o.K.Clock.Advance(dur)
 			}

@@ -131,6 +131,18 @@ func (img *Image) PageCount() int {
 	return n
 }
 
+// FootprintBytes reports the memory this image pins while it waits to
+// flush: captured frames and swap-page copies. Refs are excluded —
+// they point at store blocks, not RAM. This is what the fleet's global
+// memory budget charges per queued image.
+func (img *Image) FootprintBytes() int64 {
+	var n int64
+	for _, mi := range img.Memory {
+		n += int64(len(mi.Pages)+len(mi.SwapData)) * vm.PageSize
+	}
+	return n
+}
+
 // Release drops the image's frame references. Safe to call twice.
 func (img *Image) Release(pm *vm.PhysMem) {
 	img.mu.Lock()

@@ -280,6 +280,24 @@ type Orchestrator struct {
 	// admitted even under sustained pressure, so the durable frontier
 	// keeps advancing (0 = package default).
 	ShedAdmitEvery int
+
+	// FleetShards and FleetWorkersPerShard size the shard runtime that
+	// dispatches every group's flushes (0 = package defaults). Groups
+	// are placed onto shards by consistent hashing on the group ID;
+	// total flush concurrency across the fleet is shards × workers.
+	FleetShards          int
+	FleetWorkersPerShard int
+	// FleetMemBudget bounds the captured frame bytes pinned by
+	// queued-but-unflushed images across ALL groups; a checkpoint that
+	// would exceed it blocks in Enqueue until flushes complete
+	// (0 = unbounded). A single image larger than the whole budget is
+	// still admitted when nothing else is charged.
+	FleetMemBudget int64
+
+	// fleetMu guards lazy creation of the shard runtime. It is a leaf
+	// lock: never held together with o.mu or a group lock.
+	fleetMu sync.Mutex
+	fleet   *fleet
 }
 
 // NewOrchestrator attaches an orchestrator to a kernel and installs

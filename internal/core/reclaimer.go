@@ -310,6 +310,16 @@ func (r *Reclaimer) scan(emergency bool) int64 {
 				break
 			}
 		}
+		// Last resort, only once dropping found nothing: epoch drops
+		// free whole data blocks but only decrement pack refcounts, so
+		// a long churn can strand freed space inside half-dead pack
+		// blocks. Compaction rewrites the survivors out and frees the
+		// blocks. It stays off any scan that reclaimed normally — its
+		// device writes would shift a seeded fault schedule for runs
+		// that never needed it.
+		if emergency && epochs == 0 && view.CompactPacks() > 0 {
+			view.ReleaseSpace()
+		}
 	}
 
 	usedAfter, _, _ := r.sb.store.Usage()

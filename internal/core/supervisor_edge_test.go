@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aurora/internal/kernel"
+)
+
+// Edge-case coverage for the supervisor's restart budget — the policy
+// that keeps a fleet-scale crash storm from burning the machine
+// re-restoring deterministically re-crashing state.
+
+// supEdgeSpawn persists one workload (program built once the process
+// exists, so it can address the heap) with a durable checkpoint after
+// ckptAt steps, ready to be crashed.
+func supEdgeSpawn(t *testing.T, r *rig, name string, mk func(p *kernel.Process) kernel.Program, ckptAt int) (*Group, *kernel.Process) {
+	t.Helper()
+	p, err := r.k.Spawn(0, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetProgram(mk(p))
+	g, err := r.o.Persist(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.o.Attach(g, r.store)
+	// Run is round-robin over every live process, so in multi-group
+	// tests this may step an older crash-looper into its crash; that
+	// error belongs to the storm, not to this spawn.
+	r.k.Run(ckptAt)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Sync(g); err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+// TestSupervisorBudgetRefillAfterQuietWindow: a group that crashes,
+// recovers, and then runs cleanly past a full budget window gets its
+// restart count reset — transient crashes spread over time must never
+// accumulate into a spurious crash-loop verdict.
+func TestSupervisorBudgetRefillAfterQuietWindow(t *testing.T) {
+	r := newRig(t)
+	g, _ := supEdgeSpawn(t, r, "refill", func(p *kernel.Process) kernel.Program {
+		return &counter{addr: p.HeapBase()}
+	}, 10)
+	const budget = 2
+	window := 10 * time.Millisecond
+	sup := NewSupervisor(r.o, SupervisorConfig{MaxRestarts: budget, Window: window})
+	sup.Watch(g)
+
+	cur := g
+	// Far more crash cycles than the budget allows inside one window.
+	// Each cycle first idles past a full window, so the budget refills
+	// and every recovery must report Restarts == 1.
+	for cycle := 0; cycle < budget*3; cycle++ {
+		r.clock.Advance(window + time.Millisecond)
+		p, err := r.k.Process(cur.PIDs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.k.Exit(p, 1)
+		evs := sup.Poll()
+		if len(evs) != 1 {
+			t.Fatalf("cycle %d: events = %+v", cycle, evs)
+		}
+		ev := evs[0]
+		if ev.GaveUp || ev.Err != nil {
+			t.Fatalf("cycle %d: budget did not refill after a quiet window: %+v", cycle, ev)
+		}
+		if ev.Restarts != 1 {
+			t.Fatalf("cycle %d: restarts = %d, want 1 (reset after quiet window)", cycle, ev.Restarts)
+		}
+		cur, err = r.o.Group(ev.NewGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sup.Watched()) != 1 {
+		t.Fatalf("watched = %v, want exactly the live group", sup.Watched())
+	}
+}
+
+// TestSupervisorBackoffResetAfterQuietWindow: the exponential backoff
+// is charged to the virtual clock and doubles within a window, and a
+// quiet window resets it to the base — otherwise long-lived groups
+// would pay ever-growing restart latency for crashes months apart.
+func TestSupervisorBackoffResetAfterQuietWindow(t *testing.T) {
+	r := newRig(t)
+	g, _ := supEdgeSpawn(t, r, "backoff", func(p *kernel.Process) kernel.Program {
+		return &counter{addr: p.HeapBase()}
+	}, 10)
+	base := 100 * time.Microsecond
+	window := 50 * time.Millisecond
+	sup := NewSupervisor(r.o, SupervisorConfig{MaxRestarts: 10, BackoffBase: base, Window: window})
+	sup.Watch(g)
+
+	// pollCost crashes the current incarnation and measures the
+	// recovery's virtual-time cost. The restore itself is the same
+	// image each cycle (no new checkpoints), so cost differences
+	// between cycles isolate the backoff charge.
+	pollCost := func(cur *Group) (time.Duration, *Group) {
+		t.Helper()
+		p, err := r.k.Process(cur.PIDs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.k.Exit(p, 1)
+		start := r.clock.Now()
+		evs := sup.Poll()
+		if len(evs) != 1 || evs[0].Err != nil || evs[0].GaveUp {
+			t.Fatalf("recovery events = %+v", evs)
+		}
+		ng, err := r.o.Group(evs[0].NewGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.clock.Now() - start, ng
+	}
+
+	// Two crashes back-to-back within one window: the second pays
+	// double backoff, so it costs exactly base more.
+	cost1, g2 := pollCost(g)
+	cost2, g3 := pollCost(g2)
+	if cost2-cost1 != base {
+		t.Fatalf("second restart backoff delta = %v, want %v (doubling)", cost2-cost1, base)
+	}
+	// Quiet window: backoff must reset to base, so the next recovery
+	// costs the same as the very first one.
+	r.clock.Advance(window + time.Millisecond)
+	cost3, _ := pollCost(g3)
+	if cost3 != cost1 {
+		t.Fatalf("post-refill restart cost %v, want first-restart cost %v", cost3, cost1)
+	}
+}
+
+// TestSupervisorBudgetExhaustedMidStorm: when a crash storm hits many
+// watched groups at once and one of them is a deterministic
+// crash-looper, the supervisor spends that group's budget, emits
+// exactly one GaveUp event, and drops only that watch — the healthy
+// groups keep their supervision.
+func TestSupervisorBudgetExhaustedMidStorm(t *testing.T) {
+	r := newRig(t)
+	const budget = 3
+
+	// One doomed group: its persisted counter re-crashes on sight.
+	doomed, _ := supEdgeSpawn(t, r, "doomed", func(p *kernel.Process) kernel.Program {
+		return &hardCrasher{addr: p.HeapBase(), limit: 15}
+	}, 10)
+
+	// Three heisencrash groups: the armed fuse is runtime state the
+	// snapshot drops, so each crashes once and recovers clean.
+	var healthy []*Group
+	for i := 0; i < 3; i++ {
+		g, _ := supEdgeSpawn(t, r, fmt.Sprintf("healthy-%d", i), func(p *kernel.Process) kernel.Program {
+			return &crasher{addr: p.HeapBase(), fuse: 15, armed: true}
+		}, 10)
+		healthy = append(healthy, g)
+	}
+
+	sup := NewSupervisor(r.o, SupervisorConfig{MaxRestarts: budget, Window: time.Hour})
+	sup.Watch(doomed)
+	for _, g := range healthy {
+		sup.Watch(g)
+	}
+
+	gaveUp, recoveries := 0, 0
+	for rounds := 0; gaveUp == 0; rounds++ {
+		if rounds > budget+10 {
+			t.Fatal("crash-looper was never given up on")
+		}
+		r.k.Run(400) // run every incarnation into (or past) its crash
+		for _, ev := range sup.Poll() {
+			switch {
+			case ev.GaveUp:
+				gaveUp++
+				if ev.Restarts != budget {
+					t.Fatalf("gave up after %d restarts, want %d", ev.Restarts, budget)
+				}
+			case ev.Err != nil:
+				t.Fatalf("recovery failed mid-storm: %+v", ev)
+			default:
+				recoveries++
+			}
+		}
+	}
+	if gaveUp != 1 {
+		t.Fatalf("GaveUp events = %d, want exactly 1 (only the crash-looper)", gaveUp)
+	}
+	// The healthy groups' single heisencrash each was restored, and all
+	// three are still watched; the doomed lineage is not.
+	if got := len(sup.Watched()); got != 3 {
+		t.Fatalf("watched after storm = %d groups (%v), want 3", got, sup.Watched())
+	}
+	// budget restarts burned on the looper + 3 heisencrash recoveries.
+	if recoveries != budget+3 {
+		t.Fatalf("successful recoveries = %d, want %d", recoveries, budget+3)
+	}
+}
+
+// TestSupervisorCrashLoopGiveUpAtFleetScale: dozens of independent
+// crash-looping groups exhaust their budgets concurrently; every one
+// must be given up on after exactly its budget, the supervisor must
+// end with zero watches, and the virtual clock must have been charged
+// the full exponential backoff schedule for each group.
+func TestSupervisorCrashLoopGiveUpAtFleetScale(t *testing.T) {
+	r := newRig(t)
+	const (
+		fleet  = 32
+		budget = 3
+	)
+	base := 100 * time.Microsecond
+	sup := NewSupervisor(r.o, SupervisorConfig{MaxRestarts: budget, BackoffBase: base, Window: time.Hour})
+
+	for i := 0; i < fleet; i++ {
+		g, _ := supEdgeSpawn(t, r, fmt.Sprintf("loop-%d", i), func(p *kernel.Process) kernel.Program {
+			return &hardCrasher{addr: p.HeapBase(), limit: 15}
+		}, 10)
+		sup.Watch(g)
+	}
+
+	start := r.clock.Now()
+	for rounds := 0; len(sup.Watched()) > 0; rounds++ {
+		if rounds > fleet*(budget+2) {
+			t.Fatalf("crash storm did not converge; still watched: %v", sup.Watched())
+		}
+		r.k.Run(fleet * 20) // run every incarnation into its crash
+		sup.Poll()
+	}
+
+	// Walk the event log, folding each recovery chain back to the
+	// group that started it, and check every lineage's accounting.
+	type tally struct{ restarts, gaveUp int }
+	perLineage := make(map[uint64]*tally)
+	roots := make(map[uint64]uint64) // group -> storm lineage root
+	for _, ev := range sup.Events() {
+		root, ok := roots[ev.Group]
+		if !ok {
+			root = ev.Group
+		}
+		st := perLineage[root]
+		if st == nil {
+			st = &tally{}
+			perLineage[root] = st
+		}
+		if ev.GaveUp {
+			st.gaveUp++
+			if ev.Restarts != budget {
+				t.Fatalf("lineage %d gave up after %d restarts, want %d", root, ev.Restarts, budget)
+			}
+		} else {
+			if ev.Err != nil {
+				t.Fatalf("restore failed during storm: %+v", ev)
+			}
+			st.restarts++
+			roots[ev.NewGroup] = root
+		}
+	}
+	if len(perLineage) != fleet {
+		t.Fatalf("storm touched %d lineages, want %d", len(perLineage), fleet)
+	}
+	for root, st := range perLineage {
+		if st.restarts != budget || st.gaveUp != 1 {
+			t.Fatalf("lineage %d: %d restarts, %d give-ups; want %d and 1", root, st.restarts, st.gaveUp, budget)
+		}
+	}
+	// Backoff accounting: each lineage paid base * (2^budget - 1) of
+	// virtual-clock backoff (100+200+400 µs for budget 3), plus restore
+	// costs — so the storm's total virtual time is bounded below.
+	minBackoff := time.Duration(fleet) * base * time.Duration((1<<budget)-1)
+	if elapsed := r.clock.Now() - start; elapsed < minBackoff {
+		t.Fatalf("clock advanced %v during the storm, below the aggregate backoff floor %v", elapsed, minBackoff)
+	}
+}

@@ -109,21 +109,23 @@ func (k *Kernel) Run(n int) (int, error) {
 }
 
 // nextRunnable rotates the run queue to the next runnable thread of a
-// running process.
+// running process. Threads that retired for good — ThreadDone, or any
+// thread of a zombie process — are dropped from the queue here rather
+// than rotated: a fleet's worth of exited and reaped processes must
+// not tax every future quantum with corpse entries.
 func (k *Kernel) nextRunnable() *Thread {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	for scanned := 0; scanned < len(k.runQueue); scanned++ {
+	for n := len(k.runQueue); n > 0; n-- {
 		t := k.runQueue[0]
-		k.runQueue = append(k.runQueue[1:], t)
-		if t.State != ThreadRunnable {
+		k.runQueue = k.runQueue[1:]
+		if t.State == ThreadDone || t.Proc.State() == ProcZombie {
+			t.State = ThreadDone
 			continue
 		}
-		switch t.Proc.State() {
-		case ProcRunning:
+		k.runQueue = append(k.runQueue, t)
+		if t.State == ThreadRunnable && t.Proc.State() == ProcRunning {
 			return t
-		case ProcZombie:
-			t.State = ThreadDone
 		}
 	}
 	return nil

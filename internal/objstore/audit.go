@@ -39,6 +39,38 @@ func (s *Store) AuditReachability() error {
 		}
 	}
 
+	// Metadata extents: every packed extent must land in a block the
+	// pack accounting knows, with no more registered extents than the
+	// block's live count (in-flight unregistered writes may hold the
+	// rest), and no metadata block — packed or whole — may sit on the
+	// free list. Compaction moves extents between pack blocks; this is
+	// where a move that leaked or double-freed its source would show.
+	metaBlocks := make(map[int64]RecordKey)
+	packed := make(map[int64]int)
+	for key, rec := range s.records {
+		if rec.metaOff < dataStart {
+			continue
+		}
+		base := rec.metaOff &^ (BlockSize - 1)
+		if rec.metaLen+1 < BlockSize {
+			if _, ok := s.packLive[base]; !ok {
+				return fmt.Errorf("objstore: audit: record %d@%d metadata packed at %d outside any pack block",
+					key.OID, key.Epoch, rec.metaOff)
+			}
+			packed[base]++
+		}
+		end := rec.metaOff + int64(rec.metaLen)
+		for off := base; off <= end; off += BlockSize {
+			metaBlocks[off] = key
+		}
+	}
+	for base, n := range packed {
+		if liveN := s.packLive[base]; n > liveN {
+			return fmt.Errorf("objstore: audit: pack block %d holds %d registered extents but live count %d",
+				base, n, liveN)
+		}
+	}
+
 	live := make(map[int64]Hash, len(s.blocks))
 	for h, be := range s.blocks {
 		live[be.ref.Off] = h
@@ -47,6 +79,10 @@ func (s *Store) AuditReachability() error {
 	for _, off := range s.freeList {
 		if h, ok := live[off]; ok {
 			return fmt.Errorf("objstore: audit: free-list offset %d aliases live block %x", off, h[:4])
+		}
+		if key, ok := metaBlocks[off]; ok {
+			return fmt.Errorf("objstore: audit: free-list offset %d aliases metadata of record %d@%d",
+				off, key.OID, key.Epoch)
 		}
 		if seen[off] {
 			return fmt.Errorf("objstore: audit: offset %d double-freed", off)

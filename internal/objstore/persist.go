@@ -345,6 +345,13 @@ func decodeIndex(dev storage.Device, clock *storage.Clock, idx []byte) (*Store, 
 			rec.Heat[hidx] = d.U32()
 		}
 		s.records[key] = rec
+		if rec.metaLen+1 < BlockSize && rec.metaOff >= dataStart {
+			// Rebuild the pack refcounts (not persisted). A pre-packing
+			// store's whole-block small extents simply become
+			// single-occupant packs: freed the moment their record dies,
+			// exactly as before.
+			s.packLive[rec.metaOff&^(BlockSize-1)]++
+		}
 	}
 	nGroups := d.U64()
 	for i := uint64(0); i < nGroups && d.Err() == nil; i++ {

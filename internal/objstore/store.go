@@ -138,6 +138,15 @@ type Stats struct {
 	// (on the free list but not yet TRIMmed): space a ReleaseSpace call
 	// returns to the device without touching any retained epoch.
 	ReclaimableBytes int64
+	// PackBlocks counts device blocks shared by multiple small record
+	// metadata extents (sub-block packing). Without packing, every
+	// record costs a full block of metadata, which is what used to make
+	// N clones of one deduped image cost N blocks each instead of ~0.
+	PackBlocks int
+	// PacksCompacted counts sparse pack blocks emptied by compaction:
+	// blocks whose few surviving extents were rewritten elsewhere so
+	// the block could return to the free list.
+	PacksCompacted int64
 }
 
 type blockEntry struct {
@@ -175,6 +184,19 @@ type storeCore struct {
 	fences map[uint64]fenceEntry
 	sbGen  uint64 // superblock generation last published
 	stats  Stats
+
+	// Sub-block metadata packing: record metadata smaller than a block
+	// bump-allocates inside a shared pack block instead of consuming a
+	// whole one. packOff/packUsed describe the currently open pack
+	// block; packLive counts the live extents inside every pack block
+	// (keyed by block base offset) so a pack block returns to the free
+	// list exactly when its last extent dies. Not persisted: rebuilt
+	// from record extents on Open, which also classifies pre-packing
+	// whole-block small extents as single-occupant packs with the same
+	// free-at-zero behavior.
+	packOff  int64
+	packUsed int
+	packLive map[int64]int
 }
 
 // Store is the object store over one device.
@@ -207,6 +229,7 @@ func Create(dev storage.Device, clock *storage.Clock) *Store {
 			named:       make(map[string]manifestID),
 			quarantined: make(map[manifestID]string),
 			fences:      make(map[uint64]fenceEntry),
+			packLive:    make(map[int64]int),
 		},
 		dev:   dev,
 		clock: clock,
@@ -240,6 +263,7 @@ func (s *Store) Stats() Stats {
 	st.BlockBytes = int64(len(s.blocks)) * BlockSize
 	st.LiveBytes = st.BlockBytes + st.MetaBytes
 	st.ReclaimableBytes = int64(len(s.freeList)-s.trimmedFree) * BlockSize
+	st.PackBlocks = len(s.packLive)
 	n := 0
 	for _, ms := range s.manifests {
 		n += len(ms)
@@ -302,6 +326,18 @@ func (s *Store) controlReserveLocked() int64 {
 	return reserve
 }
 
+// ControlOverhead reports the control-plane bytes the store holds back
+// from data-path allocations: superblock slots plus room to publish two
+// index generations at their current size. Device-sizing code must add
+// this on top of data-footprint estimates — it never amortizes into
+// per-epoch growth, which matters once sub-block metadata packing makes
+// that growth small.
+func (s *Store) ControlOverhead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.controlReserveLocked()
+}
+
 // dataGrowthLocked reports whether the next single-block allocation
 // would grow device residency (bump allocation or re-materializing a
 // trimmed block) instead of reusing a resident free block.
@@ -359,18 +395,177 @@ func (s *Store) allocExtent(n int) int64 {
 	return off
 }
 
+// packAllocLocked places a small metadata extent inside a shared pack
+// block, opening a new one when the current block is full (or none is
+// open). The caller guarantees 0 < n < BlockSize. Packing is what
+// makes cross-group dedup pay off at fleet scale: a thousand clones of
+// one image dedup their data blocks to a single copy, and their
+// per-record metadata — ~tens of bytes each — shares blocks instead of
+// burning a full block per clone per object.
+func (s *Store) packAllocLocked(n int) (int64, error) {
+	if s.packOff == 0 || s.packUsed+n > BlockSize {
+		if s.dataGrowthLocked() {
+			if err := s.dataRoomLocked(BlockSize); err != nil {
+				return 0, err
+			}
+		}
+		if old := s.packOff; old != 0 && s.packLive[old] == 0 {
+			// Everything packed into the retiring block already died.
+			delete(s.packLive, old)
+			s.freeList = append(s.freeList, old)
+		}
+		s.packOff = s.allocBlock()
+		s.packUsed = 0
+		s.packLive[s.packOff] = 0
+	}
+	off := s.packOff + int64(s.packUsed)
+	s.packUsed += n
+	s.packLive[s.packOff]++
+	return off, nil
+}
+
 // freeExtentLocked returns an extent's blocks to the free list, where
 // data-block and metadata allocations both draw from. Without this,
 // record metadata and index generations leak device space forever —
-// fatal on a bounded device.
+// fatal on a bounded device. Packed extents (recognized by their block
+// base holding a pack refcount — index extents and large metadata are
+// never packed) only release their block once every co-packed extent
+// has died.
 func (s *Store) freeExtentLocked(off int64, n int) {
 	if off < dataStart || n <= 0 {
 		return
+	}
+	if n < BlockSize {
+		base := off &^ (BlockSize - 1)
+		if live, ok := s.packLive[base]; ok {
+			live--
+			switch {
+			case live <= 0 && base == s.packOff:
+				// The open pack block emptied out: rewind the bump
+				// allocator and keep filling it. No extent can be in
+				// flight here — unregistered extents hold a live count.
+				s.packLive[base] = 0
+				s.packUsed = 0
+			case live <= 0:
+				delete(s.packLive, base)
+				s.freeList = append(s.freeList, base)
+			default:
+				s.packLive[base] = live
+			}
+			return
+		}
 	}
 	end := off + int64((n+BlockSize-1)&^(BlockSize-1))
 	for o := off; o < end; o += BlockSize {
 		s.freeList = append(s.freeList, o)
 	}
+}
+
+// CompactPacks rewrites the surviving small-metadata extents out of
+// sparse pack blocks so they can be freed. Packing shares one block
+// between many records' metadata; epoch reclamation then frees those
+// extents in whatever order history dies, and a block stays pinned as
+// long as one co-packed extent lives. On a long-running bounded device
+// that fragmentation accumulates — the reclaimer can drop every epoch
+// retention allows and still find the space locked inside half-dead
+// pack blocks. Compaction moves each victim block's live extents into
+// the open pack block and returns the emptied victims to the free
+// list. It reports the number of pack blocks freed.
+//
+// Only blocks whose live-extent count is fully accounted for by
+// registered records are touched: an in-flight PutRecord holds a pack
+// extent before the record is registered, and such a block is skipped
+// rather than compacted underneath the writer. The open pack block is
+// never a victim. Metadata is rewritten from the in-memory copy; the
+// published index carries the bytes too, so a crash between the move
+// and the next index sync recovers from the superblock as usual.
+func (s *Store) CompactPacks() int64 {
+	type move struct {
+		key  RecordKey
+		base int64
+	}
+	s.mu.Lock()
+	byBase := make(map[int64][]*Record)
+	for _, rec := range s.records {
+		if rec.metaLen+1 >= BlockSize || rec.metaOff < dataStart {
+			continue
+		}
+		base := rec.metaOff &^ (BlockSize - 1)
+		if _, ok := s.packLive[base]; ok {
+			byBase[base] = append(byBase[base], rec)
+		}
+	}
+	var moves []move
+	victims := make(map[int64]bool)
+	for base, recs := range byBase {
+		if base == s.packOff || len(recs) != s.packLive[base] {
+			continue
+		}
+		live := 0
+		for _, rec := range recs {
+			live += rec.metaLen + 1
+		}
+		if live*2 >= BlockSize {
+			continue
+		}
+		victims[base] = true
+		for _, rec := range recs {
+			moves = append(moves, move{RecordKey{rec.OID, rec.Epoch}, base})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(moves, func(i, j int) bool {
+		a, b := moves[i], moves[j]
+		if a.base != b.base {
+			return a.base < b.base
+		}
+		if a.key.OID != b.key.OID {
+			return a.key.OID < b.key.OID
+		}
+		return a.key.Epoch < b.key.Epoch
+	})
+
+	freed := int64(0)
+	for _, mv := range moves {
+		s.mu.Lock()
+		rec, ok := s.records[mv.key]
+		if !ok || rec.metaOff&^(BlockSize-1) != mv.base {
+			// Dropped or already moved since the plan was taken.
+			s.mu.Unlock()
+			continue
+		}
+		off, err := s.packAllocLocked(rec.metaLen + 1)
+		if err != nil {
+			// No room to open a fresh pack block: compaction needs one
+			// block of headroom, which an emergency drop pass normally
+			// provides. Abort; the old extents stay valid.
+			s.mu.Unlock()
+			return freed
+		}
+		meta := rec.Meta
+		s.mu.Unlock()
+		if len(meta) > 0 {
+			if _, err := s.dev.WriteAt(meta, off); err != nil {
+				s.mu.Lock()
+				s.freeExtentLocked(off, rec.metaLen+1)
+				s.mu.Unlock()
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.freeExtentLocked(rec.metaOff, rec.metaLen+1)
+		rec.metaOff = off
+		if victims[mv.base] {
+			if _, alive := s.packLive[mv.base]; !alive {
+				// That free emptied the victim block.
+				delete(victims, mv.base)
+				s.stats.PacksCompacted++
+				freed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return freed
 }
 
 // HashPage computes the dedup hash of a page, charging the hash cost.
@@ -599,16 +794,25 @@ func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte
 	// must come last: a record visible in the index before its metadata
 	// landed would be poisoned by a failed write.
 	rec.metaLen = len(meta)
+	need := len(meta) + 1
 	s.mu.Lock()
-	metaNeed := int64((len(meta) + 1 + BlockSize - 1) &^ (BlockSize - 1))
-	if metaNeed > BlockSize || s.dataGrowthLocked() {
+	if need < BlockSize {
+		off, err := s.packAllocLocked(need)
+		if err != nil {
+			s.mu.Unlock()
+			unwind()
+			return nil, err
+		}
+		rec.metaOff = off
+	} else {
+		metaNeed := int64((need + BlockSize - 1) &^ (BlockSize - 1))
 		if err := s.dataRoomLocked(metaNeed); err != nil {
 			s.mu.Unlock()
 			unwind()
 			return nil, err
 		}
+		rec.metaOff = s.allocExtent(need)
 	}
-	rec.metaOff = s.allocExtent(len(meta) + 1)
 	s.mu.Unlock()
 	if len(meta) > 0 {
 		if _, err := s.dev.WriteAt(meta, rec.metaOff); err != nil {
