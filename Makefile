@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
 ## matrix, crash-recovery harness, whole-system chaos sweep, space-
-## pressure survival
+## pressure survival, fleet scale, quorum replication
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -14,6 +14,7 @@ check:
 	$(MAKE) chaoscheck
 	$(MAKE) spacecheck
 	$(MAKE) fleetcheck
+	$(MAKE) quorumcheck
 
 build:
 	$(GO) build ./...
@@ -69,8 +70,19 @@ fleetcheck:
 		-run 'TestFleetSimulation|TestFleetCloneDedup|TestUnpersistWithQueuedEpochsDoesNotLeak|TestCloseReapsFleetWorkers|TestSupervisor|TestDedupCrossGroupGCInterleaving|TestCLIFleet' \
 		./internal/core/ ./internal/objstore/ ./cmd/sls/
 
+## quorumcheck: N-replica quorum replication under the race detector —
+## the 500-checkpoint minority-kill chaos runs (seeds 1, 7, 42) with a
+## kill+restart, a partition+heal, and quorum promotion with read-
+## repair; the quorum durability/latency/floor unit tests; the typed
+## quorum error round-trips; the replica-set and compact-delta
+## protocol tests; and the CLI quorum/replicas verbs.
+quorumcheck:
+	$(GO) test -race -count=1 -timeout 20m \
+		-run 'TestQuorum|TestErrQuorumLost|TestStaleGenerationUnderQuorum|TestReplicatedQuorum|TestReclaimerQuorum|TestReplicaSetQuorum|TestCompactDelta|TestCLIQuorum|TestEmitQuorumBench' \
+		./internal/core/ ./internal/netback/ ./internal/bench/ ./cmd/sls/ .
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
 ## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json,
-## BENCH_space.json, and BENCH_fleet.json)
+## BENCH_space.json, BENCH_fleet.json, and BENCH_quorum.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

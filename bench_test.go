@@ -730,3 +730,66 @@ func writePipelineJSON(r *bench.PipelineResult) error {
 }
 
 var _ = vm.PageSize // keep the import for documentation cross-reference
+
+// --- Quorum replication matrix -------------------------------------
+
+// BenchmarkQuorumMatrix sweeps replica count × link-fault rate under
+// majority write quorums, reporting the median durable-ack latency
+// (the W-th fastest replica ack) per cell.
+func BenchmarkQuorumMatrix(b *testing.B) {
+	var last []bench.QuorumPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.QuorumSweep(40, []int{1, 3, 5}, []float64{0, 0.01, 0.05}, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			b.ReportMetric(vus(int64(pt.MedianDurable)),
+				fmt.Sprintf("vus-durable-n%d-r%g", pt.Replicas, pt.Rate*100))
+		}
+	}
+	if err := writeQuorumJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestEmitQuorumBench writes BENCH_quorum.json on every plain
+// `go test` run, so the quorum datapoint exists without -bench.
+func TestEmitQuorumBench(t *testing.T) {
+	pts, err := bench.QuorumSweep(40, []int{1, 3, 5}, []float64{0, 0.01, 0.05}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeQuorumJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeQuorumJSON(pts []bench.QuorumPoint) error {
+	rows := make([]map[string]any, 0, len(pts))
+	for _, pt := range pts {
+		rows = append(rows, map[string]any{
+			"replicas":        pt.Replicas,
+			"write_quorum":    pt.W,
+			"fault_rate":      pt.Rate,
+			"checkpoints":     pt.Checkpoints,
+			"durable_epoch":   pt.Durable,
+			"durable_med_us":  vus(int64(pt.MedianDurable)),
+			"catchup_epochs":  pt.CatchUpEpochs,
+			"pages_sent":      pt.PagesSent,
+			"pages_skipped":   pt.PagesSkipped,
+			"faults_injected": pt.LinkInjected,
+		})
+	}
+	out := map[string]any{
+		"benchmark": "quorum-matrix",
+		"seed":      42,
+		"points":    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_quorum.json", append(data, '\n'), 0o644)
+}

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strconv"
@@ -55,6 +56,7 @@ import (
 	"aurora/internal/apps/redis"
 	"aurora/internal/core"
 	"aurora/internal/kernel"
+	"aurora/internal/netback"
 	"aurora/internal/objstore"
 	"aurora/internal/storage"
 	"aurora/internal/vm"
@@ -70,6 +72,7 @@ type session struct {
 	mem   *core.MemoryBackend
 
 	backends map[string]core.Backend
+	rsets    map[uint64]*netback.ReplicaSet // per-group loopback replica sets
 	out      *bufio.Writer
 	code     int // process exit code; restore outcomes set 3/4/5
 }
@@ -87,6 +90,7 @@ func newSession(out *bufio.Writer) *session {
 		objs:     objs,
 		mem:      core.NewMemoryBackend(k.Mem, 8),
 		backends: make(map[string]core.Backend),
+		rsets:    make(map[uint64]*netback.ReplicaSet),
 		out:      out,
 	}
 	s.backends["memory"] = s.mem
@@ -218,6 +222,64 @@ func healthColumn(g *core.Group) string {
 	return strings.Join(parts, ",")
 }
 
+// quorumColumn renders a group's write-quorum status for ps: "-"
+// without a policy, else "a/W:N" — a of the N non-ephemeral backends
+// currently ack-complete against a write quorum of W.
+func quorumColumn(g *core.Group) string {
+	w, acked, n := g.QuorumStatus()
+	if w == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d:%d", acked, w, n)
+}
+
+// replicaSet returns (creating on demand) the group's loopback
+// replica set.
+func (s *session) replicaSet(g *core.Group) *netback.ReplicaSet {
+	rs, ok := s.rsets[g.ID]
+	if !ok {
+		rs = netback.NewReplicaSet(0)
+		s.rsets[g.ID] = rs
+	}
+	return rs
+}
+
+// addReplica wires a named loopback replica link to the group: a
+// standby receiver on its own memory, served over an in-process pipe,
+// with the acknowledged replica backend attached to the group. History
+// already durable on an attached store is backfilled so the new member
+// joins current (and its acked floor is contiguous from epoch 1).
+func (s *session) addReplica(g *core.Group, name string) (int, error) {
+	recv := netback.NewReceiver(vm.NewPhysMem(0), storage.NewClock())
+	rb := netback.NewReplicaBackend(s.clock)
+	local, remote := net.Pipe()
+	go recv.ServeReplica(remote)
+	if _, err := rb.Connect(local, g.ID); err != nil {
+		return 0, err
+	}
+	backfilled := 0
+	for _, b := range g.Backends() {
+		sb, ok := b.(*core.StoreBackend)
+		if !ok {
+			continue
+		}
+		for _, ep := range sb.Epochs(g.ID) {
+			img, _, err := sb.Load(g.ID, ep)
+			if err != nil {
+				continue
+			}
+			if _, err := rb.Flush(img); err != nil {
+				return backfilled, err
+			}
+			backfilled++
+		}
+		break
+	}
+	s.replicaSet(g).Add(name, rb, recv)
+	s.o.Attach(g, rb)
+	return backfilled, nil
+}
+
 // useColumn renders a group's worst store-backend space usage for ps:
 // the highest used fraction across attached bounded store backends, or
 // "-" when every attached store is unbounded (capacity unknown).
@@ -342,6 +404,78 @@ func (s *session) exec(line string) bool {
 		}
 		s.printf("detached %s\n", name)
 
+	case "replica":
+		if len(args) < 2 {
+			s.printf("usage: replica <group> <name>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		backfilled, err := s.addReplica(g, args[1])
+		if err != nil {
+			return fail(err)
+		}
+		s.printf("replica %s linked to group %d (%d in set, %d epochs backfilled)\n",
+			args[1], g.ID, len(s.replicaSet(g).Links()), backfilled)
+
+	case "quorum":
+		if len(args) < 2 {
+			s.printf("usage: quorum <group> <W>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		w, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		s.replicaSet(g).SetW(w)
+		g.SetQuorum(core.QuorumPolicy{W: w})
+		if w <= 0 {
+			s.printf("group %d back on all-backends durability\n", g.ID)
+		} else {
+			_, _, n := g.QuorumStatus()
+			s.printf("group %d write quorum %d of %d non-ephemeral backends\n", g.ID, w, n)
+		}
+
+	case "replicas":
+		if len(args) < 1 {
+			s.printf("usage: replicas <group>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		rs := s.replicaSet(g)
+		links := rs.Links()
+		if len(links) == 0 {
+			s.printf("group %d has no replica links\n", g.ID)
+			return true
+		}
+		health := map[string]core.BackendHealthInfo{}
+		for _, info := range g.Health() {
+			health[info.Name] = info
+		}
+		s.printf("%-14s %-10s %-8s %-8s %-11s %s\n", "REPLICA", "STATE", "ACKED", "PENDING", "PARTITIONS", "CONTIG")
+		for _, l := range links {
+			state, pending := "?", 0
+			if info, ok := health[l.Name]; ok {
+				state = info.State.String()
+				pending = info.Pending
+			}
+			contig := "-"
+			if l.Recv != nil {
+				contig = strconv.FormatUint(l.Recv.ContiguousEpoch(g.ID), 10)
+			}
+			s.printf("%-14s %-10s %-8d %-8d %-11d %s\n", l.Name, state, l.RB.AckedFloor(g.ID), pending, l.RB.Partitions(), contig)
+		}
+		s.printf("quorum floor %d (W=%d of %d links)\n", rs.QuorumFloor(g.ID), rs.W(), len(links))
+
 	case "checkpoint":
 		if len(args) < 1 {
 			s.printf("usage: checkpoint <group> [name]\n")
@@ -424,9 +558,9 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-4s %-14s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "DURABLE", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
+		s.printf("%-6s %-6s %-4s %-14s %-8s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "DURABLE", "QUORUM", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-4d %-14s %-8d %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, g.Durable(), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
+			s.printf("%-6d %-6d %-4d %-14s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
@@ -694,10 +828,19 @@ const helpText = `Aurora single level store (Table 1):
                              backend; refused while the current primary is
                              healthy. exit codes: 0 promoted, 6 primary still
                              healthy, 7 fenced by a newer generation
+  replica <group> <name>     link a named loopback replica (acknowledged
+                             epoch shipping to an in-process standby)
+  quorum <group> <W>         set the group's write quorum: epochs retire
+                             once W non-ephemeral backends ack (0 restores
+                             all-backends durability)
+  replicas <group>           show each replica link's acked floor, pending
+                             catch-up, partitions, and the quorum floor
   ps                         list applications in Aurora (GEN = store
-                             generation / fencing token, QUEUE = epochs in
-                             flight, HEALTH = per-backend flush health,
-                             QUAR = epochs that failed restore validation)
+                             generation / fencing token, QUORUM = backends
+                             ack-complete / write quorum : total, QUEUE =
+                             epochs in flight, HEALTH = per-backend flush
+                             health, QUAR = epochs that failed restore
+                             validation)
   epochs <group> [backend]   list a group's store epochs with durability and
                              quarantine status, plus per-backend link history
                              (partitions seen, epochs caught up after heals)

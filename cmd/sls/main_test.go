@@ -442,3 +442,41 @@ func TestCLIHealthColumn(t *testing.T) {
 		t.Fatalf("backendless group health:\n%s", got2)
 	}
 }
+
+func TestCLIQuorumAndReplicas(t *testing.T) {
+	got := runScript(t,
+		"boot counter; run 8; persist 1 app; attach app nvme; "+
+			"replica app r0; replica app r1; replica app r2; quorum app 2; "+
+			"run 4; checkpoint app; sync app; ps; replicas app")
+	for _, want := range []string{
+		"replica r0 linked to group 1 (1 in set, 0 epochs backfilled)",
+		"replica r2 linked to group 1 (3 in set, 0 epochs backfilled)",
+		"group 1 write quorum 2 of 4 non-ephemeral backends",
+		"QUORUM",
+		"4/2:4", // all four non-ephemeral backends ack-complete, W=2
+		"REPLICA",
+		"r1             healthy    1",
+		"quorum floor 1 (W=2 of 3 links)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Clearing the quorum restores the legacy "-" column.
+	got = runScript(t,
+		"boot counter; run 8; persist 1 app; attach app nvme; quorum app 0; ps; replicas app")
+	if !strings.Contains(got, "group 1 back on all-backends durability") {
+		t.Fatalf("quorum 0 not acknowledged:\n%s", got)
+	}
+	if !strings.Contains(got, "group 1 has no replica links") {
+		t.Fatalf("replicas without links not reported:\n%s", got)
+	}
+
+	got = runScript(t, "replica; quorum; replicas")
+	for _, want := range []string{"usage: replica", "usage: quorum", "usage: replicas"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("usage line missing %q:\n%s", want, got)
+		}
+	}
+}

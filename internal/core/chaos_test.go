@@ -81,3 +81,64 @@ func runChaos(t *testing.T, seed int64) {
 func TestChaosSeed1(t *testing.T)  { runChaos(t, 1) }
 func TestChaosSeed7(t *testing.T)  { runChaos(t, 7) }
 func TestChaosSeed42(t *testing.T) { runChaos(t, 42) }
+
+// Quorum chaos: 500 checkpoints on a 3-replica set (write quorum 2
+// over store + links) with one replica killed mid-run and restarted,
+// one replica partitioned and healed, and a deliberately slow last
+// link — under seeded frame drop/dup/reorder/corrupt on every link.
+// The acceptance bar from the quorum-replication PR: durable reaches
+// 500 monotone, the W=2 median durable latency beats the all-backends
+// baseline (quorum hides the slow member), the killed replica catches
+// back up to the contiguous floor, and restores from every member are
+// bit-identical after quorum promotion.
+func runQuorumChaos(t *testing.T, seed int64) {
+	t.Helper()
+	rep, err := bench.QuorumChaosRun(bench.QuorumChaosConfig{
+		Seed:        seed,
+		Replicas:    3,
+		W:           2,
+		Checkpoints: 500,
+		LinkDrop:    0.01,
+		LinkDup:     0.02,
+		LinkReorder: 0.02,
+		LinkCorrupt: 0.005,
+	})
+	if err != nil {
+		t.Fatalf("quorum chaos seed %d: %v", seed, err)
+	}
+	if rep.Durable != 500 {
+		t.Fatalf("seed %d: durable %d, want 500", seed, rep.Durable)
+	}
+	if rep.BaselineMedian <= 0 || rep.MedianDurable > rep.BaselineMedian {
+		t.Fatalf("seed %d: W=2 median durable latency %v exceeds all-backends baseline %v",
+			seed, rep.MedianDurable, rep.BaselineMedian)
+	}
+	if rep.Kills != 1 || rep.Heals < 2 {
+		t.Fatalf("seed %d: kills=%d heals=%d, want 1 kill and >= 2 heals", seed, rep.Kills, rep.Heals)
+	}
+	if rep.CatchUpEpochs == 0 {
+		t.Fatalf("seed %d: restarted replica replayed no catch-up epochs", seed)
+	}
+	if rep.LinkDropped == 0 || rep.LinkInjected == 0 {
+		t.Fatalf("seed %d: link faults not exercised (dropped=%d injected=%d)", seed, rep.LinkDropped, rep.LinkInjected)
+	}
+	if rep.PagesSkipped == 0 {
+		t.Fatalf("seed %d: compact deltas never skipped a page by content hash", seed)
+	}
+	if rep.PromoteGen < 2 || rep.Repaired == 0 {
+		t.Fatalf("seed %d: promotion gen=%d repaired=%d, want gen >= 2 and read-repair", seed, rep.PromoteGen, rep.Repaired)
+	}
+	if rep.RestoresVerified < 3 {
+		t.Fatalf("seed %d: only %d bit-identical restores verified, want >= 3", seed, rep.RestoresVerified)
+	}
+	if rep.Released+1 < rep.Durable {
+		t.Fatalf("seed %d: released watermark %d lags durable %d", seed, rep.Released, rep.Durable)
+	}
+	t.Logf("seed %d: durable %d, median %v vs baseline %v, catch-up %d epochs, pages sent/skipped %d/%d, gen %d, repaired %d, restores %d",
+		seed, rep.Durable, rep.MedianDurable, rep.BaselineMedian, rep.CatchUpEpochs,
+		rep.PagesSent, rep.PagesSkipped, rep.PromoteGen, rep.Repaired, rep.RestoresVerified)
+}
+
+func TestQuorumChaosSeed1(t *testing.T)  { runQuorumChaos(t, 1) }
+func TestQuorumChaosSeed7(t *testing.T)  { runQuorumChaos(t, 7) }
+func TestQuorumChaosSeed42(t *testing.T) { runQuorumChaos(t, 42) }

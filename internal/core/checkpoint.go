@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -307,7 +308,9 @@ func (o *Orchestrator) flushImageOn(g *Group, img *Image, background bool, base 
 	var firstErr error
 	keepFrames := false
 	haveNonEph, okNonEph, okAny := false, false, false
-	deferred := 0
+	nonEph, deferred := 0, 0
+	var okDurs []time.Duration // non-ephemeral success latencies
+	var ephWorst time.Duration // slowest ephemeral/cache flush
 	for i, b := range backends {
 		out := outs[i]
 		if out.dur > worst {
@@ -315,8 +318,12 @@ func (o *Orchestrator) flushImageOn(g *Group, img *Image, background bool, base 
 		}
 		if b.Ephemeral() {
 			keepFrames = true
+			if out.err == nil && out.dur > ephWorst {
+				ephWorst = out.dur
+			}
 		} else {
 			haveNonEph = true
+			nonEph++
 		}
 		if out.deferred {
 			deferred++
@@ -324,13 +331,34 @@ func (o *Orchestrator) flushImageOn(g *Group, img *Image, background bool, base 
 			okAny = true
 			if !b.Ephemeral() {
 				okNonEph = true
+				okDurs = append(okDurs, out.dur)
 			}
 		}
 		if out.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: flushing to %s: %w", b.Name(), out.err)
 		}
 	}
-	if len(backends) > 0 && !okNonEph && !(okAny && !haveNonEph) {
+	if w := g.quorumW(); w > 0 && haveNonEph {
+		// Quorum durability: the epoch retires once W non-ephemeral
+		// backends acked it; stragglers catch up through their pending
+		// queues. The modeled latency is the W-th fastest ack — a slow
+		// minority no longer sets the pace — floored by any ephemeral
+		// cache flush (those always complete before the barrier lifts).
+		need := quorumNeed(w, nonEph)
+		if len(okDurs) < need {
+			err := fmt.Errorf("core: epoch %d of group %d: %d of %d non-ephemeral acks (need %d): %w",
+				img.Epoch, g.ID, len(okDurs), nonEph, need, ErrQuorumLost)
+			if firstErr != nil {
+				err = fmt.Errorf("%w: %w", err, firstErr)
+			}
+			return 0, err
+		}
+		sort.Slice(okDurs, func(i, j int) bool { return okDurs[i] < okDurs[j] })
+		worst = okDurs[need-1]
+		if ephWorst > worst {
+			worst = ephWorst
+		}
+	} else if len(backends) > 0 && !okNonEph && !(okAny && !haveNonEph) {
 		// No durable backend holds the epoch: it must not retire.
 		if firstErr == nil {
 			firstErr = fmt.Errorf("core: epoch %d of group %d: %w", img.Epoch, g.ID, ErrBackendDown)

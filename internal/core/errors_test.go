@@ -166,3 +166,85 @@ func TestRestoreFallsBackWhenDurableEpochElsewhere(t *testing.T) {
 		t.Fatalf("explicit restore of a missing epoch = %v, want ErrNoImage", err)
 	}
 }
+
+// TestErrQuorumLostRoundTrip: with a 3-of-3 write quorum and two dead
+// members, the epoch must not retire — the background flush records
+// ErrQuorumLost and Sync surfaces it, still wrapped, alongside the
+// first member failure that caused it.
+func TestErrQuorumLostRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.o.FlushWorkers = 1
+	p := spawnCounter(t, r)
+	g, err := r.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb1, lb2 := &ledgerBackend{}, &ledgerBackend{}
+	injected := errors.New("backplane gone")
+	lb1.setErr(injected)
+	lb2.setErr(injected)
+	r.o.Attach(g, r.store)
+	r.o.Attach(g, lb1)
+	r.o.Attach(g, lb2)
+	g.SetQuorum(QuorumPolicy{W: 3})
+
+	r.k.Run(2)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	err = r.o.Sync(g)
+	if !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("Sync = %v, want ErrQuorumLost wrap", err)
+	}
+	if !errors.Is(err, injected) {
+		t.Fatalf("Sync = %v, want the member failure preserved in the wrap", err)
+	}
+	if g.Durable() != 0 {
+		t.Fatalf("durable = %d after a lost quorum, want 0", g.Durable())
+	}
+
+	// Quorum restored: the same epoch retires on the next Sync.
+	lb1.setErr(nil)
+	lb2.setErr(nil)
+	if err := r.o.Sync(g); err != nil {
+		t.Fatalf("Sync after quorum restored: %v", err)
+	}
+	if g.Durable() != 1 {
+		t.Fatalf("durable = %d after quorum restored, want 1", g.Durable())
+	}
+}
+
+// TestStaleGenerationUnderQuorumRoundTrip: a fenced member that makes
+// the write quorum unreachable surfaces BOTH sentinels through one
+// wrap chain — ErrQuorumLost (the epoch cannot retire) and
+// ErrStaleGeneration with its *FenceError detail (why: this primary
+// was superseded).
+func TestStaleGenerationUnderQuorumRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.o.FlushWorkers = 1
+	p := spawnCounter(t, r)
+	g, err := r.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenced := &latencyBackend{err: &FenceError{Gen: 7, Err: ErrStaleGeneration}}
+	r.o.Attach(g, r.store)
+	r.o.Attach(g, fenced)
+	g.SetQuorum(QuorumPolicy{W: 2})
+
+	r.k.Run(2)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	err = r.o.Sync(g)
+	if !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("Sync = %v, want ErrQuorumLost wrap", err)
+	}
+	if !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("Sync = %v, want ErrStaleGeneration preserved through the quorum wrap", err)
+	}
+	var fe *FenceError
+	if !errors.As(err, &fe) || fe.Gen != 7 {
+		t.Fatalf("Sync = %v, want *FenceError{Gen: 7} recoverable with errors.As", err)
+	}
+}

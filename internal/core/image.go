@@ -7,6 +7,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync"
 
@@ -451,6 +452,153 @@ func DecodeDelta(payload []byte, pm *vm.PhysMem) (*Image, error) {
 		return nil, err
 	}
 	return img, nil
+}
+
+// Compact-delta page tags: a page entry in a compact delta carries
+// either the literal bytes or just the content hash of bytes the
+// receiver is believed to already hold (the dedup idea applied to the
+// wire — "send log records instead of disk pages").
+const (
+	deltaPageLiteral byte = 0 // payload is the page bytes
+	deltaPageRef     byte = 1 // payload is the 32-byte content hash
+)
+
+// PageContentHash is the content hash compact deltas and the dedup
+// index key pages by.
+func PageContentHash(data []byte) objstore.Hash {
+	return sha256.Sum256(data)
+}
+
+// EncodeDeltaCompact serializes one replication delta like EncodeDelta
+// but replaces every page whose content hash `skip` claims the
+// receiver holds with a 34-byte hash reference. It returns the
+// payload, the content hash of every page in the image (in encoding
+// order — the sender caches these as receiver-held once the epoch is
+// acked), and how many pages were elided. The claim is an
+// optimization, never a correctness input: a receiver missing a
+// referenced block answers with a resend request for the full delta.
+func (img *Image) EncodeDeltaCompact(skip func(objstore.Hash) bool) (payload []byte, hashes []objstore.Hash, skipped int) {
+	e := codec.NewEncoder()
+	e.U64(img.Group)
+	e.U64(img.Epoch)
+	e.U64(img.Gen)
+	e.Str(img.Name)
+	e.Bool(img.Full)
+	e.U64(uint64(len(img.Meta)))
+	for _, m := range img.Meta {
+		e.U64(m.OID)
+		e.U64(uint64(m.Kind))
+		e.Bytes2(m.Data)
+	}
+	encPage := func(idx int64, data []byte) {
+		e.I64(idx)
+		h := PageContentHash(data)
+		hashes = append(hashes, h)
+		if skip != nil && skip(h) {
+			e.Bool(true) // deltaPageRef
+			e.Bytes2(h[:])
+			skipped++
+			return
+		}
+		e.Bool(false) // deltaPageLiteral
+		e.Bytes2(data)
+	}
+	e.U64(uint64(len(img.Memory)))
+	for id, mi := range img.Memory {
+		e.U64(id)
+		e.Str(mi.Name)
+		e.I64(mi.Size)
+		e.U64(uint64(mi.PageCount()))
+		for idx, f := range mi.Pages {
+			encPage(idx, f.Data)
+		}
+		for idx, d := range mi.SwapData {
+			encPage(idx, d)
+		}
+		e.U64(uint64(len(mi.Heat)))
+		for idx, h := range mi.Heat {
+			e.I64(idx)
+			e.U32(h)
+		}
+	}
+	e.U64Slice(img.Roots)
+	return e.Bytes(), hashes, skipped
+}
+
+// DecodeDeltaCompact parses one compact replication delta, resolving
+// hash references through `resolve` (the receiver's materialized block
+// index, typically backed by its chains and local object store). Refs
+// that fail to resolve are collected in missing; when missing is
+// non-empty the image is incomplete — the caller must Release it and
+// request a full resend — but Group/Epoch are valid for addressing the
+// request.
+func DecodeDeltaCompact(payload []byte, pm *vm.PhysMem, resolve func(objstore.Hash) ([]byte, bool)) (img *Image, missing []objstore.Hash, err error) {
+	d := codec.NewDecoder(payload)
+	img = &Image{
+		Group:  d.U64(),
+		Epoch:  d.U64(),
+		Gen:    d.U64(),
+		Name:   d.Str(),
+		Full:   d.Bool(),
+		Memory: make(map[uint64]*MemImage),
+	}
+	nMeta := d.U64()
+	for i := uint64(0); i < nMeta && d.Err() == nil; i++ {
+		img.Meta = append(img.Meta, MetaRec{OID: d.U64(), Kind: kernel.Kind(d.U64()), Data: d.Bytes2()})
+	}
+	nObjs := d.U64()
+	for i := uint64(0); i < nObjs && d.Err() == nil; i++ {
+		mi := &MemImage{ObjID: d.U64(), Name: d.Str(), Size: d.I64(), Pages: make(map[int64]*vm.Frame)}
+		nPages := d.U64()
+		for j := uint64(0); j < nPages && d.Err() == nil; j++ {
+			idx := d.I64()
+			var data []byte
+			if d.Bool() { // deltaPageRef
+				raw := d.Bytes2()
+				if d.Err() != nil {
+					break
+				}
+				if len(raw) != len(objstore.Hash{}) {
+					img.Release(pm)
+					return nil, nil, fmt.Errorf("core: compact delta: bad hash ref length %d", len(raw))
+				}
+				var h objstore.Hash
+				copy(h[:], raw)
+				var ok bool
+				if resolve != nil {
+					data, ok = resolve(h)
+				}
+				if !ok {
+					missing = append(missing, h)
+					continue
+				}
+			} else {
+				data = d.Bytes2()
+			}
+			f, err := pm.Alloc()
+			if err != nil {
+				img.Release(pm)
+				return nil, nil, err
+			}
+			copy(f.Data, data)
+			mi.Pages[idx] = f
+		}
+		nHeat := d.U64()
+		if nHeat > 0 {
+			mi.Heat = make(map[int64]uint32, nHeat)
+		}
+		for j := uint64(0); j < nHeat && d.Err() == nil; j++ {
+			idx := d.I64()
+			mi.Heat[idx] = d.U32()
+		}
+		img.Memory[mi.ObjID] = mi
+	}
+	img.Roots = d.U64Slice()
+	if err := d.Finish("compact image delta"); err != nil {
+		img.Release(pm)
+		return nil, nil, err
+	}
+	return img, missing, nil
 }
 
 // String summarizes the image.

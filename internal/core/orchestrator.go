@@ -71,6 +71,10 @@ type Group struct {
 	// Space reclamation must never drop it while this group lives.
 	originEpoch uint64
 
+	// quorum is the group's write-quorum policy (see quorum.go). The
+	// zero value keeps legacy all-backends durability.
+	quorum QuorumPolicy
+
 	// Admission-control counters (guarded by mu): checkpoints shed
 	// under space pressure, sheds at the emergency watermark, and the
 	// current shed streak (reset by every admitted barrier so the
@@ -215,34 +219,51 @@ func (g *Group) markFenced(gen, floor uint64) {
 	}
 }
 
-// Replicated returns the group's replication frontier: the newest
-// epoch that is actually present on every non-ephemeral backend. It
-// equals Durable() while all backends are caught up, and is capped
-// below the oldest epoch still owed to a sick or partitioned backend
-// — degraded-mode durability keeps Durable() advancing on the healthy
-// peer, but output gated on replication must wait for the catch-up
-// queue to drain.
+// Replicated returns the group's replication frontier. Without a
+// quorum policy it is the newest epoch actually present on every
+// non-ephemeral backend: it equals Durable() while all backends are
+// caught up, and is capped below the oldest epoch still owed to a sick
+// or partitioned backend — degraded-mode durability keeps Durable()
+// advancing on the healthy peer, but output gated on replication must
+// wait for the catch-up queue to drain. Under a QuorumPolicy it is the
+// newest epoch held by at least W non-ephemeral backends: a lagging
+// minority no longer gates external output, because any future
+// promotion elects from a surviving quorum that holds the epoch.
 func (g *Group) Replicated() uint64 {
 	g.mu.Lock()
 	rep := g.durable
+	w := g.quorum.W
 	backends := make([]Backend, len(g.backends))
 	copy(backends, g.backends)
 	g.mu.Unlock()
 	g.healthMu.Lock()
 	defer g.healthMu.Unlock()
+	var floors []uint64
 	for _, b := range backends {
 		if b.Ephemeral() {
 			continue
 		}
-		h := g.health[b]
-		if h == nil || len(h.pending) == 0 {
-			continue
+		floor := rep
+		if h := g.health[b]; h != nil && len(h.pending) > 0 {
+			if f := h.pending[0].Epoch - 1; f < floor {
+				floor = f
+			}
 		}
-		if floor := h.pending[0].Epoch - 1; floor < rep {
-			rep = floor
-		}
+		floors = append(floors, floor)
 	}
-	return rep
+	if len(floors) == 0 {
+		return rep
+	}
+	if w <= 0 {
+		// Legacy: every backend must hold the epoch.
+		for _, f := range floors {
+			if f < rep {
+				rep = f
+			}
+		}
+		return rep
+	}
+	return quorumFloor(floors, quorumNeed(w, len(floors)))
 }
 
 // Orchestrator is the SLS orchestrator: it owns persistence groups,

@@ -83,6 +83,17 @@ type ReplicaSource interface {
 	AdoptFence(group, gen uint64)
 }
 
+// ReplicaRepairTarget is an optional interface of ReplicaSource:
+// replicas that accept read-repair adopt images they missed (a
+// minority that lost epochs to a kill or partition is backfilled from
+// the elected member after a quorum promotion). netback.Receiver
+// implements it.
+type ReplicaRepairTarget interface {
+	// AdoptImage links an image into the replica's chain as if it had
+	// been shipped over the wire.
+	AdoptImage(img *Image)
+}
+
 // PromoteReport summarizes a promotion.
 type PromoteReport struct {
 	Group       *Group        // the promoted group (nil for PromoteBackend's in-place role move)
@@ -90,6 +101,8 @@ type PromoteReport struct {
 	Floor       uint64        // the contiguous floor that became the durable line
 	Quarantined []uint64      // divergent epochs beyond the floor
 	Backfilled  int           // epochs copied into the new primary store
+	Elected     int           // index of the elected replica (PromoteQuorum)
+	Repaired    int           // epochs read-repaired onto lagging minority replicas
 	TTR         time.Duration // modeled time to recovery (virtual clock)
 }
 
@@ -102,6 +115,14 @@ type PromoteReport struct {
 // superblock — and the floor image is restored as a new group that
 // resumes execution at the promoted generation.
 func (o *Orchestrator) Promote(src ReplicaSource, lineage uint64, primary *StoreBackend, opts RestoreOpts) (*PromoteReport, error) {
+	return o.promoteFrom(src, lineage, primary, opts, src.FenceGen(lineage)+1)
+}
+
+// promoteFrom is Promote with the new generation chosen by the caller:
+// a quorum election mints it above the highest fence witnessed by ANY
+// member, not just the elected one, so a fence adopted only by a
+// minority still cannot outrank the promoted line.
+func (o *Orchestrator) promoteFrom(src ReplicaSource, lineage uint64, primary *StoreBackend, opts RestoreOpts, newGen uint64) (*PromoteReport, error) {
 	clock := o.K.Clock
 	start := clock.Now()
 
@@ -109,7 +130,6 @@ func (o *Orchestrator) Promote(src ReplicaSource, lineage uint64, primary *Store
 	if floor == 0 {
 		return nil, fmt.Errorf("core: promoting lineage %d: replica holds no contiguous epoch: %w", lineage, ErrNoImage)
 	}
-	newGen := src.FenceGen(lineage) + 1
 	epochs := src.ReplicaEpochs(lineage)
 
 	// Backfill the contiguous history into the new primary store in
@@ -177,6 +197,65 @@ func (o *Orchestrator) Promote(src ReplicaSource, lineage uint64, primary *Store
 		Backfilled:  backfilled,
 		TTR:         clock.Now() - start,
 	}, nil
+}
+
+// PromoteQuorum promotes from a replica set: the member with the
+// highest contiguous acked floor is elected (ties break to the lowest
+// index — election is deterministic), the new generation is minted
+// above the highest fence any member has witnessed, every member
+// adopts the fence (so the stale primary is rejected no matter which
+// replica it reaches), and lagging members are read-repaired: every
+// epoch at or below the promotion floor the elected member holds and
+// they lack is backfilled into their chains, making a post-promotion
+// restore from any member bit-identical.
+func (o *Orchestrator) PromoteQuorum(srcs []ReplicaSource, lineage uint64, primary *StoreBackend, opts RestoreOpts) (*PromoteReport, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("core: promoting lineage %d: empty replica set: %w", lineage, ErrNoImage)
+	}
+	elected := 0
+	for i, s := range srcs {
+		if s.ContiguousEpoch(lineage) > srcs[elected].ContiguousEpoch(lineage) {
+			elected = i
+		}
+	}
+	var newGen uint64
+	for _, s := range srcs {
+		if fg := s.FenceGen(lineage); fg > newGen {
+			newGen = fg
+		}
+	}
+	newGen++
+	rep, err := o.promoteFrom(srcs[elected], lineage, primary, opts, newGen)
+	if err != nil {
+		return nil, err
+	}
+	rep.Elected = elected
+	for i, s := range srcs {
+		if i == elected {
+			continue
+		}
+		s.AdoptFence(lineage, newGen)
+		rt, ok := s.(ReplicaRepairTarget)
+		if !ok {
+			continue
+		}
+		have := make(map[uint64]bool)
+		for _, ep := range s.ReplicaEpochs(lineage) {
+			have[ep] = true
+		}
+		for _, ep := range srcs[elected].ReplicaEpochs(lineage) {
+			if ep > rep.Floor || have[ep] {
+				continue
+			}
+			img, err := srcs[elected].ImageAt(lineage, ep)
+			if err != nil {
+				return rep, fmt.Errorf("core: promoting lineage %d: read-repair epoch %d: %w", lineage, ep, err)
+			}
+			rt.AdoptImage(img)
+			rep.Repaired++
+		}
+	}
+	return rep, nil
 }
 
 // PromoteBackend moves the primary role to another attached store

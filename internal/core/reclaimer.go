@@ -401,12 +401,25 @@ func (r *Reclaimer) protectionFor(view *objstore.Store) *protection {
 		gid := g.ID
 		// (1) the live group's own frontier.
 		p.lowerFloor(gid, g.Replicated())
+		// (5) what replicas have contiguously caught up to. Under a
+		// quorum policy the floor is the W-th highest replica frontier,
+		// not the minimum: a permanently-down minority must not pin
+		// retention GC forever, because promotion elects from a
+		// surviving quorum and the minority's missing epochs replay
+		// from its in-memory catch-up queue, not from the store.
+		var cuFloors []uint64
 		for _, b := range g.Backends() {
-			// (5) what a replica has contiguously caught up to.
 			if cf, ok := b.(CatchUpFloorer); ok {
 				if f := cf.CatchUpFloor(gid); f > 0 {
-					p.lowerFloor(gid, f)
+					cuFloors = append(cuFloors, f)
 				}
+			}
+		}
+		if w := g.quorumW(); w > 0 && len(cuFloors) > 0 {
+			p.lowerFloor(gid, quorumFloor(cuFloors, quorumNeed(w, len(cuFloors))))
+		} else {
+			for _, f := range cuFloors {
+				p.lowerFloor(gid, f)
 			}
 		}
 		// (3) the chain this group was restored from.

@@ -292,7 +292,7 @@ func TestDuplicatedAcksScriptedPeer(t *testing.T) {
 			// Two deltas, each acked twice.
 			for ep := uint64(1); ep <= 2; ep++ {
 				typ, _, err := readFrame(peer)
-				if err != nil || typ != frameDelta {
+				if err != nil || typ != frameDeltaC {
 					return err
 				}
 				var ack [16]byte

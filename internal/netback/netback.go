@@ -199,6 +199,13 @@ type Receiver struct {
 	// new images arrived since the last build.
 	blockIdx   map[objstore.Hash][]byte
 	blockStale bool
+
+	// blockSrcs are extra block providers compact-delta materialization
+	// may resolve hash refs from (typically the standby machine's own
+	// object store); needsSent counts need replies sent for refs no
+	// source could resolve.
+	blockSrcs []objstore.BlockSource
+	needsSent int64
 }
 
 // NewReceiver creates a receiver allocating frames from pm.
@@ -302,6 +309,48 @@ func (r *Receiver) FetchBlock(h objstore.Hash) ([]byte, bool) {
 		return nil, false
 	}
 	return append([]byte(nil), d...), true
+}
+
+// AttachBlockSource registers an extra block provider (the standby's
+// own object store) that compact-delta materialization consults when a
+// hash ref is not covered by the receiver's held images.
+func (r *Receiver) AttachBlockSource(src objstore.BlockSource) {
+	r.mu.Lock()
+	r.blockSrcs = append(r.blockSrcs, src)
+	r.mu.Unlock()
+}
+
+// NeedsSent reports how many need replies (resend requests for compact
+// deltas with unresolvable hash refs) this receiver has issued.
+func (r *Receiver) NeedsSent() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.needsSent
+}
+
+// resolveBlock materializes a compact-delta hash ref: first from the
+// receiver's own chains (FetchBlock), then from any attached block
+// source.
+func (r *Receiver) resolveBlock(h objstore.Hash) ([]byte, bool) {
+	if d, ok := r.FetchBlock(h); ok {
+		return d, true
+	}
+	r.mu.Lock()
+	srcs := append([]objstore.BlockSource(nil), r.blockSrcs...)
+	r.mu.Unlock()
+	for _, s := range srcs {
+		if d, ok := s.FetchBlock(h); ok {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// AdoptImage implements core.ReplicaRepairTarget: read-repair after a
+// quorum promotion links an image this replica missed straight into
+// its chain, as if it had arrived over the wire.
+func (r *Receiver) AdoptImage(img *core.Image) {
+	r.link(img)
 }
 
 // link merges an incremental delta into its group's chain. A pipelined

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aurora/internal/core"
+	"aurora/internal/objstore"
 	"aurora/internal/storage"
 )
 
@@ -26,6 +27,8 @@ const (
 	frameHello                    // sender -> receiver: [group u64]
 	frameHelloAck                 // receiver -> sender: [group u64][last contiguous epoch u64]
 	frameFenced                   // receiver -> sender: [group u64][fence gen u64][floor epoch u64]
+	frameDeltaC                   // sender -> receiver: compact delta (hash refs for pages the receiver holds)
+	frameNeed                     // receiver -> sender: [group u64][epoch u64] — refs missing, resend full
 )
 
 // ErrDisconnected is wrapped into replica flush errors once the
@@ -104,6 +107,39 @@ func (r *Receiver) ServeReplica(conn io.ReadWriter) (int, error) {
 			if err := writeAck(conn, img.Group, img.Epoch); err != nil {
 				return applied, err
 			}
+		case frameDeltaC:
+			img, missing, err := core.DecodeDeltaCompact(payload, r.pm, r.resolveBlock)
+			if err != nil {
+				return applied, err
+			}
+			if len(missing) > 0 {
+				// The sender's receiver-holds cache was wrong (e.g. this
+				// replica restarted empty). Ask for the full delta; the
+				// sender prunes its cache and resends literals.
+				group, epoch := img.Group, img.Epoch
+				img.Release(r.pm)
+				r.mu.Lock()
+				r.needsSent++
+				r.mu.Unlock()
+				var p [16]byte
+				binary.LittleEndian.PutUint64(p[:8], group)
+				binary.LittleEndian.PutUint64(p[8:], epoch)
+				if err := writeFrame(conn, frameNeed, p[:]); err != nil {
+					return applied, err
+				}
+				continue
+			}
+			if rejected, err := r.fenceCheck(conn, img); err != nil {
+				return applied, err
+			} else if rejected {
+				img.Release(r.pm)
+				continue
+			}
+			r.link(img)
+			applied++
+			if err := writeAck(conn, img.Group, img.Epoch); err != nil {
+				return applied, err
+			}
 		default:
 			return applied, fmt.Errorf("%w: type %d", ErrBadFrame, typ)
 		}
@@ -167,6 +203,19 @@ type replicaCore struct {
 	sent       int64  // bytes
 	partitions int64  // established connections lost
 	nic        storage.DeviceParams
+	name       string        // link name in a replica set ("" = "replica")
+	extraLat   time.Duration // modeled extra one-way latency for this link
+
+	// known caches content hashes of pages believed held by the
+	// receiver (populated from acked epochs): compact deltas elide
+	// those pages. Purely an optimization — a receiver that lost state
+	// answers with a need frame, which resets the cache. Guarded by mu
+	// (only touched on the send path). needResends / pagesSent /
+	// pagesSkipped are the compact-protocol counters.
+	known       map[objstore.Hash]bool
+	pagesSent   int64
+	pagesSkip   int64
+	needResends int64
 
 	// ackMu guards the live acked-epoch ledger below. It is separate
 	// from mu — which is held across whole send/ack round trips — so
@@ -280,9 +329,25 @@ func (rb *ReplicaBackend) Connect(rw io.ReadWriter, group uint64) (uint64, error
 			return 0, fmt.Errorf("%w: hello ack for group %d, want %d", ErrBadFrame, got, group)
 		}
 		rb.core.conn = rw
-		rb.core.floor = binary.LittleEndian.Uint64(payload[8:])
-		rb.core.noteFloor(group, rb.core.floor)
-		return rb.core.floor, nil
+		floor := binary.LittleEndian.Uint64(payload[8:])
+		rb.core.ackMu.Lock()
+		regressed := floor < rb.core.acked[group]
+		rb.core.ackMu.Unlock()
+		if regressed {
+			// The receiver reports LESS than we recorded acked: it lost
+			// state (killed and restarted empty). The ledger and the
+			// receiver-holds page cache are stale — reset both so
+			// CatchUpFloor tells the truth and compact deltas don't
+			// reference pages the far side no longer has.
+			rb.core.ackMu.Lock()
+			rb.core.acked[group] = 0
+			delete(rb.core.ackedHi, group)
+			rb.core.ackMu.Unlock()
+			rb.core.known = nil
+		}
+		rb.core.floor = floor
+		rb.core.noteFloor(group, floor)
+		return floor, nil
 	}
 }
 
@@ -331,8 +396,51 @@ func (rb *ReplicaBackend) SentBytes() int64 {
 	return rb.core.sent
 }
 
-// Name implements core.Backend.
-func (rb *ReplicaBackend) Name() string { return "replica" }
+// Name implements core.Backend. Links in a replica set are named
+// (SetName) so per-link health rows are tellable apart.
+func (rb *ReplicaBackend) Name() string {
+	rb.core.mu.Lock()
+	defer rb.core.mu.Unlock()
+	if rb.core.name != "" {
+		return rb.core.name
+	}
+	return "replica"
+}
+
+// SetName names this replica link (shared with lane views).
+func (rb *ReplicaBackend) SetName(name string) {
+	rb.core.mu.Lock()
+	rb.core.name = name
+	rb.core.mu.Unlock()
+}
+
+// SetLinkLatency adds a modeled one-way latency to every flush on this
+// link: replica sets are heterogeneous (a cross-AZ member is slower),
+// and quorum durability exists precisely so the slow member does not
+// set the pace.
+func (rb *ReplicaBackend) SetLinkLatency(d time.Duration) {
+	rb.core.mu.Lock()
+	rb.core.extraLat = d
+	rb.core.mu.Unlock()
+}
+
+// AckedFloor reports the receiver's contiguous acked frontier for the
+// group (0 = nothing acked): the live per-link value quorum floors
+// sort.
+func (rb *ReplicaBackend) AckedFloor(group uint64) uint64 {
+	rb.core.ackMu.Lock()
+	defer rb.core.ackMu.Unlock()
+	return rb.core.acked[group]
+}
+
+// DeltaStats reports the compact-protocol counters: pages shipped as
+// literals, pages elided as hash refs, and full resends forced by a
+// need reply (a receiver that lost state).
+func (rb *ReplicaBackend) DeltaStats() (sent, skipped, resends int64) {
+	rb.core.mu.Lock()
+	defer rb.core.mu.Unlock()
+	return rb.core.pagesSent, rb.core.pagesSkip, rb.core.needResends
+}
 
 // Ephemeral implements core.Backend: an acked replica epoch survives
 // the local machine.
@@ -363,8 +471,10 @@ func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
 	if rc.conn == nil {
 		return 0, fmt.Errorf("%w: epoch %d not sent", ErrDisconnected, img.Epoch)
 	}
-	payload := img.EncodeDelta()
-	if err := writeFrame(rc.conn, frameDelta, payload); err != nil {
+	payload, hashes, skipped := img.EncodeDeltaCompact(func(h objstore.Hash) bool { return rc.known[h] })
+	wire := int64(len(payload))
+	resent := false
+	if err := writeFrame(rc.conn, frameDeltaC, payload); err != nil {
 		rc.lost()
 		return 0, fmt.Errorf("%w: sending epoch %d: %w", ErrDisconnected, img.Epoch, err)
 	}
@@ -378,6 +488,24 @@ func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
 		case typ == frameHelloAck && len(ack) == 16:
 			// A duplicated handshake reply; the floor was already set
 			// by Connect, a copy must not be mistaken for an ack.
+			continue
+		case typ == frameNeed && len(ack) == 16:
+			if binary.LittleEndian.Uint64(ack[:8]) != img.Group ||
+				binary.LittleEndian.Uint64(ack[8:]) != img.Epoch {
+				continue // a stale need from an earlier stream
+			}
+			// The receiver is missing pages we elided: our cache is
+			// stale (it restarted empty). Drop the cache and resend the
+			// epoch as a full delta.
+			rc.known = nil
+			rc.needResends++
+			resent = true
+			full := img.EncodeDelta()
+			wire += int64(len(full))
+			if err := writeFrame(rc.conn, frameDelta, full); err != nil {
+				rc.lost()
+				return 0, fmt.Errorf("%w: resending epoch %d: %w", ErrDisconnected, img.Epoch, err)
+			}
 			continue
 		case typ == frameFenced && len(ack) == 24:
 			if group := binary.LittleEndian.Uint64(ack[:8]); group != img.Group {
@@ -409,8 +537,22 @@ func (rb *ReplicaBackend) Flush(img *core.Image) (time.Duration, error) {
 		rc.noteAcked(group, epoch)
 		break
 	}
-	rc.sent += int64(len(payload))
-	cost := rc.nic.Latency + time.Duration(int64(len(payload))*int64(time.Second)/rc.nic.WriteBW)
+	rc.sent += wire
+	if resent {
+		rc.pagesSent += int64(len(hashes))
+	} else {
+		rc.pagesSent += int64(len(hashes) - skipped)
+		rc.pagesSkip += int64(skipped)
+	}
+	// The acked epoch's pages are now provably on the receiver: future
+	// deltas may reference them by hash.
+	if rc.known == nil {
+		rc.known = make(map[objstore.Hash]bool, len(hashes))
+	}
+	for _, h := range hashes {
+		rc.known[h] = true
+	}
+	cost := rc.nic.Latency + rc.extraLat + time.Duration(wire*int64(time.Second)/rc.nic.WriteBW)
 	if rb.clock != nil {
 		rb.clock.Advance(cost)
 	}
