@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck migratecheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
 ## matrix, crash-recovery harness, whole-system chaos sweep, space-
-## pressure survival, fleet scale, quorum replication
+## pressure survival, fleet scale, quorum replication, live migration
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -15,6 +15,7 @@ check:
 	$(MAKE) spacecheck
 	$(MAKE) fleetcheck
 	$(MAKE) quorumcheck
+	$(MAKE) migratecheck
 
 build:
 	$(GO) build ./...
@@ -81,8 +82,23 @@ quorumcheck:
 		-run 'TestQuorum|TestErrQuorumLost|TestStaleGenerationUnderQuorum|TestReplicatedQuorum|TestReclaimerQuorum|TestReplicaSetQuorum|TestCompactDelta|TestCLIQuorum|TestEmitQuorumBench' \
 		./internal/core/ ./internal/netback/ ./internal/bench/ ./cmd/sls/ .
 
+## migratecheck: live migration and hot standby under the race
+## detector — the planned end-to-end migration, every abort phase
+## (target dead in pre-copy, mid-blackout, flaky and dead handover),
+## the retry-after-abort and double-hop lineage runs, standby
+## promotion after source crash, the fault-injected chaos migrations
+## (seeds 1, 7, 42) with a mid-pre-copy partition, the supervisor
+## fence race regressions, the typed migration-error round-trips, the
+## migrate/standby/takeover CLI verbs, and the blackout/TTR
+## regression gate against the committed BENCH_migrate.json baseline.
+migratecheck:
+	$(GO) test -race -count=1 -timeout 20m \
+		-run 'TestMigrate|TestStandby|TestSupervisorRefusesFencedCrashedGroup|TestSupervisorFenceRaceMidRecover|TestSupervisorReleaseAtomicHandover|TestSupervisorRestoresUnfencedCrash|TestMigrationAbortedRoundTrip|TestMigrationErrorIsNotGenericAborted|TestCLIMigrate|TestCLIStandbyTakeover|TestMigrateBenchGate|TestEmitMigrateBench' \
+		./internal/core/ ./cmd/sls/ .
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
 ## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json,
-## BENCH_space.json, BENCH_fleet.json, and BENCH_quorum.json)
+## BENCH_space.json, BENCH_fleet.json, BENCH_quorum.json, and
+## BENCH_migrate.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -793,3 +793,103 @@ func writeQuorumJSON(pts []bench.QuorumPoint) error {
 	}
 	return os.WriteFile("BENCH_quorum.json", append(data, '\n'), 0o644)
 }
+
+// --- Live migration matrix ------------------------------------------
+
+var migrateSeeds = []int64{1, 7, 42}
+var migrateRates = []float64{0, 0.01, 0.05}
+
+// BenchmarkMigrateMatrix sweeps seed × link/store fault rate over the
+// full migration chaos schedule (chained planned hops with a
+// mid-pre-copy partition, plus the unplanned hot-standby promotion),
+// reporting blackout percentiles and TTR per cell.
+func BenchmarkMigrateMatrix(b *testing.B) {
+	var last []bench.MigratePoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.MigrateSweep(migrateSeeds, migrateRates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			b.ReportMetric(pt.BlackoutP99us,
+				fmt.Sprintf("vus-blackout-p99-s%d-r%g", pt.Seed, pt.LinkFaultPct))
+			b.ReportMetric(pt.TTRus,
+				fmt.Sprintf("vus-ttr-s%d-r%g", pt.Seed, pt.LinkFaultPct))
+		}
+	}
+	if err := writeMigrateJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestMigrateBenchGate is the TTR/blackout regression gate: against
+// the committed BENCH_migrate.json baseline, a fresh sweep may not
+// exceed 2× the recorded blackout p99 or TTR in any cell. Skipped when
+// no baseline has been committed yet.
+func TestMigrateBenchGate(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_migrate.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_migrate.json baseline")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		Points []bench.MigratePoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing committed BENCH_migrate.json: %v", err)
+	}
+	if len(baseline.Points) == 0 {
+		t.Skip("committed BENCH_migrate.json has no points")
+	}
+	fresh, err := bench.MigrateSweep(migrateSeeds, migrateRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[string]bench.MigratePoint, len(fresh))
+	for _, pt := range fresh {
+		byCell[fmt.Sprintf("s%d-r%g", pt.Seed, pt.LinkFaultPct)] = pt
+	}
+	for _, base := range baseline.Points {
+		key := fmt.Sprintf("s%d-r%g", base.Seed, base.LinkFaultPct)
+		pt, ok := byCell[key]
+		if !ok {
+			continue // baseline cell no longer in the sweep grid
+		}
+		if base.BlackoutP99us > 0 && pt.BlackoutP99us > 2*base.BlackoutP99us {
+			t.Errorf("cell %s: blackout p99 %.1fµs exceeds 2× committed baseline %.1fµs",
+				key, pt.BlackoutP99us, base.BlackoutP99us)
+		}
+		if base.TTRus > 0 && pt.TTRus > 2*base.TTRus {
+			t.Errorf("cell %s: TTR %.1fµs exceeds 2× committed baseline %.1fµs",
+				key, pt.TTRus, base.TTRus)
+		}
+	}
+}
+
+// TestEmitMigrateBench writes BENCH_migrate.json on every plain
+// `go test` run, so the migration datapoint exists without -bench.
+func TestEmitMigrateBench(t *testing.T) {
+	pts, err := bench.MigrateSweep(migrateSeeds, migrateRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMigrateJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeMigrateJSON(pts []bench.MigratePoint) error {
+	out := map[string]any{
+		"benchmark": "migrate-matrix",
+		"seeds":     migrateSeeds,
+		"points":    pts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_migrate.json", append(data, '\n'), 0o644)
+}

@@ -73,6 +73,7 @@ type session struct {
 
 	backends map[string]core.Backend
 	rsets    map[uint64]*netback.ReplicaSet // per-group loopback replica sets
+	migs     map[uint64]*core.Migrator      // warm standby migrators per group
 	out      *bufio.Writer
 	code     int // process exit code; restore outcomes set 3/4/5
 }
@@ -91,6 +92,7 @@ func newSession(out *bufio.Writer) *session {
 		mem:      core.NewMemoryBackend(k.Mem, 8),
 		backends: make(map[string]core.Backend),
 		rsets:    make(map[uint64]*netback.ReplicaSet),
+		migs:     make(map[uint64]*core.Migrator),
 		out:      out,
 	}
 	s.backends["memory"] = s.mem
@@ -186,6 +188,67 @@ func promoteExitCode(err error) int {
 	default:
 		return 1
 	}
+}
+
+// migrateExitCode maps a failed migration to the documented exit
+// codes: 7 = fenced by a newer generation (someone else took the
+// lineage), 9 = migration aborted (target unreachable or dead — the
+// source rolled back and remains primary), 1 = anything else.
+func migrateExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, core.ErrStaleGeneration):
+		return 7
+	case errors.Is(err, core.ErrMigrationAborted):
+		return 9
+	default:
+		return 1
+	}
+}
+
+// migratorFor builds (or returns the group's cached) live migrator:
+// the named loopback replica link carries the stream, the named store
+// backend anchors the target side, and the first store attached to the
+// group anchors the source.
+func (s *session) migratorFor(g *core.Group, replica, store string) (*core.Migrator, error) {
+	if m, ok := s.migs[g.ID]; ok {
+		return m, nil
+	}
+	var link *netback.SetLink
+	for _, l := range s.replicaSet(g).Links() {
+		if l.Name == replica {
+			link = l
+			break
+		}
+	}
+	if link == nil {
+		return nil, fmt.Errorf("group %d has no replica link %q (use: replica %d %s)", g.ID, replica, g.ID, replica)
+	}
+	if link.Recv == nil {
+		return nil, fmt.Errorf("replica %q lives off-machine: cannot anchor a migration target", replica)
+	}
+	dst, err := s.storeArg(store)
+	if err != nil {
+		return nil, err
+	}
+	var src *core.StoreBackend
+	for _, b := range g.Backends() {
+		if sb, ok := b.(*core.StoreBackend); ok {
+			src = sb
+			break
+		}
+	}
+	m := &core.Migrator{
+		Src: s.o, Dst: s.o, G: g,
+		Link:     link.RB,
+		Target:   link.Recv,
+		SrcStore: src,
+		DstStore: dst,
+		Cfg:      core.MigratorConfig{Name: g.Name + "-migrated"},
+	}
+	s.migs[g.ID] = m
+	return m, nil
 }
 
 // quarColumn renders the group's quarantined epochs for ps: "-" when
@@ -543,6 +606,73 @@ func (s *session) exec(line string) bool {
 		s.printf("promoted %s to primary of group %d: generation %d, floor epoch %d (ttr %s)\n",
 			name, g.ID, rep.Gen, rep.Floor, rep.TTR)
 
+	case "migrate":
+		if len(args) < 3 {
+			s.printf("usage: migrate <group> <replica> <store-backend>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		m, err := s.migratorFor(g, args[1], args[2])
+		if err != nil {
+			return fail(err)
+		}
+		rep, err := m.Run(nil)
+		if err != nil {
+			s.code = migrateExitCode(err)
+			return fail(err)
+		}
+		delete(s.migs, g.ID)
+		s.printf("migrated group %d -> group %d over %s: generation %d, floor epoch %d, "+
+			"%d pre-copy rounds, %d epochs backfilled, blackout %s (source stop %s)\n",
+			g.ID, rep.Group.ID, args[1], rep.Gen, rep.Floor, rep.Rounds, rep.Backfilled,
+			rep.Blackout, rep.SrcStop)
+
+	case "standby":
+		if len(args) < 3 {
+			s.printf("usage: standby <group> <replica> <store-backend>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		m, err := s.migratorFor(g, args[1], args[2])
+		if err != nil {
+			return fail(err)
+		}
+		if err := m.StandbyRound(nil); err != nil {
+			s.code = migrateExitCode(err)
+			return fail(err)
+		}
+		rep := m.Report()
+		s.printf("standby for group %d warm: %d rounds shipped, %d epochs drained, source epoch %d\n",
+			g.ID, rep.Rounds, rep.Backfilled, g.Epoch())
+
+	case "takeover":
+		if len(args) < 1 {
+			s.printf("usage: takeover <group>\n")
+			return true
+		}
+		g, err := s.groupArg(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		m, ok := s.migs[g.ID]
+		if !ok {
+			return fail(fmt.Errorf("group %d has no warm standby (use: standby %d <replica> <store>)", g.ID, g.ID))
+		}
+		rep, err := m.PromoteStandby()
+		if err != nil {
+			s.code = migrateExitCode(err)
+			return fail(err)
+		}
+		delete(s.migs, g.ID)
+		s.printf("standby promoted: group %d -> group %d, generation %d, floor epoch %d (ttr %s)\n",
+			g.ID, rep.Group.ID, rep.Gen, rep.Floor, rep.TTR)
+
 	case "sync":
 		if len(args) < 1 {
 			s.printf("usage: sync <group>\n")
@@ -830,6 +960,20 @@ const helpText = `Aurora single level store (Table 1):
                              healthy, 7 fenced by a newer generation
   replica <group> <name>     link a named loopback replica (acknowledged
                              epoch shipping to an in-process standby)
+  migrate <group> <replica> <store>
+                             live-migrate the group: pre-copy over the
+                             replica link, blackout cutover, generation-
+                             fenced handover onto the store, lazy tail.
+                             exit codes: 0 migrated, 7 fenced by a newer
+                             generation, 9 aborted (source rolled back,
+                             still primary)
+  standby <group> <replica> <store>
+                             keep a hot standby warm: ship one pre-copy
+                             round over the replica link onto the store
+                             (repeat on the checkpoint cadence)
+  takeover <group>           promote the warm standby after source death:
+                             unplanned generation-fenced handover, prints
+                             time-to-recovery
   quorum <group> <W>         set the group's write quorum: epochs retire
                              once W non-ephemeral backends ack (0 restores
                              all-backends durability)

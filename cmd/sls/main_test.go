@@ -480,3 +480,96 @@ func TestCLIQuorumAndReplicas(t *testing.T) {
 		}
 	}
 }
+
+// TestMigrateExitCodes pins the migration error-to-exit-code mapping:
+// 7 for a fenced (stale-generation) source, 9 for an aborted
+// migration — scripts distinguish "retry later" from "you lost the
+// race".
+func TestMigrateExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{fmt.Errorf("migrate: %w", core.ErrStaleGeneration), 7},
+		{fmt.Errorf("migrate: %w", core.ErrMigrationAborted), 9},
+		{&core.MigrationError{Phase: core.PhasePreCopy, Err: fmt.Errorf("link died")}, 9},
+		{fmt.Errorf("some other failure"), 1},
+	}
+	for _, c := range cases {
+		if got := migrateExitCode(c.err); got != c.want {
+			t.Errorf("migrateExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestCLIMigrate: live-migrate a running group over a loopback
+// replica link onto the ssd store. The report line carries the
+// blackout and source-stop windows, ps shows the migrated group at
+// generation 2, and the source group is fully torn down — a
+// checkpoint against it no longer resolves.
+func TestCLIMigrate(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; persist 1 app; attach app nvme; run 4; checkpoint app; sync app; replica app r1",
+		nil,
+		"migrate app r1 ssd; ps; checkpoint 1")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, got)
+	}
+	for _, want := range []string{
+		"migrated group 1 -> group 2 over r1: generation 2",
+		"epochs backfilled, blackout ",
+		"source stop ",
+		"app-migrated",
+		"core: no such persistence group", // the source is torn down
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIStandbyTakeover: two standby rounds keep the target warm
+// while the source keeps running, then takeover promotes it with a
+// reported TTR. The fenced source stays listed but can no longer
+// advance.
+func TestCLIStandbyTakeover(t *testing.T) {
+	got, code := runSession(t,
+		"boot counter; persist 1 app; attach app nvme; run 4; checkpoint app; sync app; replica app r1",
+		nil,
+		"standby app r1 ssd; run 2; checkpoint app; standby app r1 ssd; takeover app; ps")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, got)
+	}
+	for _, want := range []string{
+		"standby for group 1 warm: 1 rounds shipped",
+		"standby for group 1 warm: 2 rounds shipped",
+		"standby promoted: group 1 -> group 2, generation 2",
+		"(ttr ",
+		"app-migrated",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIMigrateErrors: usage lines for the three verbs, plus
+// takeover without a warm standby.
+func TestCLIMigrateErrors(t *testing.T) {
+	got := runScript(t, "migrate; standby; takeover")
+	for _, want := range []string{
+		"usage: migrate <group> <replica> <store-backend>",
+		"usage: standby <group> <replica> <store-backend>",
+		"usage: takeover <group>",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("usage line missing %q:\n%s", want, got)
+		}
+	}
+	got = runScript(t,
+		"boot counter; persist 1 app; attach app nvme; run 4; checkpoint app; sync app; takeover app")
+	if !strings.Contains(got, "has no warm standby") {
+		t.Fatalf("bare takeover not refused:\n%s", got)
+	}
+}

@@ -1,0 +1,778 @@
+package bench
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/netback"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// This file is the live-migration chaos harness: a running counter
+// workload is migrated across a chain of machines (A→B→C…) over a
+// fault-injecting link while its source and target stores inject
+// storage faults, with a scripted partition opening mid-pre-copy and
+// healing only after the migrator has burned retry attempts on it.
+// After the planned hops it optionally runs the hot-standby leg: a
+// perpetual pre-copy target promoted after an unplanned source crash,
+// measuring TTR. Invariants checked at every observation point:
+// durable never regresses across handovers, exactly one store claims
+// the primary role at the max generation, the migrated state is
+// bit-identical (counter + patterned pages, demand-paged through the
+// lazy tail), a scratch-machine restore from the target store is
+// bit-identical, and the fenced source verifiably refuses further
+// checkpoints.
+
+// MigrateChaosConfig parameterizes one migration chaos run. Zero
+// values pick defaults.
+type MigrateChaosConfig struct {
+	Seed int64
+
+	// PreEpochs checkpoints run on the source before migration starts
+	// (default 8); PostEpochs run on each target after its handover
+	// (default 6).
+	PreEpochs  int
+	PostEpochs int
+	// Rounds is the pre-copy workload rounds per hop (default 4).
+	Rounds int
+	// Hops is the number of chained planned migrations (default 2).
+	Hops int
+	// StepsPerEpoch is scheduler quanta per workload round (default 2).
+	StepsPerEpoch int
+
+	// Per-frame link fault probabilities on every migration link.
+	LinkDrop    float64
+	LinkDup     float64
+	LinkReorder float64
+	LinkCorrupt float64
+
+	// Store fault probabilities (every machine's store device).
+	StoreWriteErr float64
+	StoreReadErr  float64
+
+	// Retries overrides the migrator's per-phase retry budget (0 keeps
+	// the migrator default). Faulted cells need headroom: a flush
+	// touches dozens of blocks, so per-write fault rates compound.
+	Retries int
+
+	// PartitionMid opens a symmetric partition on the migration link
+	// mid-pre-copy and keeps it closed to the first reconnect attempts,
+	// so the migrator's retry/backoff path is exercised (default on via
+	// withDefaults; set PartitionMid=false after calling it to disable).
+	PartitionMid bool
+
+	// Standby appends the hot-standby leg: unplanned source crash,
+	// standby promotion, TTR measured (default on).
+	Standby bool
+}
+
+func (c MigrateChaosConfig) withDefaults() MigrateChaosConfig {
+	if c.PreEpochs == 0 {
+		c.PreEpochs = 8
+	}
+	if c.PostEpochs == 0 {
+		c.PostEpochs = 6
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	if c.Hops == 0 {
+		c.Hops = 2
+	}
+	if c.StepsPerEpoch == 0 {
+		c.StepsPerEpoch = 2
+	}
+	return c
+}
+
+// MigrateChaosReport is the outcome of one migration chaos run.
+type MigrateChaosReport struct {
+	Seed int64
+	Hops int
+
+	// Blackouts are the per-hop planned blackout times (source stop +
+	// target handover, virtual).
+	Blackouts                             []time.Duration
+	BlackoutP50, BlackoutP99, BlackoutMax time.Duration
+	// SrcStops are the source-side stop segments of each blackout —
+	// comparable to the single-barrier stop time of BENCH_pipeline.
+	SrcStops []time.Duration
+	// TTR is the unplanned standby promotion's time-to-recovery
+	// (0 when Standby is off).
+	TTR time.Duration
+
+	Durable          uint64 // final durable epoch on the last machine
+	Gen              uint64 // final primary generation
+	Rounds           int    // pre-copy rounds summed over hops
+	Backfilled       int    // epochs drained into target stores
+	Retries          int    // migrator retry attempts across all phases
+	FencedRejects    int    // checkpoints refused on fenced sources
+	SupervisorSkips  int    // fenced zombies the supervisor refused to restore
+	RestoresVerified int    // bit-identical verifications performed
+	LinkDropped      int64  // frames dropped by the fault links
+	LinkInjected     int64  // frames duplicated/corrupted by the fault links
+	FinalCounter     uint64 // workload counter at exit
+}
+
+// migMachine is one simulated machine: its own virtual clock, kernel,
+// orchestrator, and fault-injecting store.
+type migMachine struct {
+	name  string
+	clock *storage.Clock
+	k     *kernel.Kernel
+	o     *core.Orchestrator
+	fd    *storage.FaultDevice
+	sb    *core.StoreBackend
+}
+
+func newMigMachine(name string, seed int64, writeErr, readErr float64) *migMachine {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	o.FlushWorkers = 1 // deterministic fan-out ordering
+	fd := storage.NewFaultDevice(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock,
+		storage.FaultConfig{Seed: seed, WriteErr: writeErr, ReadErr: readErr})
+	sb := core.NewStoreBackend(objstore.Create(fd, clock), k.Mem, clock)
+	return &migMachine{name: name, clock: clock, k: k, o: o, fd: fd, sb: sb}
+}
+
+// migLink is the migration wire between two machines: a fault link
+// carrying the acked replication stream plus the handoff frames.
+type migLink struct {
+	link      *netback.FaultLink
+	endA, endB io.ReadWriteCloser
+	rb        *netback.ReplicaBackend
+	recv      *netback.Receiver
+	serveDone chan error
+	serving   bool
+
+	// Scripted partition: while blockedFor > 0, reconnect attempts
+	// burn down the counter instead of healing — the link stays
+	// partitioned across that many retry attempts.
+	blockedFor int
+}
+
+func newMigLink(seed int64, cfg MigrateChaosConfig, src, dst *migMachine) *migLink {
+	ml := &migLink{serveDone: make(chan error, 1)}
+	ml.link = netback.NewFaultLink(netback.LinkFaultConfig{
+		Seed:    seed,
+		Drop:    cfg.LinkDrop,
+		Dup:     cfg.LinkDup,
+		Reorder: cfg.LinkReorder,
+		Corrupt: cfg.LinkCorrupt,
+	}, src.clock)
+	ml.endA, ml.endB = ml.link.A(), ml.link.B()
+	ml.recv = netback.NewReceiver(dst.k.Mem, dst.clock)
+	ml.rb = netback.NewReplicaBackend(src.clock)
+	ml.rb.SetName("migrate-link")
+	return ml
+}
+
+func (ml *migLink) startServe() {
+	ml.serving = true
+	go func() {
+		_, err := ml.recv.ServeReplica(ml.endB)
+		ml.serveDone <- err
+	}()
+}
+
+// reset re-establishes the link: poison the serve loop, reap, drain,
+// heal, re-handshake. While a scripted partition window is open it
+// fails instead, modeling an unreachable far side.
+func (ml *migLink) reset(group uint64) error {
+	if ml.blockedFor > 0 {
+		ml.blockedFor--
+		return fmt.Errorf("bench: migration link partitioned: %w", netback.ErrDisconnected)
+	}
+	ml.link.PartitionBoth()
+	if ml.serving {
+		<-ml.serveDone
+		ml.serving = false
+	}
+	ml.rb.Disconnect()
+	ml.link.DrainPending()
+	ml.link.Heal()
+	var err error
+	for attempt := 0; attempt < 64; attempt++ {
+		if !ml.serving {
+			ml.startServe()
+		}
+		if _, err = ml.rb.Connect(ml.endA, group); err == nil {
+			return nil
+		}
+		<-ml.serveDone
+		ml.serving = false
+	}
+	return fmt.Errorf("bench: migration link did not recover: %w", err)
+}
+
+// connect performs the initial handshake, falling back to the full
+// reset dance when an injected fault eats the hello.
+func (ml *migLink) connect(group uint64) error {
+	if !ml.serving {
+		ml.startServe()
+	}
+	if _, err := ml.rb.Connect(ml.endA, group); err == nil {
+		return nil
+	}
+	return ml.reset(group)
+}
+
+// partition opens a scripted partition that survives the next
+// `retries` reconnect attempts.
+func (ml *migLink) partition(retries int) {
+	ml.link.PartitionBoth()
+	ml.blockedFor = retries
+}
+
+// stop tears the link down for good (end of a hop).
+func (ml *migLink) stop() {
+	ml.link.PartitionBoth()
+	if ml.serving {
+		<-ml.serveDone
+		ml.serving = false
+	}
+	ml.rb.Disconnect()
+	ml.link.DrainPending()
+	ml.link.Heal()
+}
+
+// migRun carries the harness state across hops.
+type migRun struct {
+	cfg MigrateChaosConfig
+	rep *MigrateChaosReport
+
+	cur     *migMachine // the machine currently running the workload
+	g       *core.Group
+	sup     *core.Supervisor
+	lineage uint64
+
+	machines    []*migMachine
+	lastCounter uint64
+	lastDurable uint64
+}
+
+func (r *migRun) readCounter() (uint64, error) {
+	pids := r.g.PIDs()
+	if len(pids) == 0 {
+		return 0, fmt.Errorf("bench: migrate seed %d: group %d has no members", r.cfg.Seed, r.g.ID)
+	}
+	p, err := r.cur.k.Process(pids[0])
+	if err != nil {
+		return 0, err
+	}
+	var b [8]byte
+	if err := p.ReadMem(p.HeapBase(), b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// step runs one workload slice on the current machine and records the
+// counter it will checkpoint at.
+func (r *migRun) step() error {
+	if _, err := r.cur.k.Run(r.cfg.StepsPerEpoch); err != nil {
+		return err
+	}
+	c, err := r.readCounter()
+	if err != nil {
+		return err
+	}
+	r.lastCounter = c
+	return nil
+}
+
+// syncDurable drives the durable frontier to the barrier epoch.
+func (r *migRun) syncDurable() error {
+	var last error
+	for round := 0; round < 12; round++ {
+		last = r.cur.o.Sync(r.g)
+		if r.g.Durable() == r.g.Epoch() {
+			return nil
+		}
+	}
+	return fmt.Errorf("bench: migrate seed %d: durable stuck at %d (barrier %d): %w",
+		r.cfg.Seed, r.g.Durable(), r.g.Epoch(), last)
+}
+
+// epoch is one workload slice + checkpoint + durable sync outside any
+// migration.
+func (r *migRun) epoch() error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	if _, err := r.cur.o.Checkpoint(r.g, core.CheckpointOpts{}); err != nil {
+		return err
+	}
+	return r.syncDurable()
+}
+
+// invariants asserts durable monotonicity and the exactly-one-primary
+// fencing invariant across every store minted so far.
+func (r *migRun) invariants(where string) error {
+	if d := r.g.Durable(); d < r.lastDurable {
+		return fmt.Errorf("bench: migrate seed %d %s: durable regressed %d -> %d",
+			r.cfg.Seed, where, r.lastDurable, d)
+	} else {
+		r.lastDurable = d
+	}
+	type claim struct {
+		who string
+		gen uint64
+	}
+	var claims []claim
+	var maxGen uint64
+	for _, m := range r.machines {
+		if gen, primary := m.sb.Store().PrimaryGen(r.lineage); primary {
+			claims = append(claims, claim{m.name, gen})
+			if gen > maxGen {
+				maxGen = gen
+			}
+		}
+	}
+	n := 0
+	for _, cl := range claims {
+		if cl.gen == maxGen {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("bench: migrate seed %d %s: %d stores claim primary at max generation %d (want exactly 1: %v)",
+			r.cfg.Seed, where, n, maxGen, claims)
+	}
+	return nil
+}
+
+// verifyState reads the workload state back from the group's live
+// memory on machine m — demand-paging any cold tail — and checks it
+// bit-identical to the last checkpointed state.
+func (r *migRun) verifyState(m *migMachine, g *core.Group, where string) error {
+	pids := g.PIDs()
+	if len(pids) == 0 {
+		return fmt.Errorf("bench: migrate seed %d %s: no members", r.cfg.Seed, where)
+	}
+	p, err := m.k.Process(pids[0])
+	if err != nil {
+		return fmt.Errorf("bench: migrate seed %d %s: %w", r.cfg.Seed, where, err)
+	}
+	var b [8]byte
+	if err := p.ReadMem(p.HeapBase(), b[:]); err != nil {
+		return fmt.Errorf("bench: migrate seed %d %s: reading counter: %w", r.cfg.Seed, where, err)
+	}
+	if got := binary.LittleEndian.Uint64(b[:]); got != r.lastCounter {
+		return fmt.Errorf("bench: migrate seed %d %s: counter %d, want %d — state not bit-identical",
+			r.cfg.Seed, where, got, r.lastCounter)
+	}
+	buf := make([]byte, vm.PageSize)
+	for pg := 1; pg <= chaosPages; pg++ {
+		if err := p.ReadMem(p.HeapBase()+vm.Addr(pg*vm.PageSize), buf); err != nil {
+			return fmt.Errorf("bench: migrate seed %d %s: paging page %d: %w", r.cfg.Seed, where, pg, err)
+		}
+		ref := recoveryPattern(pg, r.cfg.Seed)
+		for i := range buf {
+			if buf[i] != ref[i] {
+				return fmt.Errorf("bench: migrate seed %d %s: page %d byte %d differs — state not bit-identical",
+					r.cfg.Seed, where, pg, i)
+			}
+		}
+	}
+	r.rep.RestoresVerified++
+	return nil
+}
+
+// verifyFromStore restores (group, epoch) from sb onto a scratch
+// machine and checks it bit-identical: the "restores from the target
+// store" acceptance check.
+func (r *migRun) verifyFromStore(sb *core.StoreBackend, group, epoch uint64, where string) error {
+	var img *core.Image
+	var readTime time.Duration
+	var err error
+	for attempt := 0; attempt < 8; attempt++ { // ride out injected read faults
+		if img, readTime, err = sb.Load(group, epoch); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("bench: migrate seed %d %s: loading epoch %d: %w", r.cfg.Seed, where, epoch, err)
+	}
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	ng, _, err := o.RestoreImage(img, readTime, core.RestoreOpts{})
+	if err != nil {
+		return fmt.Errorf("bench: migrate seed %d %s: restoring epoch %d: %w", r.cfg.Seed, where, epoch, err)
+	}
+	pids := ng.PIDs()
+	p, err := k.Process(pids[0])
+	if err != nil {
+		return fmt.Errorf("bench: migrate seed %d %s: %w", r.cfg.Seed, where, err)
+	}
+	var b [8]byte
+	if err := p.ReadMem(p.HeapBase(), b[:]); err != nil {
+		return fmt.Errorf("bench: migrate seed %d %s: reading counter: %w", r.cfg.Seed, where, err)
+	}
+	if got := binary.LittleEndian.Uint64(b[:]); got != r.lastCounter {
+		return fmt.Errorf("bench: migrate seed %d %s: scratch restore counter %d, want %d",
+			r.cfg.Seed, where, got, r.lastCounter)
+	}
+	r.rep.RestoresVerified++
+	return nil
+}
+
+// expectFenced verifies the fenced source is rejected at both levels:
+// the in-core group refuses the barrier with ErrStaleGeneration, and
+// the source store — its fence raised through the handover — refuses a
+// zombie's attempt to reclaim the primary role at its old generation.
+// Together they pin the guarantee that a zombie source can never
+// re-advance the migrated lineage's durable state.
+func (r *migRun) expectFenced(m *migMachine, g *core.Group, oldGen uint64, where string) error {
+	if _, err := m.o.Checkpoint(g, core.CheckpointOpts{}); !errors.Is(err, core.ErrStaleGeneration) {
+		return fmt.Errorf("bench: migrate seed %d %s: fenced source checkpoint = %v, want ErrStaleGeneration",
+			r.cfg.Seed, where, err)
+	}
+	if err := m.sb.Store().SetPrimary(r.lineage, oldGen); !errors.Is(err, core.ErrStaleGeneration) {
+		return fmt.Errorf("bench: migrate seed %d %s: zombie primary re-claim at gen %d = %v, want ErrStaleGeneration",
+			r.cfg.Seed, where, oldGen, err)
+	}
+	r.rep.FencedRejects++
+	return nil
+}
+
+// hop performs one planned live migration to a fresh machine and
+// moves the workload there.
+func (r *migRun) hop(idx int) error {
+	cfg := r.cfg
+	dst := newMigMachine(fmt.Sprintf("m%d", idx+1), cfg.Seed*31+int64(idx+1)*977, cfg.StoreWriteErr, cfg.StoreReadErr)
+	r.machines = append(r.machines, dst)
+	ml := newMigLink(cfg.Seed*1000003+int64(idx)*7919, cfg, r.cur, dst)
+	if err := ml.connect(r.g.ID); err != nil {
+		return fmt.Errorf("bench: migrate seed %d hop %d: connect: %w", cfg.Seed, idx, err)
+	}
+
+	src := r.cur
+	srcG := r.g
+	mig := &core.Migrator{
+		Src:      src.o,
+		Dst:      dst.o,
+		G:        srcG,
+		Link:     ml.rb,
+		Target:   ml.recv,
+		SrcStore: src.sb,
+		DstStore: dst.sb,
+		Sup:      r.sup,
+		Reconnect: func() error {
+			return ml.reset(srcG.ID)
+		},
+		Cfg: core.MigratorConfig{
+			MaxRounds: cfg.Rounds,
+			Retries:   cfg.Retries,
+			Lineage:   r.lineage,
+			Name:      fmt.Sprintf("migrated-%d", idx+1),
+		},
+	}
+
+	round := 0
+	workload := func() error {
+		round++
+		if cfg.PartitionMid && round == 1 {
+			// Mid-pre-copy partition: stays closed through the first
+			// reconnect attempt, so the migrator pays real retries.
+			ml.partition(1)
+		}
+		return r.step()
+	}
+	rep, err := mig.Run(workload)
+	if err != nil {
+		return fmt.Errorf("bench: migrate seed %d hop %d: %w", cfg.Seed, idx, err)
+	}
+
+	r.rep.Blackouts = append(r.rep.Blackouts, rep.Blackout)
+	r.rep.SrcStops = append(r.rep.SrcStops, rep.SrcStop)
+	r.rep.Rounds += rep.Rounds
+	r.rep.Backfilled += rep.Backfilled
+	r.rep.Retries += rep.Retries
+	r.rep.Gen = rep.Gen
+
+	// The workload now lives on the target.
+	r.cur = dst
+	r.g = rep.Group
+	r.sup = core.NewSupervisor(dst.o, core.SupervisorConfig{})
+	r.sup.Watch(r.g)
+	r.lastDurable = 0 // per-machine frontier; monotone within a machine
+
+	where := fmt.Sprintf("hop %d", idx)
+	if err := r.invariants(where); err != nil {
+		return err
+	}
+	if r.g.Durable() < rep.Floor {
+		return fmt.Errorf("bench: migrate seed %d %s: target durable %d below handover floor %d",
+			cfg.Seed, where, r.g.Durable(), rep.Floor)
+	}
+	// The migrated state must be bit-identical, demand-paged through
+	// the lazy tail (target store first, then source store/receiver
+	// peers with read-repair).
+	if err := r.verifyState(dst, r.g, where+" lazy tail"); err != nil {
+		return err
+	}
+	// A scratch restore from the target store alone must agree.
+	if err := r.verifyFromStore(dst.sb, srcG.ID, rep.Floor, where+" target store"); err != nil {
+		return err
+	}
+	// The fenced source must refuse to re-advance, even restarted.
+	if err := r.expectFenced(src, srcG, srcG.Generation(), where+" fenced source"); err != nil {
+		return err
+	}
+	ml.stop()
+	r.rep.LinkDropped += ml.link.DroppedCount()
+	r.rep.LinkInjected += ml.link.InjectedCount()
+
+	// Run the workload forward on the target.
+	for i := 0; i < cfg.PostEpochs; i++ {
+		if err := r.epoch(); err != nil {
+			return fmt.Errorf("bench: migrate seed %d %s post-epoch %d: %w", cfg.Seed, where, i, err)
+		}
+	}
+	return r.invariants(where + " post")
+}
+
+// standbyLeg runs the hot-standby story: perpetual pre-copy to a
+// standby machine, an unplanned source crash, a supervisor poll that
+// must refuse the fenced zombie, and the promotion with TTR.
+func (r *migRun) standbyLeg() error {
+	cfg := r.cfg
+	idx := cfg.Hops + 1
+	dst := newMigMachine(fmt.Sprintf("standby-m%d", idx), cfg.Seed*37+int64(idx)*1009, cfg.StoreWriteErr, cfg.StoreReadErr)
+	r.machines = append(r.machines, dst)
+	ml := newMigLink(cfg.Seed*999983+int64(idx)*104729, cfg, r.cur, dst)
+	if err := ml.connect(r.g.ID); err != nil {
+		return fmt.Errorf("bench: migrate seed %d standby: connect: %w", cfg.Seed, err)
+	}
+
+	src := r.cur
+	srcG := r.g
+	mig := &core.Migrator{
+		Src:      src.o,
+		Dst:      dst.o,
+		G:        srcG,
+		Link:     ml.rb,
+		Target:   ml.recv,
+		SrcStore: src.sb,
+		DstStore: dst.sb,
+		Sup:      r.sup,
+		Reconnect: func() error {
+			return ml.reset(srcG.ID)
+		},
+		Cfg: core.MigratorConfig{
+			MaxRounds: cfg.Rounds,
+			Retries:   cfg.Retries,
+			Lineage:   r.lineage,
+			Name:      "standby",
+		},
+	}
+
+	// Keep the standby warm: perpetual pre-copy on the checkpoint
+	// cadence.
+	for i := 0; i < cfg.Rounds; i++ {
+		if err := mig.StandbyRound(r.step); err != nil {
+			return fmt.Errorf("bench: migrate seed %d standby round %d: %w", cfg.Seed, i, err)
+		}
+	}
+
+	// Unplanned death: every member crashes with an error. The source
+	// supervisor would normally restore this — the promotion must beat
+	// it by fencing, and a later poll must refuse the fenced zombie.
+	for _, pid := range srcG.PIDs() {
+		if p, err := src.k.Process(pid); err == nil {
+			src.k.Exit(p, 2)
+		}
+	}
+
+	rep, err := mig.PromoteStandby()
+	if err != nil {
+		return fmt.Errorf("bench: migrate seed %d standby promotion: %w", cfg.Seed, err)
+	}
+	r.rep.TTR = rep.TTR
+	r.rep.Retries += rep.Retries
+	r.rep.Backfilled += rep.Backfilled
+	r.rep.Gen = rep.Gen
+
+	// The promotion released the group from the source supervisor, so
+	// a poll restores nothing. A restarted supervisor that re-watches
+	// the fenced zombie (it cannot know better) must refuse to restore
+	// it and report it fenced instead.
+	r.sup.Watch(srcG)
+	for _, ev := range r.sup.Poll() {
+		if ev.NewGroup != 0 {
+			return fmt.Errorf("bench: migrate seed %d standby: supervisor restored fenced zombie group %d as %d",
+				cfg.Seed, ev.Group, ev.NewGroup)
+		}
+		if ev.Fenced {
+			r.rep.SupervisorSkips++
+		}
+	}
+
+	r.cur = dst
+	r.g = rep.Group
+	r.lastDurable = 0
+	if err := r.invariants("standby"); err != nil {
+		return err
+	}
+	if err := r.verifyState(dst, r.g, "standby lazy tail"); err != nil {
+		return err
+	}
+	if err := r.verifyFromStore(dst.sb, srcG.ID, rep.Floor, "standby target store"); err != nil {
+		return err
+	}
+	if err := r.expectFenced(src, srcG, srcG.Generation(), "standby fenced source"); err != nil {
+		return err
+	}
+	ml.stop()
+	r.rep.LinkDropped += ml.link.DroppedCount()
+	r.rep.LinkInjected += ml.link.InjectedCount()
+
+	for i := 0; i < cfg.PostEpochs; i++ {
+		if err := r.epoch(); err != nil {
+			return fmt.Errorf("bench: migrate seed %d standby post-epoch %d: %w", cfg.Seed, i, err)
+		}
+	}
+	return r.invariants("standby post")
+}
+
+// MigrateChaosRun executes one migration chaos schedule.
+func MigrateChaosRun(cfg MigrateChaosConfig) (*MigrateChaosReport, error) {
+	cfg = cfg.withDefaults()
+	r := &migRun{cfg: cfg, rep: &MigrateChaosReport{Seed: cfg.Seed, Hops: cfg.Hops}}
+
+	m0 := newMigMachine("m0", cfg.Seed, cfg.StoreWriteErr, cfg.StoreReadErr)
+	r.machines = []*migMachine{m0}
+	r.cur = m0
+
+	p, err := m0.k.Spawn(0, "migrate-app")
+	if err != nil {
+		return nil, err
+	}
+	p.SetProgram(&chaosCounter{addr: p.HeapBase()})
+	for pg := 1; pg <= chaosPages; pg++ {
+		if err := p.WriteMem(p.HeapBase()+vm.Addr(pg*vm.PageSize), recoveryPattern(pg, cfg.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	g, err := m0.o.Persist("migrate-app", p)
+	if err != nil {
+		return nil, err
+	}
+	r.g = g
+	r.lineage = g.ID
+	m0.o.Attach(g, m0.sb)
+	if err := m0.sb.Store().SetPrimary(r.lineage, g.Generation()); err != nil {
+		return nil, err
+	}
+	if err := m0.sb.Store().Sync(); err != nil {
+		return nil, err
+	}
+	r.sup = core.NewSupervisor(m0.o, core.SupervisorConfig{})
+	r.sup.Watch(g)
+
+	for i := 0; i < cfg.PreEpochs; i++ {
+		if err := r.epoch(); err != nil {
+			return nil, fmt.Errorf("bench: migrate seed %d pre-epoch %d: %w", cfg.Seed, i, err)
+		}
+	}
+	if err := r.invariants("pre"); err != nil {
+		return nil, err
+	}
+
+	for hop := 0; hop < cfg.Hops; hop++ {
+		if err := r.hop(hop); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Standby {
+		if err := r.standbyLeg(); err != nil {
+			return nil, err
+		}
+	}
+
+	r.rep.Durable = r.g.Durable()
+	r.rep.FinalCounter = r.lastCounter
+	sorted := append([]time.Duration(nil), r.rep.Blackouts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if n := len(sorted); n > 0 {
+		r.rep.BlackoutP50 = sorted[n/2]
+		r.rep.BlackoutP99 = sorted[(n*99)/100]
+		r.rep.BlackoutMax = sorted[n-1]
+	}
+	return r.rep, nil
+}
+
+// MigratePoint is one row of BENCH_migrate.json.
+type MigratePoint struct {
+	Seed          int64   `json:"seed"`
+	LinkFaultPct  float64 `json:"link_fault_pct"`
+	StoreFaultPct float64 `json:"store_fault_pct"`
+	Hops          int     `json:"hops"`
+	BlackoutP50us float64 `json:"blackout_p50_us"`
+	BlackoutP99us float64 `json:"blackout_p99_us"`
+	BlackoutMaxus float64 `json:"blackout_max_us"`
+	SrcStopMaxus  float64 `json:"src_stop_max_us"`
+	TTRus         float64 `json:"ttr_us"`
+	Retries       int     `json:"retries"`
+	Backfilled    int     `json:"backfilled"`
+	Durable       uint64  `json:"durable"`
+}
+
+// MigrateSweep runs the migration matrix: seeds × link/store fault
+// rates, planned hops plus the unplanned standby promotion per cell.
+func MigrateSweep(seeds []int64, rates []float64) ([]MigratePoint, error) {
+	var points []MigratePoint
+	for _, seed := range seeds {
+		for _, rate := range rates {
+			cfg := MigrateChaosConfig{
+				Seed:          seed,
+				LinkDrop:      rate,
+				LinkDup:       rate / 2,
+				LinkCorrupt:   rate / 2,
+				StoreWriteErr: rate / 5,
+				StoreReadErr:  rate / 5,
+				PartitionMid:  true,
+				Standby:       true,
+			}
+			if rate > 0 {
+				cfg.Retries = 8
+			}
+			rep, err := MigrateChaosRun(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var srcMax time.Duration
+			for _, d := range rep.SrcStops {
+				if d > srcMax {
+					srcMax = d
+				}
+			}
+			points = append(points, MigratePoint{
+				Seed:          seed,
+				LinkFaultPct:  rate * 100,
+				StoreFaultPct: rate / 5 * 100,
+				Hops:          rep.Hops,
+				BlackoutP50us: float64(rep.BlackoutP50) / 1e3,
+				BlackoutP99us: float64(rep.BlackoutP99) / 1e3,
+				BlackoutMaxus: float64(rep.BlackoutMax) / 1e3,
+				SrcStopMaxus:  float64(srcMax) / 1e3,
+				TTRus:         float64(rep.TTR) / 1e3,
+				Retries:       rep.Retries,
+				Backfilled:    rep.Backfilled,
+				Durable:       rep.Durable,
+			})
+		}
+	}
+	return points, nil
+}

@@ -38,10 +38,6 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 	g.ckptMu.Lock()
 	defer g.ckptMu.Unlock()
 
-	members := o.members(g)
-	if len(members) == 0 {
-		return CheckpointBreakdown{}, fmt.Errorf("core: group %d has no live processes", g.ID)
-	}
 	clock := o.K.Clock
 	costs := o.K.Costs
 
@@ -54,13 +50,20 @@ func (o *Orchestrator) Checkpoint(g *Group, opts CheckpointOpts) (CheckpointBrea
 	g.mu.Unlock()
 
 	// A fenced group is a stale primary: a store or replica rejected
-	// its generation because a promotion superseded it. Refusing the
-	// barrier up front keeps it from minting epochs no backend will
-	// ever accept; the operator demotes it to catch-up resync instead.
+	// its generation because a promotion or migration handover
+	// superseded it. Refusing the barrier up front — before even
+	// looking at the member set, so a reaped zombie gets the same
+	// verdict — keeps it from minting epochs no backend will ever
+	// accept; the operator demotes it to catch-up resync instead.
 	if fencedBy != 0 {
 		return CheckpointBreakdown{}, fmt.Errorf(
 			"core: group %d generation %d fenced by generation %d: %w",
 			g.ID, gen, fencedBy, ErrStaleGeneration)
+	}
+
+	members := o.members(g)
+	if len(members) == 0 {
+		return CheckpointBreakdown{}, fmt.Errorf("core: group %d has no live processes", g.ID)
 	}
 
 	// Admission control: under space pressure (or a saturated flush

@@ -248,3 +248,83 @@ func TestStaleGenerationUnderQuorumRoundTrip(t *testing.T) {
 		t.Fatalf("Sync = %v, want *FenceError{Gen: 7} recoverable with errors.As", err)
 	}
 }
+
+// fakeReplicaSource is a minimal migration target for error-path
+// tests: it never holds any epoch.
+type fakeReplicaSource struct{ fence uint64 }
+
+func (f *fakeReplicaSource) ImageAt(group, epoch uint64) (*Image, error) { return nil, ErrNoImage }
+func (f *fakeReplicaSource) ContiguousEpoch(group uint64) uint64         { return 0 }
+func (f *fakeReplicaSource) ReplicaEpochs(group uint64) []uint64         { return nil }
+func (f *fakeReplicaSource) FenceGen(group uint64) uint64                { return f.fence }
+func (f *fakeReplicaSource) AdoptFence(group, gen uint64)                { f.fence = gen }
+
+// TestMigrationAbortedRoundTrip: a migration whose pre-copy dies on a
+// fenced quorum member surfaces EVERY sentinel through one wrap chain —
+// ErrMigrationAborted (identity for "the migration failed"),
+// ErrQuorumLost (why the epoch could not retire), ErrStaleGeneration
+// (why the member refused), plus *MigrationError (which phase) and
+// *FenceError (which generation) via errors.As.
+func TestMigrationAbortedRoundTrip(t *testing.T) {
+	src, dst := newRig(t), newRig(t)
+	src.o.FlushWorkers = 1
+	p := spawnCounter(t, src)
+	g, err := src.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenced := &latencyBackend{err: &FenceError{Gen: 7, Err: ErrStaleGeneration}}
+	src.o.Attach(g, src.store)
+	src.o.Attach(g, fenced)
+	g.SetQuorum(QuorumPolicy{W: 2})
+	src.k.Run(2)
+
+	m := &Migrator{
+		Src: src.o, Dst: dst.o, G: g,
+		Link:   fenced,
+		Target: &fakeReplicaSource{},
+		Cfg:    MigratorConfig{Retries: 1},
+	}
+	_, err = m.Run(nil)
+	if err == nil {
+		t.Fatal("migration over a fenced quorum succeeded")
+	}
+	if !errors.Is(err, ErrMigrationAborted) {
+		t.Fatalf("err = %v, want ErrMigrationAborted wrap", err)
+	}
+	if !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("err = %v, want ErrQuorumLost preserved through the migration wrap", err)
+	}
+	if !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("err = %v, want ErrStaleGeneration preserved through the migration wrap", err)
+	}
+	var me *MigrationError
+	if !errors.As(err, &me) || me.Phase != PhasePreCopy || me.Group != g.ID {
+		t.Fatalf("err = %v, want *MigrationError{Phase: pre-copy, Group: %d}", err, g.ID)
+	}
+	var fe *FenceError
+	if !errors.As(err, &fe) || fe.Gen != 7 {
+		t.Fatalf("err = %v, want *FenceError{Gen: 7} recoverable with errors.As", err)
+	}
+	// A fencing rejection is terminal: the bounded retry budget must
+	// not have been burned on it.
+	if me.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 — fences do not heal", me.Retries)
+	}
+}
+
+// TestMigrationErrorIsNotGenericAborted: MigrationError matches only
+// the migration sentinel by identity — it does not swallow unrelated
+// Is targets.
+func TestMigrationErrorIsNotGenericAborted(t *testing.T) {
+	me := &MigrationError{Phase: PhaseHandover, Group: 3, Err: ErrNoImage}
+	if !errors.Is(me, ErrMigrationAborted) {
+		t.Fatal("MigrationError does not match ErrMigrationAborted")
+	}
+	if !errors.Is(me, ErrNoImage) {
+		t.Fatal("MigrationError hides its cause from errors.Is")
+	}
+	if errors.Is(me, ErrQuorumLost) {
+		t.Fatal("MigrationError matches an unrelated sentinel")
+	}
+}

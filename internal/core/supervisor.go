@@ -67,6 +67,7 @@ type SupervisorEvent struct {
 	NewGroup uint64 // the restored group (0 when the attempt failed)
 	Restarts int    // restarts consumed in the current window, inclusive
 	GaveUp   bool   // crash loop: budget exhausted, watch dropped
+	Fenced   bool   // fenced elsewhere (migrated away): watch dropped, no restore
 	Err      error  // non-nil when the restore itself failed
 }
 
@@ -115,6 +116,21 @@ func (s *Supervisor) Unwatch(g *Group) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.watches, g.ID)
+}
+
+// Release atomically removes a group from the supervised set as part
+// of a migration handover, reporting whether it was watched. Unlike
+// Unwatch it exists to be called by the migrator at the fencing
+// point: a group whose lineage now lives on another machine must
+// never be auto-restored here, even if its corpse later reports a
+// crash. (Poll independently refuses fenced groups, so the release
+// and a racing crash-restart cannot resurrect a zombie either way.)
+func (s *Supervisor) Release(g *Group) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.watches[g.ID]
+	delete(s.watches, g.ID)
+	return ok
 }
 
 // Watched lists the IDs of currently supervised groups (crash-looped
@@ -178,6 +194,17 @@ func (s *Supervisor) Poll() []SupervisorEvent {
 
 	var out []SupervisorEvent
 	for _, ws := range pending {
+		if _, _, fenced := ws.g.Fenced(); fenced {
+			// The lineage was handed to another machine (migration or
+			// promotion) after this group was watched: restoring it here
+			// would resurrect a zombie copy that every store and replica
+			// will fence anyway. Drop the watch instead.
+			s.mu.Lock()
+			delete(s.watches, ws.g.ID)
+			s.mu.Unlock()
+			out = append(out, SupervisorEvent{Group: ws.g.ID, Fenced: true})
+			continue
+		}
 		if !s.crashed(ws.g) {
 			continue
 		}
@@ -215,6 +242,16 @@ func (s *Supervisor) recover(ws *watchState) SupervisorEvent {
 	clock.Advance(ws.backoff)
 	ws.backoff *= 2
 	ws.restarts++
+
+	// Re-check the fence after the backoff: a migration handover racing
+	// this recovery may have fenced the group between the Poll scan and
+	// here, and restoring past that point would split the brain.
+	if _, _, fenced := ws.g.Fenced(); fenced {
+		s.mu.Lock()
+		delete(s.watches, ws.g.ID)
+		s.mu.Unlock()
+		return SupervisorEvent{Group: ws.g.ID, Restarts: ws.restarts, Fenced: true}
+	}
 
 	old := ws.g
 	ng, _, err := s.o.Restore(old, 0, s.cfg.Opts)

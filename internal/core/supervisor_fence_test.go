@@ -1,0 +1,110 @@
+package core
+
+// Regression coverage for the supervisor/migration race: a group whose
+// lineage was handed to another machine (fenced) must never be
+// auto-restored by the source supervisor, no matter where in the
+// poll/recover window the fencing lands — and Release must atomically
+// drop the watch at the handover point.
+
+import (
+	"testing"
+)
+
+// supFenceSetup persists a counter workload with one durable
+// checkpoint and crashes it.
+func supFenceSetup(t *testing.T) (*rig, *Supervisor, *Group) {
+	t.Helper()
+	r := newRig(t)
+	p := spawnCounter(t, r)
+	g, err := r.o.Persist("app", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.o.Attach(g, r.store)
+	r.k.Run(3)
+	if _, err := r.o.Checkpoint(g, CheckpointOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.o.Sync(g); err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(r.o, SupervisorConfig{})
+	sup.Watch(g)
+	r.k.Exit(p, 2) // crash
+	return r, sup, g
+}
+
+func TestSupervisorRefusesFencedCrashedGroup(t *testing.T) {
+	_, sup, g := supFenceSetup(t)
+	// The migration handover fences the group before the next poll.
+	g.markFenced(7, 1)
+
+	evs := sup.Poll()
+	if len(evs) != 1 {
+		t.Fatalf("poll events = %d, want 1", len(evs))
+	}
+	if !evs[0].Fenced || evs[0].NewGroup != 0 {
+		t.Fatalf("event = %+v, want Fenced with no restore", evs[0])
+	}
+	if watched := sup.Watched(); len(watched) != 0 {
+		t.Fatalf("fenced group still watched: %v", watched)
+	}
+	// The dropped watch stays dropped: nothing on the next poll either.
+	if evs := sup.Poll(); len(evs) != 0 {
+		t.Fatalf("second poll events = %+v, want none", evs)
+	}
+}
+
+func TestSupervisorFenceRaceMidRecover(t *testing.T) {
+	// The handover can land between Poll's fence scan and the restore
+	// inside recover (the backoff window). The post-backoff re-check
+	// must still refuse to restore.
+	_, sup, g := supFenceSetup(t)
+	sup.mu.Lock()
+	ws := sup.watches[g.ID]
+	sup.mu.Unlock()
+	if ws == nil {
+		t.Fatal("group not watched")
+	}
+	if !sup.crashed(g) {
+		t.Fatal("group not seen as crashed")
+	}
+	// Poll's scan has passed the fence check; the migration fences the
+	// group now, racing the recovery.
+	g.markFenced(9, 1)
+
+	ev := sup.recover(ws)
+	if !ev.Fenced || ev.NewGroup != 0 {
+		t.Fatalf("recover = %+v, want Fenced with no restore", ev)
+	}
+	if watched := sup.Watched(); len(watched) != 0 {
+		t.Fatalf("fenced group still watched after mid-recover race: %v", watched)
+	}
+}
+
+func TestSupervisorReleaseAtomicHandover(t *testing.T) {
+	_, sup, g := supFenceSetup(t)
+	if !sup.Release(g) {
+		t.Fatal("Release = false for a watched group")
+	}
+	if sup.Release(g) {
+		t.Fatal("Release = true for an already released group")
+	}
+	// The crash that raced the handover restores nothing.
+	if evs := sup.Poll(); len(evs) != 0 {
+		t.Fatalf("poll after release = %+v, want no events", evs)
+	}
+	if watched := sup.Watched(); len(watched) != 0 {
+		t.Fatalf("released group still watched: %v", watched)
+	}
+}
+
+func TestSupervisorRestoresUnfencedCrash(t *testing.T) {
+	// Control: the same crash without a fence IS restored — the fence
+	// refusal above is about fencing, not a broken recovery path.
+	_, sup, _ := supFenceSetup(t)
+	evs := sup.Poll()
+	if len(evs) != 1 || evs[0].NewGroup == 0 || evs[0].Fenced {
+		t.Fatalf("events = %+v, want one successful restore", evs)
+	}
+}

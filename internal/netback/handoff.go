@@ -1,0 +1,79 @@
+package netback
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+)
+
+// This file implements the in-band migration handover: the frame pair
+// a live migration uses to push the new generation's fence to the
+// target over the replication link itself, so the announcement rides
+// the same faulty wire as the data stream (and is dropped, duplicated,
+// reordered, and partitioned by the same injectors). The core.Migrator
+// discovers the capability through core.HandoffAnnouncer.
+
+var _ core.HandoffAnnouncer = (*ReplicaBackend)(nil)
+
+// Handoff announces a migration handover for group at gen (contiguous
+// floor floor) and waits for the receiver's acknowledgment that the
+// fence is adopted. Stray acks, fenced replies, hello acks, and need
+// frames left in flight by a faulty link are skipped while waiting —
+// only a handoff ack for this (group, gen) completes the announcement.
+// Any transport failure drops the connection and returns an error
+// wrapping ErrDisconnected; the caller heals the link and retries
+// (AdoptFence on the receiver is raise-only, so a duplicated handoff
+// is idempotent).
+func (rb *ReplicaBackend) Handoff(group, gen, floor uint64) error {
+	rc := rb.core
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.conn == nil {
+		return fmt.Errorf("%w: handoff of group %d not sent", ErrDisconnected, group)
+	}
+	var p [24]byte
+	binary.LittleEndian.PutUint64(p[:8], group)
+	binary.LittleEndian.PutUint64(p[8:16], gen)
+	binary.LittleEndian.PutUint64(p[16:], floor)
+	if err := writeFrame(rc.conn, frameHandoff, p[:]); err != nil {
+		rc.lost()
+		return fmt.Errorf("%w: sending handoff for group %d: %w", ErrDisconnected, group, err)
+	}
+	for {
+		typ, ack, err := readFrame(rc.conn)
+		if err != nil {
+			rc.lost()
+			return fmt.Errorf("%w: awaiting handoff ack for group %d: %w", ErrDisconnected, group, err)
+		}
+		switch {
+		case typ == frameAck && len(ack) == 16:
+			continue // a stale delta ack from before the handover
+		case typ == frameHelloAck && len(ack) == 16:
+			continue // a duplicated handshake reply
+		case typ == frameFenced && len(ack) == 24:
+			continue // a stale fenced reply; the handoff fence supersedes it
+		case typ == frameNeed && len(ack) == 16:
+			continue // a stale need for an epoch already resolved
+		}
+		if typ != frameHandoffAck || len(ack) != 16 {
+			rc.lost()
+			return fmt.Errorf("%w: expected handoff ack, got type %d", ErrBadFrame, typ)
+		}
+		if g := binary.LittleEndian.Uint64(ack[:8]); g != group {
+			continue // another group's handover on a shared link
+		}
+		if g := binary.LittleEndian.Uint64(ack[8:]); g < gen {
+			continue // a duplicated ack for an older handover
+		}
+		break
+	}
+	rc.sent += int64(len(p)) + frameHdrSize
+	cost := rc.nic.Latency + rc.extraLat +
+		time.Duration((int64(len(p))+frameHdrSize)*int64(time.Second)/rc.nic.WriteBW)
+	if rb.clock != nil {
+		rb.clock.Advance(cost)
+	}
+	return nil
+}

@@ -29,6 +29,8 @@ const (
 	frameFenced                   // receiver -> sender: [group u64][fence gen u64][floor epoch u64]
 	frameDeltaC                   // sender -> receiver: compact delta (hash refs for pages the receiver holds)
 	frameNeed                     // receiver -> sender: [group u64][epoch u64] — refs missing, resend full
+	frameHandoff                  // sender -> receiver: [group u64][gen u64][floor u64] — migration handover announcement
+	frameHandoffAck               // receiver -> sender: [group u64][gen u64] — fence adopted
 )
 
 // ErrDisconnected is wrapped into replica flush errors once the
@@ -138,6 +140,24 @@ func (r *Receiver) ServeReplica(conn io.ReadWriter) (int, error) {
 			r.link(img)
 			applied++
 			if err := writeAck(conn, img.Group, img.Epoch); err != nil {
+				return applied, err
+			}
+		case frameHandoff:
+			// Migration handover: the sender is giving us the lineage at
+			// a new generation. Adopt the fence — from here any frame
+			// stamped below it (a zombie source) is answered fenced —
+			// and acknowledge, so the sender knows the fence stands
+			// before it flips the primary role.
+			if len(payload) != 24 {
+				return applied, fmt.Errorf("%w: handoff payload %d bytes", ErrBadFrame, len(payload))
+			}
+			group := binary.LittleEndian.Uint64(payload[:8])
+			gen := binary.LittleEndian.Uint64(payload[8:16])
+			r.AdoptFence(group, gen)
+			var ack [16]byte
+			binary.LittleEndian.PutUint64(ack[:8], group)
+			binary.LittleEndian.PutUint64(ack[8:], gen)
+			if err := writeFrame(conn, frameHandoffAck, ack[:]); err != nil {
 				return applied, err
 			}
 		default:

@@ -72,6 +72,25 @@ func (s *Store) AdoptFence(lineage, gen uint64) {
 	}
 }
 
+// Handoff renounces this store's primary role for a lineage as part
+// of a migration handover: the fence rises to gen and any local
+// primary claim is dropped in one step, so a restarted source machine
+// reading this store back sees itself as a secondary of the new line.
+// Unlike AdoptFence — which keeps an existing claim when the fence
+// does not actually move — Handoff drops the claim even at an equal
+// generation: the handover is explicit, not inferred. It refuses to
+// move the fence backwards.
+func (s *Store) Handoff(lineage, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fe := s.fences[lineage]; gen < fe.gen {
+		return fmt.Errorf("%w: handing off lineage %d at generation %d behind fence %d",
+			ErrStaleGeneration, lineage, gen, fe.gen)
+	}
+	s.fences[lineage] = fenceEntry{gen: gen, primary: false}
+	return nil
+}
+
 // CheckGen validates a flush stamped with generation gen against the
 // lineage's fence. Stale generations are rejected; a newer generation
 // is adopted as the new fence (demoting any local primary claim) —
