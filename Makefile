@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck migratecheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck migratecheck placecheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
 ## matrix, crash-recovery harness, whole-system chaos sweep, space-
-## pressure survival, fleet scale, quorum replication, live migration
+## pressure survival, fleet scale, quorum replication, live migration,
+## multi-store placement
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -16,6 +17,7 @@ check:
 	$(MAKE) fleetcheck
 	$(MAKE) quorumcheck
 	$(MAKE) migratecheck
+	$(MAKE) placecheck
 
 build:
 	$(GO) build ./...
@@ -96,9 +98,23 @@ migratecheck:
 		-run 'TestMigrate|TestStandby|TestSupervisorRefusesFencedCrashedGroup|TestSupervisorFenceRaceMidRecover|TestSupervisorReleaseAtomicHandover|TestSupervisorRestoresUnfencedCrash|TestMigrationAbortedRoundTrip|TestMigrationErrorIsNotGenericAborted|TestCLIMigrate|TestCLIStandbyTakeover|TestMigrateBenchGate|TestEmitMigrateBench' \
 		./internal/core/ ./cmd/sls/ .
 
+## placecheck: the self-healing multi-store placement control plane
+## under the race detector — failure-domain-aware spread with hard
+## anti-affinity, the store-kill chaos gate at 256 lineages per cell
+## (seeds 1, 7, 42 × fault rates 0/1/5%), throttled evacuation with
+## ErrEvacuating surfacing, drain-during-evacuation and
+## kill-mid-rebalance interleavings, the supervisor evacuation
+## exemption, the stores/drain/balance CLI verbs, and the evacuation-
+## TTR regression gate against the committed BENCH_placement.json
+## baseline. Plain `go test` runs the same chaos cells at smoke scale.
+placecheck:
+	AURORA_PLACE_GROUPS=256 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestPlacer|TestPlacementChaos|TestSupervisorEvacuationExemption|TestCLIStores|TestCLIDrain|TestCLIBalance|TestPlacementBenchGate|TestEmitPlacementBench' \
+		./internal/core/ ./internal/netback/ ./cmd/sls/ .
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
 ## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json,
-## BENCH_space.json, BENCH_fleet.json, BENCH_quorum.json, and
-## BENCH_migrate.json)
+## BENCH_space.json, BENCH_fleet.json, BENCH_quorum.json,
+## BENCH_migrate.json, and BENCH_placement.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

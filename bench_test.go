@@ -893,3 +893,107 @@ func writeMigrateJSON(pts []bench.MigratePoint) error {
 	}
 	return os.WriteFile("BENCH_migrate.json", append(data, '\n'), 0o644)
 }
+
+// --- Multi-store placement matrix ------------------------------------
+
+var placementStores = []int{2, 4, 8}
+var placementRates = []float64{0, 0.01, 0.05}
+
+const placementSweepGroups = 32
+const placementSweepSeed = 42
+
+// BenchmarkPlacementMatrix sweeps fleet size × link/store fault rate
+// over the full placement chaos schedule (spread under anti-affinity,
+// open-loop load, store kill with throttled evacuation, drain),
+// reporting evacuation TTR percentiles per cell.
+func BenchmarkPlacementMatrix(b *testing.B) {
+	var last []bench.PlacementPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.PlacementSweep(placementSweepGroups, placementStores, placementRates, placementSweepSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			b.ReportMetric(pt.EvacTTRp99us,
+				fmt.Sprintf("vus-evac-ttr-p99-n%d-r%g", pt.Stores, pt.LinkFaultPct))
+		}
+	}
+	if err := writePlacementJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestPlacementBenchGate is the evacuation-TTR regression gate:
+// against the committed BENCH_placement.json baseline, a fresh sweep
+// may not exceed 2× the recorded evacuation TTR p99 in any cell.
+// Skipped when no baseline has been committed yet.
+func TestPlacementBenchGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement gate sweeps the full matrix; skipped in -short")
+	}
+	raw, err := os.ReadFile("BENCH_placement.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_placement.json baseline")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		Points []bench.PlacementPoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing committed BENCH_placement.json: %v", err)
+	}
+	if len(baseline.Points) == 0 {
+		t.Skip("committed BENCH_placement.json has no points")
+	}
+	fresh, err := bench.PlacementSweep(placementSweepGroups, placementStores, placementRates, placementSweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[string]bench.PlacementPoint, len(fresh))
+	for _, pt := range fresh {
+		byCell[fmt.Sprintf("n%d-r%g", pt.Stores, pt.LinkFaultPct)] = pt
+	}
+	for _, base := range baseline.Points {
+		key := fmt.Sprintf("n%d-r%g", base.Stores, base.LinkFaultPct)
+		pt, ok := byCell[key]
+		if !ok {
+			continue // baseline cell no longer in the sweep grid
+		}
+		if base.EvacTTRp99us > 0 && pt.EvacTTRp99us > 2*base.EvacTTRp99us {
+			t.Errorf("cell %s: evacuation TTR p99 %.1fµs exceeds 2× committed baseline %.1fµs",
+				key, pt.EvacTTRp99us, base.EvacTTRp99us)
+		}
+	}
+}
+
+// TestEmitPlacementBench writes BENCH_placement.json on every plain
+// `go test` run, so the placement datapoint exists without -bench.
+func TestEmitPlacementBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("keep the committed full-matrix baseline in -short")
+	}
+	pts, err := bench.PlacementSweep(placementSweepGroups, placementStores, placementRates, placementSweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writePlacementJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writePlacementJSON(pts []bench.PlacementPoint) error {
+	out := map[string]any{
+		"benchmark": "placement-matrix",
+		"seed":      placementSweepSeed,
+		"stores":    placementStores,
+		"points":    pts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_placement.json", append(data, '\n'), 0o644)
+}

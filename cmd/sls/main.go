@@ -28,6 +28,10 @@
 //	scrub <backend> [source]  verify block hashes, repair rot from a peer
 //	send <group> <file>       export an application to a file
 //	recv <file>               import an application and restore it
+//	place <name>              place a demo app on the multi-store fleet
+//	stores                    list fleet stores (domain, state, usage)
+//	drain <store>             empty a fleet store, then fence it
+//	balance                   move lineages off stores past the watermark
 //	boot <counter|redis>      spawn a demo application
 //	run <n>                   run the scheduler for n quanta
 //	stat <pid>                show one process
@@ -39,7 +43,9 @@
 // failed because the backing store was down, 6 promotion refused
 // because the current primary is still healthy, 7 promotion refused
 // because the group was fenced by a newer generation, 8 `df` found a
-// backend at or above its emergency space watermark.
+// backend at or above its emergency space watermark, 10 the operation
+// hit a draining store, 11 no feasible placement (anti-affinity,
+// liveness, or capacity has no satisfying store).
 package main
 
 import (
@@ -76,6 +82,12 @@ type session struct {
 	migs     map[uint64]*core.Migrator      // warm standby migrators per group
 	out      *bufio.Writer
 	code     int // process exit code; restore outcomes set 3/4/5
+
+	// The placement fleet: an in-process multi-store control plane
+	// (place/stores/drain/balance), built lazily on first use so the
+	// single-machine verbs stay untouched.
+	placer *core.Placer
+	placed map[string]*core.Placement // by application name
 }
 
 func newSession(out *bufio.Writer) *session {
@@ -114,6 +126,63 @@ func (s *session) addStore(name string, st *objstore.Store) *core.StoreBackend {
 
 func (s *session) printf(format string, args ...any) {
 	fmt.Fprintf(s.out, format, args...)
+}
+
+// fleet lazily boots the placement fleet: four independent store
+// machines across two failure domains, wired through a clean store
+// directory, under one placer.
+func (s *session) fleet() *core.Placer {
+	if s.placer != nil {
+		return s.placer
+	}
+	s.placer = core.NewPlacer(netback.NewDirectory(netback.LinkFaultConfig{}), core.PlacerConfig{})
+	for i := 0; i < 4; i++ {
+		clock := storage.NewClock()
+		k := kernel.NewWith(clock, vm.NewPhysMem(0))
+		o := core.NewOrchestrator(k)
+		st := objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock)
+		n := &core.StoreNode{
+			Name:   fmt.Sprintf("store%d", i),
+			Domain: fmt.Sprintf("rack%d", i%2),
+			O:      o,
+			SB:     core.NewStoreBackend(st, k.Mem, clock),
+			Sup:    core.NewSupervisor(o, core.SupervisorConfig{}),
+		}
+		if err := s.placer.AddStore(n); err != nil {
+			panic(err) // static fleet: names and domains are well-formed
+		}
+	}
+	s.placed = make(map[string]*core.Placement)
+	return s.placer
+}
+
+// placeExitCode maps a failed placement operation to the documented
+// exit codes: 10 = store is draining, 11 = no feasible placement
+// (anti-affinity, liveness, or capacity has no satisfying store),
+// 1 = anything else.
+func placeExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, core.ErrDraining):
+		return 10
+	case errors.Is(err, core.ErrNoFeasiblePlacement):
+		return 11
+	default:
+		return 1
+	}
+}
+
+// placementRow formats one fleet placement's replica homes.
+func placementRow(pl *core.Placement) string {
+	var reps []string
+	for _, r := range pl.Replicas() {
+		reps = append(reps, fmt.Sprintf("%s(%s)", r.Name, r.Domain))
+	}
+	if len(reps) == 0 {
+		return "degraded: no replicas"
+	}
+	return strings.Join(reps, " ")
 }
 
 // counterProg is the demo workload: it increments a heap counter.
@@ -688,9 +757,15 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-4s %-14s %-8s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "DURABLE", "QUORUM", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
+		s.printf("%-6s %-6s %-4s %-14s %-8s %-8s %-8s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "STORE", "DOMAIN", "DURABLE", "QUORUM", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-4d %-14s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
+			s.printf("%-6d %-6d %-4d %-14s %-8s %-8s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, "-", "-", g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
+		}
+		if s.placer != nil {
+			for _, pl := range s.placer.Placements() {
+				g, n := pl.Group(), pl.Primary()
+				s.printf("%-6d %-6d %-4d %-14s %-8s %-8s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, n.Name, n.Domain, g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
+			}
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
 		for _, p := range s.k.Processes() {
@@ -827,6 +902,97 @@ func (s *session) exec(line string) bool {
 			os := sb.Store().Stats()
 			s.printf("%s: dedup-hits=%d pack-blocks=%d blocks=%d live=%dB\n",
 				name, os.DedupHits, os.PackBlocks, os.Blocks, os.LiveBytes)
+		}
+
+	case "place":
+		if len(args) < 1 {
+			s.printf("usage: place <name>\n")
+			return true
+		}
+		p := s.fleet()
+		name := args[0]
+		if _, ok := s.placed[name]; ok {
+			return fail(fmt.Errorf("application %q is already placed", name))
+		}
+		pl, err := p.Place(name, func(n *core.StoreNode) (*core.Group, error) {
+			proc, err := n.O.K.Spawn(0, name)
+			if err != nil {
+				return nil, err
+			}
+			proc.SetProgram(&counterProg{addr: proc.HeapBase()})
+			return n.O.Persist(name, proc)
+		})
+		if err != nil {
+			s.code = placeExitCode(err)
+			return fail(err)
+		}
+		s.placed[name] = pl
+		s.printf("placed %s: lineage %d on %s (%s), replicas %s\n",
+			name, pl.Lineage, pl.Primary().Name, pl.Primary().Domain, placementRow(pl))
+
+	case "stores":
+		p := s.fleet()
+		prim := make(map[*core.StoreNode]int)
+		for _, pl := range p.Placements() {
+			prim[pl.Primary()]++
+		}
+		s.printf("%-8s %-8s %-9s %-5s %s\n", "NAME", "DOMAIN", "STATE", "USE%", "GROUPS")
+		for _, n := range p.Stores() {
+			_, _, frac := n.SB.Store().Usage()
+			s.printf("%-8s %-8s %-9s %-5s %d\n", n.Name, n.Domain, n.State(), fmt.Sprintf("%.0f", frac*100), prim[n])
+		}
+		if evac, repair := p.QueueDepths(); evac > 0 || repair > 0 {
+			s.printf("healing: %d evacuations, %d replica repairs queued\n", evac, repair)
+		}
+		if v := p.AntiAffinityViolations(); len(v) > 0 {
+			for _, msg := range v {
+				s.printf("VIOLATION: %s\n", msg)
+			}
+		}
+
+	case "drain":
+		if len(args) < 1 {
+			s.printf("usage: drain <store>\n")
+			return true
+		}
+		p := s.fleet()
+		n, err := p.Node(args[0])
+		if err != nil {
+			return fail(err)
+		}
+		evs, err := p.Drain(n)
+		for _, ev := range evs {
+			if ev.Kind == "migrated" && ev.Err == nil {
+				s.printf("  lineage %d: %s -> %s (blackout %s)\n", ev.Lineage, ev.From, ev.To, ev.TTR)
+			}
+		}
+		if err != nil {
+			s.code = placeExitCode(err)
+			return fail(err)
+		}
+		s.printf("store %s drained and fenced\n", n.Name)
+
+	case "balance":
+		p := s.fleet()
+		evs, err := p.Rebalance()
+		moved := 0
+		for _, ev := range evs {
+			switch ev.Kind {
+			case "rebalanced":
+				moved++
+				s.printf("  lineage %d: %s -> %s (blackout %s)\n", ev.Lineage, ev.From, ev.To, ev.TTR)
+			case "rebalance-skipped":
+				s.printf("  lineage %d: pressure on %s, no feasible target (deferred)\n", ev.Lineage, ev.From)
+			}
+		}
+		if err != nil {
+			s.code = placeExitCode(err)
+			return fail(err)
+		}
+		if moved == 0 {
+			s.printf("fleet balanced: no store above the high watermark\n")
+		} else {
+			s.printf("rebalanced %d lineage(s)\n", moved)
 		}
 
 	case "send":
@@ -998,6 +1164,24 @@ const helpText = `Aurora single level store (Table 1):
   fleet                      show the shard runtime (worker pool, group
                              placements, flush memory budget) and each
                              store backend's dedup and metadata packing
+  place <name>               place a demo app on the multi-store fleet:
+                             the placer picks the least-loaded store and
+                             replicates to a different failure domain
+                             (hard anti-affinity). exit codes: 0 placed,
+                             11 no feasible placement
+  stores                     list the placement fleet: per-store failure
+                             domain, lifecycle state (active|draining|
+                             down|fenced), space usage, resident groups,
+                             plus any queued healing work
+  drain <store>              decommission a fleet store: live-migrate
+                             every resident lineage off, re-home replica
+                             roles, then fence it. exit codes: 0 drained,
+                             10 already draining, 11 nowhere to move a
+                             resident
+  balance                    one pressure-driven rebalance pass: every
+                             store past the high watermark moves its
+                             heaviest lineage to the emptiest compatible
+                             store
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
   scrub <backend> [source]   verify every block hash on a store backend,

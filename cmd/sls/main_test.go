@@ -573,3 +573,78 @@ func TestCLIMigrateErrors(t *testing.T) {
 		t.Fatalf("bare takeover not refused:\n%s", got)
 	}
 }
+
+// TestCLIStores: placements spread across the fleet under
+// anti-affinity (a replica never shares the primary's rack), the
+// stores table reports domain/state/residency, and ps gains STORE and
+// DOMAIN columns — "-" for single-machine groups, the primary's home
+// for placed ones.
+func TestCLIStores(t *testing.T) {
+	got := runScript(t,
+		"boot counter; persist 1 app; attach app nvme; "+
+			"place app1; place app2; place app3; stores; ps")
+	for _, want := range []string{
+		"placed app1: lineage 4294967297 on store0 (rack0), replicas store1(rack1)",
+		"placed app2: lineage 8589934593 on store1 (rack1),",
+		"NAME     DOMAIN   STATE",
+		"store3   rack1    active",
+		"STORE",
+		"DOMAIN",
+		"app            -        -", // single-machine group: no fleet home
+		"app1           store0   rack0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIDrain: a drain live-migrates residents off, fences the
+// store, and the fenced store refuses a second drain with exit code
+// 11 (no feasible placement).
+func TestCLIDrain(t *testing.T) {
+	got, code := runSession(t,
+		"place app1; place app2; place app3; place app4",
+		nil,
+		"drain store0; stores")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, got)
+	}
+	for _, want := range []string{
+		"store store0 drained and fenced",
+		"store0   rack0    fenced",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "-> store") {
+		t.Fatalf("drain reported no migrations:\n%s", got)
+	}
+
+	got, code = runSession(t, "place app1; drain store1", nil, "drain store1")
+	if code != 11 {
+		t.Fatalf("re-draining a fenced store: exit code = %d, want 11:\n%s", code, got)
+	}
+	if !strings.Contains(got, "not drainable") {
+		t.Fatalf("fenced store accepted a drain:\n%s", got)
+	}
+}
+
+// TestCLIBalance: a fleet of unbounded stores is never pressured —
+// one pass reports balance and moves nothing.
+func TestCLIBalance(t *testing.T) {
+	got, code := runSession(t, "place app1; place app2", nil, "balance; stores")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, got)
+	}
+	if !strings.Contains(got, "fleet balanced: no store above the high watermark") {
+		t.Fatalf("balance pass not reported:\n%s", got)
+	}
+	got = runScript(t, "place; drain")
+	for _, want := range []string{"usage: place <name>", "usage: drain <store>"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("usage line missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -4,14 +4,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"time"
 
 	"aurora/internal/core"
 	"aurora/internal/kernel"
 	"aurora/internal/netback"
-	"aurora/internal/objstore"
 	"aurora/internal/storage"
 	"aurora/internal/vm"
 )
@@ -122,127 +120,29 @@ type MigrateChaosReport struct {
 	FinalCounter     uint64 // workload counter at exit
 }
 
-// migMachine is one simulated machine: its own virtual clock, kernel,
-// orchestrator, and fault-injecting store.
-type migMachine struct {
-	name  string
-	clock *storage.Clock
-	k     *kernel.Kernel
-	o     *core.Orchestrator
-	fd    *storage.FaultDevice
-	sb    *core.StoreBackend
-}
+// migMachine is one simulated machine (the shared topology Node:
+// its own virtual clock, kernel, orchestrator, fault-injecting store).
+type migMachine = Node
 
 func newMigMachine(name string, seed int64, writeErr, readErr float64) *migMachine {
-	clock := storage.NewClock()
-	k := kernel.NewWith(clock, vm.NewPhysMem(0))
-	o := core.NewOrchestrator(k)
-	o.FlushWorkers = 1 // deterministic fan-out ordering
-	fd := storage.NewFaultDevice(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock,
-		storage.FaultConfig{Seed: seed, WriteErr: writeErr, ReadErr: readErr})
-	sb := core.NewStoreBackend(objstore.Create(fd, clock), k.Mem, clock)
-	return &migMachine{name: name, clock: clock, k: k, o: o, fd: fd, sb: sb}
+	return NewNode(name, seed, writeErr, readErr)
 }
 
-// migLink is the migration wire between two machines: a fault link
-// carrying the acked replication stream plus the handoff frames.
-type migLink struct {
-	link      *netback.FaultLink
-	endA, endB io.ReadWriteCloser
-	rb        *netback.ReplicaBackend
-	recv      *netback.Receiver
-	serveDone chan error
-	serving   bool
-
-	// Scripted partition: while blockedFor > 0, reconnect attempts
-	// burn down the counter instead of healing — the link stays
-	// partitioned across that many retry attempts.
-	blockedFor int
-}
+// migLink is the migration wire between two machines (the shared
+// topology Wire: a fault link carrying the acked replication stream
+// plus the handoff frames).
+type migLink = Wire
 
 func newMigLink(seed int64, cfg MigrateChaosConfig, src, dst *migMachine) *migLink {
-	ml := &migLink{serveDone: make(chan error, 1)}
-	ml.link = netback.NewFaultLink(netback.LinkFaultConfig{
-		Seed:    seed,
+	tp := NewTopology(netback.LinkFaultConfig{
 		Drop:    cfg.LinkDrop,
 		Dup:     cfg.LinkDup,
 		Reorder: cfg.LinkReorder,
 		Corrupt: cfg.LinkCorrupt,
-	}, src.clock)
-	ml.endA, ml.endB = ml.link.A(), ml.link.B()
-	ml.recv = netback.NewReceiver(dst.k.Mem, dst.clock)
-	ml.rb = netback.NewReplicaBackend(src.clock)
+	})
+	ml := tp.Wire(seed, src, dst)
 	ml.rb.SetName("migrate-link")
 	return ml
-}
-
-func (ml *migLink) startServe() {
-	ml.serving = true
-	go func() {
-		_, err := ml.recv.ServeReplica(ml.endB)
-		ml.serveDone <- err
-	}()
-}
-
-// reset re-establishes the link: poison the serve loop, reap, drain,
-// heal, re-handshake. While a scripted partition window is open it
-// fails instead, modeling an unreachable far side.
-func (ml *migLink) reset(group uint64) error {
-	if ml.blockedFor > 0 {
-		ml.blockedFor--
-		return fmt.Errorf("bench: migration link partitioned: %w", netback.ErrDisconnected)
-	}
-	ml.link.PartitionBoth()
-	if ml.serving {
-		<-ml.serveDone
-		ml.serving = false
-	}
-	ml.rb.Disconnect()
-	ml.link.DrainPending()
-	ml.link.Heal()
-	var err error
-	for attempt := 0; attempt < 64; attempt++ {
-		if !ml.serving {
-			ml.startServe()
-		}
-		if _, err = ml.rb.Connect(ml.endA, group); err == nil {
-			return nil
-		}
-		<-ml.serveDone
-		ml.serving = false
-	}
-	return fmt.Errorf("bench: migration link did not recover: %w", err)
-}
-
-// connect performs the initial handshake, falling back to the full
-// reset dance when an injected fault eats the hello.
-func (ml *migLink) connect(group uint64) error {
-	if !ml.serving {
-		ml.startServe()
-	}
-	if _, err := ml.rb.Connect(ml.endA, group); err == nil {
-		return nil
-	}
-	return ml.reset(group)
-}
-
-// partition opens a scripted partition that survives the next
-// `retries` reconnect attempts.
-func (ml *migLink) partition(retries int) {
-	ml.link.PartitionBoth()
-	ml.blockedFor = retries
-}
-
-// stop tears the link down for good (end of a hop).
-func (ml *migLink) stop() {
-	ml.link.PartitionBoth()
-	if ml.serving {
-		<-ml.serveDone
-		ml.serving = false
-	}
-	ml.rb.Disconnect()
-	ml.link.DrainPending()
-	ml.link.Heal()
 }
 
 // migRun carries the harness state across hops.

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"time"
 
@@ -146,22 +145,11 @@ type QuorumChaosReport struct {
 	RestoresVerified int    // bit-identical restores checked (mid-run + final)
 }
 
-// quorumLink is one replica link of the harness: its fault link, the
-// backend on the primary side, and the receiver standing in for the
-// replica machine.
-type quorumLink struct {
-	name      string
-	link      *netback.FaultLink
-	endA      io.ReadWriteCloser
-	endB      io.ReadWriteCloser
-	rb        *netback.ReplicaBackend
-	recv      *netback.Receiver
-	pm        *vm.PhysMem
-	clock     *storage.Clock
-	serveDone chan error
-	serving   bool
-	down      bool // inside a scripted kill or partition window
-}
+// quorumLink is one replica link of the harness (the shared topology
+// Wire built as a standalone Endpoint: its fault link, the backend on
+// the primary side, and the receiver standing in for the replica
+// machine).
+type quorumLink = Wire
 
 // quorumRun carries the harness state.
 type quorumRun struct {
@@ -184,37 +172,16 @@ type quorumRun struct {
 	forceFull   bool
 }
 
-func (q *quorumRun) startServe(l *quorumLink) {
-	l.serving = true
-	go func() {
-		_, err := l.recv.ServeReplica(l.endB)
-		l.serveDone <- err
-	}()
-}
+func (q *quorumRun) startServe(l *quorumLink) { l.startServe() }
 
-// resetLink re-establishes one replica link (same dance as the chaos
-// harness: poison the serve loop, reap, drain, heal, re-handshake).
+// resetLink re-establishes one replica link (the shared topology
+// Wire's dance: poison the serve loop, reap, drain, heal,
+// re-handshake).
 func (q *quorumRun) resetLink(l *quorumLink) error {
-	l.link.PartitionBoth()
-	if l.serving {
-		<-l.serveDone
-		l.serving = false
+	if err := l.reset(q.g.ID); err != nil {
+		return fmt.Errorf("bench: quorum seed %d: %w", q.cfg.Seed, err)
 	}
-	l.rb.Disconnect()
-	l.link.DrainPending()
-	l.link.Heal()
-	var err error
-	for attempt := 0; attempt < 64; attempt++ {
-		if !l.serving {
-			q.startServe(l)
-		}
-		if _, err = l.rb.Connect(l.endA, q.g.ID); err == nil {
-			return nil
-		}
-		<-l.serveDone
-		l.serving = false
-	}
-	return fmt.Errorf("bench: quorum seed %d: link %s did not recover: %w", q.cfg.Seed, l.name, err)
+	return nil
 }
 
 func (q *quorumRun) linkHealth(name string) (core.BackendHealthInfo, bool) {
@@ -446,31 +413,20 @@ func runQuorum(cfg QuorumChaosConfig, baseline bool) (*QuorumChaosReport, error)
 		counterAt: make(map[uint64]uint64),
 	}
 
-	// Primary machine: fault-free local store + N replica links.
-	q.srcClock = storage.NewClock()
-	q.srcK = kernel.NewWith(q.srcClock, vm.NewPhysMem(0))
-	q.srcO = core.NewOrchestrator(q.srcK)
-	q.srcO.FlushWorkers = 1 // deterministic fan-out ordering
-	q.srcStore = core.NewStoreBackend(objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, q.srcClock), q.srcClock), q.srcK.Mem, q.srcClock)
+	// Primary machine: fault-free local store + N replica links, all
+	// composed through the shared topology builder.
+	tp := NewTopology(netback.LinkFaultConfig{
+		Drop:    cfg.LinkDrop,
+		Dup:     cfg.LinkDup,
+		Reorder: cfg.LinkReorder,
+		Corrupt: cfg.LinkCorrupt,
+	})
+	src := tp.Node("quorum-src", cfg.Seed, 0, 0)
+	q.srcClock, q.srcK, q.srcO, q.srcStore = src.clock, src.k, src.o, src.sb
 
 	q.rs = netback.NewReplicaSet(cfg.W)
 	for i := 0; i < cfg.Replicas; i++ {
-		l := &quorumLink{
-			name:      fmt.Sprintf("replica%d", i),
-			pm:        vm.NewPhysMem(0),
-			clock:     storage.NewClock(),
-			serveDone: make(chan error, 1),
-		}
-		l.link = netback.NewFaultLink(netback.LinkFaultConfig{
-			Seed:    cfg.Seed*1000003 + int64(i)*7919,
-			Drop:    cfg.LinkDrop,
-			Dup:     cfg.LinkDup,
-			Reorder: cfg.LinkReorder,
-			Corrupt: cfg.LinkCorrupt,
-		}, q.srcClock)
-		l.endA, l.endB = l.link.A(), l.link.B()
-		l.recv = netback.NewReceiver(l.pm, l.clock)
-		l.rb = netback.NewReplicaBackend(q.srcClock)
+		l := tp.Endpoint(fmt.Sprintf("replica%d", i), cfg.Seed*1000003+int64(i)*7919, src)
 		if i == cfg.Replicas-1 {
 			l.rb.SetLinkLatency(cfg.SlowLinkLatency)
 		}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"aurora/internal/core"
+	"aurora/internal/kernel"
+	"aurora/internal/netback"
+	"aurora/internal/objstore"
+	"aurora/internal/storage"
+	"aurora/internal/vm"
+)
+
+// Shared fleet topology builder. Every chaos engine in this package
+// simulates the same two primitives — a *machine* (its own virtual
+// clock, kernel, orchestrator, and fault-injecting store) and a *wire*
+// (a fault link carrying the acked replica protocol between a sender
+// backend and a far-side receiver). The placement, migrate, and quorum
+// engines used to each hardcode their own copies; Topology is the one
+// builder they all compose stores through, so a fix to the connect /
+// reset / teardown dance lands everywhere at once.
+
+// Topology builds machines and wires under one link-fault template.
+type Topology struct {
+	faults netback.LinkFaultConfig // per-wire template; Seed is per-wire
+	nodes  []*Node
+}
+
+// NewTopology creates a builder whose wires inject faults per the
+// template (the template's Seed is ignored — each wire passes its
+// own, so two wires never replay the same fault schedule).
+func NewTopology(faults netback.LinkFaultConfig) *Topology {
+	return &Topology{faults: faults}
+}
+
+// Nodes lists every node built so far, in build order.
+func (tp *Topology) Nodes() []*Node { return tp.nodes }
+
+// Node is one simulated machine: its own virtual clock, kernel,
+// orchestrator, and fault-injecting store.
+type Node struct {
+	name  string
+	clock *storage.Clock
+	k     *kernel.Kernel
+	o     *core.Orchestrator
+	fd    *storage.FaultDevice
+	sb    *core.StoreBackend
+}
+
+// Node builds a machine whose store device injects faults at the
+// given rates under its own seed.
+func (tp *Topology) Node(name string, seed int64, writeErr, readErr float64) *Node {
+	n := NewNode(name, seed, writeErr, readErr)
+	tp.nodes = append(tp.nodes, n)
+	return n
+}
+
+// NewNode builds one standalone machine (no topology bookkeeping).
+func NewNode(name string, seed int64, writeErr, readErr float64) *Node {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	o.FlushWorkers = 1 // deterministic fan-out ordering
+	fd := storage.NewFaultDevice(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock,
+		storage.FaultConfig{Seed: seed, WriteErr: writeErr, ReadErr: readErr})
+	sb := core.NewStoreBackend(objstore.Create(fd, clock), k.Mem, clock)
+	return &Node{name: name, clock: clock, k: k, o: o, fd: fd, sb: sb}
+}
+
+// Wire is one replication wire: a fault link carrying the acked
+// replica stream (plus migration handoff frames) from a sender-side
+// ReplicaBackend to a far-side Receiver.
+type Wire struct {
+	name       string
+	link       *netback.FaultLink
+	endA, endB io.ReadWriteCloser
+	rb         *netback.ReplicaBackend
+	recv       *netback.Receiver
+	pm         *vm.PhysMem    // standalone endpoints own their memory
+	clock      *storage.Clock // ... and their clock
+	serveDone  chan error
+	serving    bool
+
+	// Scripted partition: while blockedFor > 0, reconnect attempts
+	// burn down the counter instead of healing — the wire stays
+	// partitioned across that many retry attempts.
+	blockedFor int
+	// down marks a scripted kill/partition window (engine bookkeeping).
+	down bool
+}
+
+// Wire strings a wire from src to a receiver on dst's memory and
+// clock, injecting faults per the topology template under seed.
+func (tp *Topology) Wire(seed int64, src, dst *Node) *Wire {
+	w := tp.wire(seed, src)
+	w.name = fmt.Sprintf("%s->%s", src.name, dst.name)
+	w.recv = netback.NewReceiver(dst.k.Mem, dst.clock)
+	return w
+}
+
+// Endpoint strings a wire from src to a standalone receiver with its
+// own physical memory and clock — a replica that is not a full
+// machine (the quorum engine's members).
+func (tp *Topology) Endpoint(name string, seed int64, src *Node) *Wire {
+	w := tp.wire(seed, src)
+	w.name = name
+	w.pm = vm.NewPhysMem(0)
+	w.clock = storage.NewClock()
+	w.recv = netback.NewReceiver(w.pm, w.clock)
+	return w
+}
+
+func (tp *Topology) wire(seed int64, src *Node) *Wire {
+	cfg := tp.faults
+	cfg.Seed = seed
+	w := &Wire{serveDone: make(chan error, 1)}
+	w.link = netback.NewFaultLink(cfg, src.clock)
+	w.endA, w.endB = w.link.A(), w.link.B()
+	w.rb = netback.NewReplicaBackend(src.clock)
+	return w
+}
+
+func (w *Wire) startServe() {
+	w.serving = true
+	go func() {
+		_, err := w.recv.ServeReplica(w.endB)
+		w.serveDone <- err
+	}()
+}
+
+// reset re-establishes the wire: poison the serve loop, reap, drain,
+// heal, re-handshake. While a scripted partition window is open it
+// fails instead, modeling an unreachable far side.
+func (w *Wire) reset(group uint64) error {
+	if w.blockedFor > 0 {
+		w.blockedFor--
+		return fmt.Errorf("bench: wire %s partitioned: %w", w.name, netback.ErrDisconnected)
+	}
+	w.link.PartitionBoth()
+	if w.serving {
+		<-w.serveDone
+		w.serving = false
+	}
+	w.rb.Disconnect()
+	w.link.DrainPending()
+	w.link.Heal()
+	var err error
+	for attempt := 0; attempt < 64; attempt++ {
+		if !w.serving {
+			w.startServe()
+		}
+		if _, err = w.rb.Connect(w.endA, group); err == nil {
+			return nil
+		}
+		<-w.serveDone
+		w.serving = false
+	}
+	return fmt.Errorf("bench: wire %s did not recover: %w", w.name, err)
+}
+
+// connect performs the initial handshake, falling back to the full
+// reset dance when an injected fault eats the hello.
+func (w *Wire) connect(group uint64) error {
+	if !w.serving {
+		w.startServe()
+	}
+	if _, err := w.rb.Connect(w.endA, group); err == nil {
+		return nil
+	}
+	return w.reset(group)
+}
+
+// partition opens a scripted partition that survives the next
+// `retries` reconnect attempts.
+func (w *Wire) partition(retries int) {
+	w.link.PartitionBoth()
+	w.blockedFor = retries
+}
+
+// stop tears the wire down for good.
+func (w *Wire) stop() {
+	w.link.PartitionBoth()
+	if w.serving {
+		<-w.serveDone
+		w.serving = false
+	}
+	w.rb.Disconnect()
+	w.link.DrainPending()
+	w.link.Heal()
+}

@@ -336,6 +336,20 @@ func NewOrchestrator(k *kernel.Kernel) *Orchestrator {
 // AttachFS mounts an Aurora file system for descriptor restores.
 func (o *Orchestrator) AttachFS(fs *slsfs.FS) { o.FS = fs }
 
+// SetIDBase raises the group-ID allocation floor. Group IDs double as
+// lineage and fencing keys, and those keys are compared across stores
+// in a multi-store fleet — so a control plane that runs one
+// orchestrator per store gives each a disjoint range (the placer
+// shifts the store's admission index into the high bits). Lowering the
+// floor is a no-op; single-store deployments never call this.
+func (o *Orchestrator) SetIDBase(base uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.nextID < base {
+		o.nextID = base
+	}
+}
+
 // Persist creates a persistence group containing the process tree
 // rooted at p (the `sls persist` command). All VM objects reachable
 // from the tree are marked tracked.

@@ -1,0 +1,1134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file implements the multi-store placement control plane: the
+// composition of PRs 2/5/6/8 into a fleet that heals itself. A Placer
+// spreads persistence groups across N stores — each an independent
+// machine with its own orchestrator, objstore, and replica links — by
+// failure domain, load, and free space, with hard anti-affinity: a
+// lineage's copies never share a failure domain, so no single rack or
+// host death can take both.
+//
+// The placer is also the actor when the world changes:
+//
+//   - Store death (a probe ladder mirroring the PR 2 per-backend
+//     health machine: transient failures degrade, DownAfter
+//     consecutive failures declare the store down) triggers automatic
+//     evacuation. Resident lineages are queued hot-first — a lineage
+//     whose replica is fully caught up to the durable frontier promotes
+//     in constant time — and drained through a bounded-concurrency
+//     throttle (EvacConcurrency per Poll round, each landing on its
+//     target machine's own detached clock). Lineages still queued
+//     surface the typed ErrEvacuating.
+//   - Space pressure (the PR 5 watermarks) triggers rebalance: the
+//     heaviest resident lineage live-migrates (core.Migrator) toward
+//     the emptiest compatible store before ENOSPC shedding begins.
+//   - Planned decommission is first-class: Drain empties a store —
+//     live-migrating primaries off, re-homing replica roles — then
+//     fences it.
+//
+// Throughout, the PR 8 invariants hold: durable never regresses along
+// a lineage, and exactly one store claims the primary role at the max
+// generation (promotion mints above every witnessed fence; the old
+// store's claim survives only at a strictly lower generation).
+
+// Typed placement errors.
+var (
+	// ErrEvacuating marks a lineage queued for (or mid-) evacuation
+	// after its primary store died: its placement is in flux.
+	ErrEvacuating = errors.New("core: lineage is evacuating")
+	// ErrDraining refuses an operation against a draining store
+	// (CLI exit code 10).
+	ErrDraining = errors.New("core: store is draining")
+	// ErrNoFeasiblePlacement means no store satisfies the placement
+	// constraints — anti-affinity, liveness, capacity (CLI exit 11).
+	ErrNoFeasiblePlacement = errors.New("core: no feasible placement")
+	// ErrUnknownLineage rejects a lookup of a lineage the placer never
+	// placed (or has lost every copy of).
+	ErrUnknownLineage = errors.New("core: unknown lineage")
+)
+
+// StoreState is one fleet store's lifecycle state.
+type StoreState int
+
+const (
+	// StoreActive accepts placements and serves residents.
+	StoreActive StoreState = iota
+	// StoreDraining is being decommissioned: it serves residents but
+	// refuses new placements while Drain moves its residents off.
+	StoreDraining
+	// StoreDown failed its probe ladder: residents are evacuated.
+	StoreDown
+	// StoreFenced is a drained store: empty, refusing everything.
+	StoreFenced
+)
+
+func (s StoreState) String() string {
+	switch s {
+	case StoreActive:
+		return "active"
+	case StoreDraining:
+		return "draining"
+	case StoreDown:
+		return "down"
+	case StoreFenced:
+		return "fenced"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// StoreNode is one store of the fleet: an independent machine with its
+// own orchestrator (clock, kernel, flush pipeline), its own object
+// store, and optionally its own supervisor and space reclaimer.
+type StoreNode struct {
+	Name   string
+	Domain string // failure domain (rack/host/AZ) for anti-affinity
+	O      *Orchestrator
+	SB     *StoreBackend
+	Sup    *Supervisor // optional: crash recovery on this machine
+	Rec    *Reclaimer  // optional: space pressure on this machine
+
+	mu         sync.Mutex
+	state      StoreState
+	probeFails int
+}
+
+// State returns the node's lifecycle state.
+func (n *StoreNode) State() StoreState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+func (n *StoreNode) setState(st StoreState) {
+	n.mu.Lock()
+	n.state = st
+	n.mu.Unlock()
+}
+
+// usageFrac is the store's device occupancy fraction (0 when the
+// device is unbounded).
+func (n *StoreNode) usageFrac() float64 {
+	_, _, frac := n.SB.Store().Usage()
+	return frac
+}
+
+// PlacerLinks is the placer's view of the fleet's replication wiring —
+// the store directory. netback.Directory implements it. The placer
+// never touches wire details: it asks for a link from a primary node
+// to a replica node for one stream and gets back the sender-side
+// backend to attach and the receiver-side source promotions read.
+type PlacerLinks interface {
+	// Link establishes (or returns) the replication wire src→dst for
+	// one stream, connected and serving.
+	Link(src, dst *StoreNode, stream uint64) (Backend, ReplicaSource, error)
+	// Reconnect re-establishes a dropped link connection (the
+	// migrator's retry hook).
+	Reconnect(src, dst *StoreNode, stream uint64) error
+	// Drop tears the wire down for good.
+	Drop(src, dst *StoreNode, stream uint64)
+}
+
+// PlacerConfig tunes the control plane. Zero values select defaults.
+type PlacerConfig struct {
+	// Replicas is the total copy count per lineage, primary included
+	// (default 2: primary + one replica).
+	Replicas int
+	// EvacConcurrency bounds evacuations and replica repairs processed
+	// per Poll round (default 4): the throttle that keeps a dead
+	// store's hundreds of residents from re-homing in one indivisible
+	// storm.
+	EvacConcurrency int
+	// DownAfter is the probe ladder: consecutive probe failures before
+	// a store is declared down (default 3). Mirrors the PR 2 backend
+	// health machine — one failure degrades, the ladder declares down.
+	DownAfter int
+	// HighWater is the occupancy fraction that triggers rebalance
+	// (default 0.80, the PR 5 high watermark).
+	HighWater float64
+	// MigrateRounds bounds pre-copy rounds for drain/rebalance
+	// migrations (default 2).
+	MigrateRounds int
+	// Retries is the migrator's per-phase retry budget for every
+	// placement-driven move (0 keeps the migrator default). Chaos
+	// runs with injected faults need the headroom.
+	Retries int
+	// Opts is applied to every promotion/migration restore.
+	Opts RestoreOpts
+}
+
+func (c PlacerConfig) replicas() int {
+	if c.Replicas > 0 {
+		return c.Replicas
+	}
+	return 2
+}
+
+func (c PlacerConfig) evacConcurrency() int {
+	if c.EvacConcurrency > 0 {
+		return c.EvacConcurrency
+	}
+	return 4
+}
+
+func (c PlacerConfig) downAfter() int {
+	if c.DownAfter > 0 {
+		return c.DownAfter
+	}
+	return 3
+}
+
+func (c PlacerConfig) highWater() float64 {
+	if c.HighWater > 0 {
+		return c.HighWater
+	}
+	return 0.80
+}
+
+func (c PlacerConfig) migrateRounds() int {
+	if c.MigrateRounds > 0 {
+		return c.MigrateRounds
+	}
+	return 2
+}
+
+// Placement is one lineage's current home: the primary node running
+// the group plus the replica nodes holding acked copies.
+type Placement struct {
+	Lineage uint64
+	Name    string
+
+	// All mutable state below is guarded by the owning placer's mu.
+	primary    *StoreNode
+	replicas   []*StoreNode
+	sources    map[*StoreNode]ReplicaSource // receiver views, per replica
+	wires      map[*StoreNode]Backend       // sender backends, per replica
+	g          *Group
+	evacuating bool
+	lost       bool
+}
+
+// Group returns the live group (on the primary node's orchestrator).
+func (pl *Placement) Group() *Group { return pl.g }
+
+// Primary returns the node running the lineage.
+func (pl *Placement) Primary() *StoreNode { return pl.primary }
+
+// Replicas returns the replica nodes (primary excluded).
+func (pl *Placement) Replicas() []*StoreNode {
+	return append([]*StoreNode(nil), pl.replicas...)
+}
+
+// PlacerEvent records one control-plane action.
+type PlacerEvent struct {
+	Kind    string // "store-down", "evacuated", "repaired", "rebalanced", "drained", "evac-failed", ...
+	Store   string // the store acted on (down/drained)
+	Lineage uint64
+	From    string // previous home
+	To      string // new home
+	Gen     uint64 // generation minted by the move
+	Floor   uint64 // the epoch the move resumed from
+	TTR     time.Duration
+	Err     error
+}
+
+// Placer is the fleet placement control plane.
+type Placer struct {
+	links PlacerLinks
+	cfg   PlacerConfig
+
+	mu         sync.Mutex
+	nodes      []*StoreNode
+	placements map[uint64]*Placement
+	evacq      []uint64 // lineages whose primary died, awaiting promotion
+	repairq    []uint64 // lineages that lost a replica, awaiting re-replication
+	events     []PlacerEvent
+}
+
+// NewPlacer creates a placer wiring replication through links.
+func NewPlacer(links PlacerLinks, cfg PlacerConfig) *Placer {
+	return &Placer{links: links, cfg: cfg, placements: make(map[uint64]*Placement)}
+}
+
+// AddStore admits a store into the fleet and stamps its placement
+// labels onto the objstore, so the store itself knows its identity.
+func (p *Placer) AddStore(n *StoreNode) error {
+	if n.Name == "" || n.Domain == "" {
+		return fmt.Errorf("core: store needs a name and a failure domain")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ex := range p.nodes {
+		if ex.Name == n.Name {
+			return fmt.Errorf("core: store %q already admitted", n.Name)
+		}
+	}
+	n.SB.Store().SetLabels(n.Name, n.Domain)
+	// Group IDs are minted per orchestrator but compared fleet-wide
+	// (lineage keys, PrimaryGen fencing) — give each store a disjoint
+	// range so two stores never mint the same lineage.
+	n.O.SetIDBase(uint64(len(p.nodes)+1) << 32)
+	if n.Sup != nil {
+		n.Sup.ExemptEvacuations(p.evacuationOf)
+	}
+	p.nodes = append(p.nodes, n)
+	return nil
+}
+
+// Stores lists the fleet's nodes in admission order.
+func (p *Placer) Stores() []*StoreNode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*StoreNode(nil), p.nodes...)
+}
+
+// Node resolves a store by name.
+func (p *Placer) Node(name string) (*StoreNode, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range p.nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no store named %q", name)
+}
+
+// Events returns every control-plane event recorded so far.
+func (p *Placer) Events() []PlacerEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]PlacerEvent(nil), p.events...)
+}
+
+// Placements lists every placement, sorted by lineage.
+func (p *Placer) Placements() []*Placement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Placement, 0, len(p.placements))
+	for _, pl := range p.placements {
+		out = append(out, pl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lineage < out[j].Lineage })
+	return out
+}
+
+// Lookup resolves a lineage's placement. A lineage mid-evacuation
+// returns its (stale) placement together with ErrEvacuating; callers
+// must not route work to it until a later Lookup succeeds.
+func (p *Placer) Lookup(lineage uint64) (*Placement, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl, ok := p.placements[lineage]
+	if !ok {
+		return nil, fmt.Errorf("core: lineage %d: %w", lineage, ErrUnknownLineage)
+	}
+	if pl.lost {
+		return nil, fmt.Errorf("core: lineage %d lost every copy: %w", lineage, ErrUnknownLineage)
+	}
+	if pl.evacuating {
+		return pl, fmt.Errorf("core: lineage %d: %w", lineage, ErrEvacuating)
+	}
+	return pl, nil
+}
+
+// evacuationOf is the supervisor exemption hook: a crash on a group
+// whose lineage is mid-evacuation (or whose primary store is down or
+// draining) is the store's fault, not the application's, so its
+// recovery must not be charged against the crash-loop restart budget.
+func (p *Placer) evacuationOf(g *Group) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pl := range p.placements {
+		if pl.g != g {
+			continue
+		}
+		if pl.evacuating {
+			return true
+		}
+		if st := pl.primary.State(); st == StoreDown || st == StoreDraining {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// primaries counts placements whose primary is n. Caller holds p.mu.
+func (p *Placer) primariesLocked(n *StoreNode) int {
+	c := 0
+	for _, pl := range p.placements {
+		if pl.primary == n && !pl.lost {
+			c++
+		}
+	}
+	return c
+}
+
+// pick chooses the best eligible node: active, not in `exclude`, and
+// in a failure domain not in `domains`. Lower occupancy wins, then
+// fewer resident primaries, then name (deterministic). Caller holds
+// p.mu.
+func (p *Placer) pickLocked(exclude map[*StoreNode]bool, domains map[string]bool) *StoreNode {
+	var best *StoreNode
+	var bestFrac float64
+	var bestPrim int
+	for _, n := range p.nodes {
+		if n.State() != StoreActive || exclude[n] || domains[n.Domain] {
+			continue
+		}
+		frac := n.usageFrac()
+		prim := p.primariesLocked(n)
+		if best == nil ||
+			frac < bestFrac ||
+			(frac == bestFrac && prim < bestPrim) ||
+			(frac == bestFrac && prim == bestPrim && n.Name < best.Name) {
+			best, bestFrac, bestPrim = n, frac, prim
+		}
+	}
+	return best
+}
+
+// Place schedules a new lineage onto the fleet: start is invoked on
+// the chosen primary node to spawn and persist the workload there
+// (the placer cannot know how to build the application). The placer
+// then anchors the lineage on the primary's store, wires Replicas-1
+// acked replica links to stores in distinct failure domains, and
+// registers the supervisor watch. It fails with ErrNoFeasiblePlacement
+// before starting anything if the fleet cannot satisfy anti-affinity.
+func (p *Placer) Place(name string, start func(*StoreNode) (*Group, error)) (*Placement, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.placeLocked(name, start)
+}
+
+func (p *Placer) placeLocked(name string, start func(*StoreNode) (*Group, error)) (*Placement, error) {
+	need := p.cfg.replicas()
+	// Feasibility first: enough distinct live failure domains.
+	domains := make(map[string]bool)
+	for _, n := range p.nodes {
+		if n.State() == StoreActive {
+			domains[n.Domain] = true
+		}
+	}
+	if len(domains) < need {
+		return nil, fmt.Errorf("core: placing %q needs %d distinct failure domains, fleet has %d live: %w",
+			name, need, len(domains), ErrNoFeasiblePlacement)
+	}
+
+	primary := p.pickLocked(nil, nil)
+	if primary == nil {
+		return nil, fmt.Errorf("core: placing %q: no live store: %w", name, ErrNoFeasiblePlacement)
+	}
+	g, err := start(primary)
+	if err != nil {
+		return nil, fmt.Errorf("core: placing %q on %s: %w", name, primary.Name, err)
+	}
+
+	primary.O.Attach(g, primary.SB)
+	if err := primary.SB.Store().SetPrimary(g.ID, g.Generation()); err != nil {
+		return nil, fmt.Errorf("core: placing %q: claiming primary on %s: %w", name, primary.Name, err)
+	}
+	// Persisting the claim exercises the store's write path; a flaky
+	// (fault-injected) device fails individual publishes without being
+	// dead, so retry a few rolls before giving up on the placement.
+	var syncErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		if syncErr = primary.O.syncWithReclaim(primary.SB); syncErr == nil {
+			break
+		}
+	}
+	if syncErr != nil {
+		return nil, fmt.Errorf("core: placing %q: persisting claim on %s: %w", name, primary.Name, syncErr)
+	}
+
+	pl := &Placement{
+		Lineage: g.ID,
+		Name:    name,
+		primary: primary,
+		g:       g,
+		sources: make(map[*StoreNode]ReplicaSource),
+		wires:   make(map[*StoreNode]Backend),
+	}
+	exclude := map[*StoreNode]bool{primary: true}
+	used := map[string]bool{primary.Domain: true}
+	for i := 1; i < need; i++ {
+		r := p.pickLocked(exclude, used)
+		if r == nil {
+			return nil, fmt.Errorf("core: placing %q: replica %d has no anti-affine store: %w",
+				name, i, ErrNoFeasiblePlacement)
+		}
+		b, view, err := p.links.Link(primary, r, g.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: placing %q: linking %s→%s: %w", name, primary.Name, r.Name, err)
+		}
+		primary.O.Attach(g, b)
+		pl.replicas = append(pl.replicas, r)
+		pl.sources[r] = view
+		pl.wires[r] = b
+		exclude[r] = true
+		used[r.Domain] = true
+	}
+	if primary.Sup != nil {
+		primary.Sup.Watch(g)
+	}
+	p.placements[g.ID] = pl
+	return pl, nil
+}
+
+// probe checks one store's health: publishing the index exercises the
+// device's write path end to end. Transient injected faults fail a
+// probe without failing the store — the DownAfter ladder separates a
+// flaky device from a dead one, exactly like the PR 2 backend ladder.
+func (p *Placer) probe(n *StoreNode) error {
+	return n.SB.Store().Sync()
+}
+
+// Poll runs one control-plane round: probe every store, declare deaths,
+// and process the evacuation/repair queues under the concurrency
+// throttle. It returns the events of this round.
+func (p *Placer) Poll() []PlacerEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []PlacerEvent
+
+	for _, n := range p.nodes {
+		st := n.State()
+		if st != StoreActive && st != StoreDraining {
+			continue
+		}
+		if err := p.probe(n); err != nil {
+			n.mu.Lock()
+			n.probeFails++
+			fails := n.probeFails
+			n.mu.Unlock()
+			if fails >= p.cfg.downAfter() {
+				out = append(out, p.markDownLocked(n, err)...)
+			}
+		} else {
+			n.mu.Lock()
+			n.probeFails = 0
+			n.mu.Unlock()
+		}
+	}
+
+	out = append(out, p.processQueuesLocked()...)
+	p.events = append(p.events, out...)
+	return out
+}
+
+// markDownLocked declares a store dead and queues its residents:
+// primaries for evacuation (hot-first), replica roles for repair.
+func (p *Placer) markDownLocked(n *StoreNode, cause error) []PlacerEvent {
+	n.setState(StoreDown)
+	events := []PlacerEvent{{Kind: "store-down", Store: n.Name, Err: cause}}
+
+	var evac []uint64
+	for lin, pl := range p.placements {
+		if pl.lost {
+			continue
+		}
+		if pl.primary == n {
+			pl.evacuating = true
+			evac = append(evac, lin)
+			// The dead machine's supervisor must not fight the
+			// evacuation by resurrecting the group locally.
+			if n.Sup != nil {
+				n.Sup.Release(pl.g)
+			}
+			continue
+		}
+		for _, r := range pl.replicas {
+			if r == n {
+				p.repairq = append(p.repairq, lin)
+				break
+			}
+		}
+	}
+	// Hot lineages first: a replica caught up to the durable frontier
+	// promotes with no catch-up to replay, so the hottest state is back
+	// under a primary soonest. Ties break by lineage for determinism.
+	sort.Slice(evac, func(i, j int) bool {
+		a, b := p.placements[evac[i]], p.placements[evac[j]]
+		ha, hb := p.hotLocked(a), p.hotLocked(b)
+		if ha != hb {
+			return ha
+		}
+		return evac[i] < evac[j]
+	})
+	p.evacq = append(p.evacq, evac...)
+	sort.Slice(p.repairq, func(i, j int) bool { return p.repairq[i] < p.repairq[j] })
+	return events
+}
+
+// hotLocked reports whether some surviving replica of pl is caught up
+// to the group's durable frontier.
+func (p *Placer) hotLocked(pl *Placement) bool {
+	d := pl.g.Durable()
+	for _, r := range pl.replicas {
+		if st := r.State(); st != StoreActive && st != StoreDraining {
+			continue
+		}
+		if src := pl.sources[r]; src != nil && src.ContiguousEpoch(pl.g.ID) >= d {
+			return true
+		}
+	}
+	return false
+}
+
+// processQueuesLocked drains up to EvacConcurrency entries from each
+// queue. Each evacuation lands on its target machine's own clock — the
+// detached-lane model of running the storm's members concurrently —
+// while the queue bound keeps the fleet from re-homing every resident
+// of a dead store in one indivisible burst.
+func (p *Placer) processQueuesLocked() []PlacerEvent {
+	var out []PlacerEvent
+	budget := p.cfg.evacConcurrency()
+	for len(p.evacq) > 0 && budget > 0 {
+		lin := p.evacq[0]
+		p.evacq = p.evacq[1:]
+		budget--
+		out = append(out, p.evacuateLocked(p.placements[lin]))
+	}
+	budget = p.cfg.evacConcurrency()
+	for len(p.repairq) > 0 && budget > 0 {
+		lin := p.repairq[0]
+		p.repairq = p.repairq[1:]
+		budget--
+		if ev, acted := p.repairLocked(p.placements[lin]); acted {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// evacuateLocked re-homes one lineage whose primary store died:
+// standby promotion on the best surviving replica (highest contiguous
+// floor; ties to the better-scored node), then re-replication back to
+// full strength under anti-affinity.
+func (p *Placer) evacuateLocked(pl *Placement) PlacerEvent {
+	from := pl.primary
+	stream := pl.g.ID
+	ev := PlacerEvent{Kind: "evacuated", Lineage: pl.Lineage, From: from.Name}
+
+	// Elect the surviving replica with the highest contiguous floor. A
+	// draining store is a legal standby source — it is alive and may
+	// hold the last good copy; the drain's own migrate-off pass moves
+	// the promoted primary along afterwards.
+	var target *StoreNode
+	var targetFloor uint64
+	for _, r := range pl.replicas {
+		if st := r.State(); st != StoreActive && st != StoreDraining {
+			continue
+		}
+		src := pl.sources[r]
+		if src == nil {
+			continue
+		}
+		floor := src.ContiguousEpoch(stream)
+		if target == nil || floor > targetFloor ||
+			(floor == targetFloor && r.Name < target.Name) {
+			target, targetFloor = r, floor
+		}
+	}
+	if target == nil {
+		pl.lost = true
+		ev.Kind = "evac-failed"
+		ev.Err = fmt.Errorf("core: lineage %d has no surviving replica: %w", pl.Lineage, ErrNoFeasiblePlacement)
+		return ev
+	}
+
+	// Standby promotion via the migrator's unplanned-handover path: it
+	// reads images under the stream ID but fences and claims the
+	// primary role under the stable lineage key, so the
+	// exactly-one-primary-at-max-gen invariant holds across chained
+	// re-homes. TTR lands on the target machine's own clock lane.
+	mig := &Migrator{
+		Src:      from.O,
+		Dst:      target.O,
+		G:        pl.g,
+		Target:   pl.sources[target],
+		SrcStore: from.SB,
+		DstStore: target.SB,
+		Sup:      from.Sup,
+		Cfg: MigratorConfig{
+			Lineage: pl.Lineage,
+			Name:    pl.Name,
+			Retries: p.cfg.Retries,
+		},
+	}
+	rep, err := mig.PromoteStandby()
+	if err != nil {
+		// Leave the lineage marked evacuating; a later Poll may have
+		// better luck (the target could have been mid-fault).
+		p.evacq = append(p.evacq, pl.Lineage)
+		ev.Kind = "evac-failed"
+		ev.Err = err
+		return ev
+	}
+
+	// Tear down the dead primary's wiring.
+	for _, r := range pl.replicas {
+		p.links.Drop(from, r, stream)
+	}
+	survivors := make([]*StoreNode, 0, len(pl.replicas))
+	for _, r := range pl.replicas {
+		if r != target && r.State() == StoreActive {
+			survivors = append(survivors, r)
+		}
+	}
+	pl.primary = target
+	pl.g = rep.Group
+	pl.replicas = nil
+	pl.sources = make(map[*StoreNode]ReplicaSource)
+	pl.wires = make(map[*StoreNode]Backend)
+	pl.evacuating = false
+
+	// Re-replicate to full strength: surviving members first (their
+	// domains are anti-affine by construction), fresh nodes for the
+	// rest. The new stream starts empty everywhere, so the first
+	// checkpoint below is full — that is what makes the new replicas
+	// restorable on their own.
+	if err := p.rewireLocked(pl, survivors); err != nil {
+		ev.Err = err
+	}
+	if target.Sup != nil {
+		target.Sup.Watch(pl.g)
+	}
+	ev.To = target.Name
+	ev.Gen = rep.Gen
+	ev.Floor = rep.Floor
+	ev.TTR = rep.TTR
+	return ev
+}
+
+// repairLocked restores a placement's replication factor after a
+// replica store died (the primary survived). Reported acted=false when
+// the placement was already handled (evacuated or lost).
+func (p *Placer) repairLocked(pl *Placement) (PlacerEvent, bool) {
+	if pl == nil || pl.lost || pl.evacuating {
+		return PlacerEvent{}, false
+	}
+	survivors := make([]*StoreNode, 0, len(pl.replicas))
+	dropped := false
+	for _, r := range pl.replicas {
+		if r.State() == StoreActive {
+			survivors = append(survivors, r)
+			continue
+		}
+		// The group outlives this replica: detach the dead wire's
+		// backend or every later sync would stall on its pending
+		// epochs (a zombie no reconnect can heal).
+		if w := pl.wires[r]; w != nil {
+			_ = pl.primary.O.Detach(pl.g, w.Name())
+			delete(pl.wires, r)
+		}
+		p.links.Drop(pl.primary, r, pl.g.ID)
+		dropped = true
+	}
+	if !dropped && len(survivors) == p.cfg.replicas()-1 {
+		return PlacerEvent{}, false
+	}
+	ev := PlacerEvent{Kind: "repaired", Lineage: pl.Lineage, From: pl.primary.Name, To: pl.primary.Name}
+	pl.replicas = nil
+	for n := range pl.sources {
+		keep := false
+		for _, s := range survivors {
+			if s == n {
+				keep = true
+			}
+		}
+		if !keep {
+			delete(pl.sources, n)
+			if w := pl.wires[n]; w != nil {
+				_ = pl.primary.O.Detach(pl.g, w.Name())
+				delete(pl.wires, n)
+			}
+		}
+	}
+	if err := p.rewireLocked(pl, survivors); err != nil {
+		ev.Err = err
+	}
+	return ev, true
+}
+
+// rewireLocked wires pl's replica set back to Replicas-1 members:
+// keep (already-linked survivors or not) are re-linked first, then
+// anti-affine fresh nodes fill the gap, and one full checkpoint seeds
+// every link so each replica is restorable on its own.
+func (p *Placer) rewireLocked(pl *Placement, keep []*StoreNode) error {
+	primary := pl.primary
+	stream := pl.g.ID
+	exclude := map[*StoreNode]bool{primary: true}
+	used := map[string]bool{primary.Domain: true}
+
+	attach := func(r *StoreNode) error {
+		b, view, err := p.links.Link(primary, r, stream)
+		if err != nil {
+			return fmt.Errorf("core: lineage %d: linking %s→%s: %w", pl.Lineage, primary.Name, r.Name, err)
+		}
+		if pl.wires[r] != b {
+			// A surviving replica's wire is already attached to this
+			// group; attaching twice would double-count its acks.
+			primary.O.Attach(pl.g, b)
+			pl.wires[r] = b
+		}
+		pl.replicas = append(pl.replicas, r)
+		pl.sources[r] = view
+		exclude[r] = true
+		used[r.Domain] = true
+		return nil
+	}
+
+	for _, r := range keep {
+		if len(pl.replicas) >= p.cfg.replicas()-1 {
+			break
+		}
+		if r.State() != StoreActive || used[r.Domain] {
+			continue
+		}
+		if err := attach(r); err != nil {
+			return err
+		}
+	}
+	for len(pl.replicas) < p.cfg.replicas()-1 {
+		r := p.pickLocked(exclude, used)
+		if r == nil {
+			// Anti-affinity is hard; replication factor is not. A fleet
+			// that has lost too many domains runs the lineage degraded
+			// (fewer copies) rather than dead — the next heal that
+			// brings a domain back restores full strength.
+			break
+		}
+		if err := attach(r); err != nil {
+			return err
+		}
+	}
+	return p.seedLocked(pl)
+}
+
+// seedLocked pushes one full checkpoint through the placement's links
+// and drives the durable frontier to it, so every replica holds a
+// restorable image of the lineage's current state.
+func (p *Placer) seedLocked(pl *Placement) error {
+	// The checkpoint runs even when the rewire came up empty (degraded
+	// fleet, no anti-affine replica target): it is also what makes a
+	// freshly promoted primary restorable from its own store — the new
+	// stream holds nothing until the first checkpoint lands.
+	// A shed checkpoint leaves a fresh replica empty — and an empty
+	// standby is unpromotable. Retry until admission control lets the
+	// seed through.
+	for attempt := 0; ; attempt++ {
+		bd, err := pl.primary.O.Checkpoint(pl.g, CheckpointOpts{Full: true})
+		if err != nil {
+			return fmt.Errorf("core: lineage %d: seeding replicas: %w", pl.Lineage, err)
+		}
+		if !bd.Shed {
+			break
+		}
+		if attempt >= 16 {
+			return fmt.Errorf("core: lineage %d: seeding replicas: admission control shed %d attempts", pl.Lineage, attempt)
+		}
+	}
+	return p.syncLocked(pl)
+}
+
+// syncLocked drives pl's durable frontier to its barrier epoch,
+// re-establishing faulted replica wires along the way (a dropped or
+// corrupted frame kills the replica session; the directory's reset
+// dance plus a Resync replays the pending epochs).
+func (p *Placer) syncLocked(pl *Placement) error {
+	var last error
+	for round := 0; round < 24; round++ {
+		last = pl.primary.O.Sync(pl.g)
+		// Sync's epilogue resyncs degraded backends; its error is the
+		// replica catch-up debt. Durable alone is NOT enough — the
+		// durable frontier advances past a degraded replica (PR 2
+		// health-ladder semantics), so a placement is in sync only when
+		// the frontier is current AND no backend owes epochs. Otherwise
+		// a standby could sit empty behind a healthy-looking frontier.
+		if last == nil && pl.g.Durable() == pl.g.Epoch() {
+			return nil
+		}
+		if round >= 2 {
+			for _, r := range pl.replicas {
+				_ = p.links.Reconnect(pl.primary, r, pl.g.ID)
+			}
+			_ = pl.primary.O.Resync(pl.g)
+		}
+	}
+	return fmt.Errorf("core: lineage %d: durable stuck at %d (barrier %d): %w",
+		pl.Lineage, pl.g.Durable(), pl.g.Epoch(), last)
+}
+
+// SyncDurable drives a lineage's durable frontier to its barrier
+// epoch, healing faulted replica wires along the way. Workload drivers
+// call this after checkpointing instead of hand-rolling the
+// reconnect/resync dance.
+func (p *Placer) SyncDurable(lineage uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl, ok := p.placements[lineage]
+	if !ok || pl.lost {
+		return fmt.Errorf("core: lineage %d: %w", lineage, ErrUnknownLineage)
+	}
+	if pl.evacuating {
+		return fmt.Errorf("core: lineage %d: %w", lineage, ErrEvacuating)
+	}
+	return p.syncLocked(pl)
+}
+
+// Drain decommissions a store: new placements are refused at once,
+// every resident primary live-migrates off (the lineage keeps running
+// — this is the PR 8 migrator, not a promotion), every replica role is
+// re-homed, and the emptied store is fenced. A partially drained store
+// stays draining on error so the operator can retry.
+func (p *Placer) Drain(n *StoreNode) ([]PlacerEvent, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch n.State() {
+	case StoreDraining:
+		return nil, fmt.Errorf("core: store %s already draining: %w", n.Name, ErrDraining)
+	case StoreDown, StoreFenced:
+		return nil, fmt.Errorf("core: store %s is %s, not drainable: %w", n.Name, n.State(), ErrNoFeasiblePlacement)
+	}
+	n.setState(StoreDraining)
+
+	var out []PlacerEvent
+	// Finish any in-flight evacuation storm before emptying the store:
+	// the drainee may hold the last good copy of a lineage whose
+	// primary just died, and fencing it before that promotion runs
+	// would lose the lineage. (Election accepts draining stores as
+	// standby sources for exactly this interleaving.)
+	for iter, limit := 0, 64+len(p.evacq)+len(p.repairq); ; iter++ {
+		evac, repair := len(p.evacq), len(p.repairq)
+		if evac == 0 && repair == 0 {
+			break
+		}
+		if iter >= limit {
+			p.events = append(p.events, out...)
+			return out, fmt.Errorf("core: draining %s: evacuation storm did not settle (evac %d, repair %d): %w",
+				n.Name, evac, repair, ErrEvacuating)
+		}
+		out = append(out, p.processQueuesLocked()...)
+	}
+
+	var lins []uint64
+	for lin, pl := range p.placements {
+		if pl.primary == n && !pl.lost && !pl.evacuating {
+			lins = append(lins, lin)
+		}
+	}
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	for _, lin := range lins {
+		ev, err := p.migrateOffLocked(p.placements[lin], n)
+		out = append(out, ev)
+		if err != nil {
+			p.events = append(p.events, out...)
+			return out, err
+		}
+	}
+	// Re-home replica roles parked on the draining store.
+	for lin, pl := range p.placements {
+		for _, r := range pl.replicas {
+			if r != n {
+				continue
+			}
+			if ev, acted := p.repairLocked(pl); acted {
+				out = append(out, ev)
+				if ev.Err != nil {
+					p.events = append(p.events, out...)
+					return out, ev.Err
+				}
+			}
+			_ = lin
+			break
+		}
+	}
+	n.setState(StoreFenced)
+	out = append(out, PlacerEvent{Kind: "drained", Store: n.Name})
+	p.events = append(p.events, out...)
+	return out, nil
+}
+
+// migrateOffLocked live-migrates one resident lineage off node n to
+// the best compatible node (never a current member; anti-affine to the
+// surviving replica set), then rewires replication under the migrated
+// stream. Used by Drain and Rebalance — the planned moves, where the
+// source still runs.
+func (p *Placer) migrateOffLocked(pl *Placement, n *StoreNode) (PlacerEvent, error) {
+	ev := PlacerEvent{Kind: "migrated", Lineage: pl.Lineage, From: n.Name}
+	exclude := map[*StoreNode]bool{n: true}
+	used := map[string]bool{}
+	for _, r := range pl.replicas {
+		exclude[r] = true
+		if r.State() == StoreActive {
+			used[r.Domain] = true
+		}
+	}
+	dst := p.pickLocked(exclude, used)
+	if dst == nil {
+		ev.Err = fmt.Errorf("core: lineage %d: no anti-affine target off %s: %w",
+			pl.Lineage, n.Name, ErrNoFeasiblePlacement)
+		return ev, ev.Err
+	}
+
+	stream := pl.g.ID
+	b, view, err := p.links.Link(n, dst, stream)
+	if err != nil {
+		ev.Err = err
+		return ev, err
+	}
+	mig := &Migrator{
+		Src:      n.O,
+		Dst:      dst.O,
+		G:        pl.g,
+		Link:     b,
+		Target:   view,
+		SrcStore: n.SB,
+		DstStore: dst.SB,
+		Sup:      n.Sup,
+		Reconnect: func() error {
+			// A pre-copy round syncs through every attached backend, so
+			// a transiently faulted replica wire stalls the migration as
+			// surely as the migration wire itself — heal them all.
+			for _, r := range pl.replicas {
+				if r.State() == StoreActive || r.State() == StoreDraining {
+					_ = p.links.Reconnect(n, r, stream)
+				}
+			}
+			return p.links.Reconnect(n, dst, stream)
+		},
+		Cfg: MigratorConfig{
+			MaxRounds: p.cfg.migrateRounds(),
+			Lineage:   pl.Lineage,
+			Name:      pl.Name,
+			Retries:   p.cfg.Retries,
+		},
+	}
+	rep, err := mig.Run(func() error { return nil })
+	if err != nil {
+		p.links.Drop(n, dst, stream)
+		ev.Err = err
+		return ev, err
+	}
+	p.links.Drop(n, dst, stream)
+	survivors := make([]*StoreNode, 0, len(pl.replicas))
+	for _, r := range pl.replicas {
+		p.links.Drop(n, r, stream)
+		if r != dst && r.State() == StoreActive {
+			survivors = append(survivors, r)
+		}
+	}
+	pl.primary = dst
+	pl.g = rep.Group
+	pl.replicas = nil
+	pl.sources = make(map[*StoreNode]ReplicaSource)
+	pl.wires = make(map[*StoreNode]Backend)
+	if err := p.rewireLocked(pl, survivors); err != nil {
+		ev.Err = err
+		return ev, err
+	}
+	if dst.Sup != nil {
+		dst.Sup.Watch(pl.g)
+	}
+	ev.To = dst.Name
+	ev.Gen = rep.Gen
+	ev.Floor = rep.Floor
+	ev.TTR = rep.Blackout
+	return ev, nil
+}
+
+// Rebalance runs one pressure-driven pass: every store at or above the
+// high watermark moves its heaviest resident lineage to the emptiest
+// compatible store. One move per pressured store per call — rebalance
+// is a background relief valve, not a reshuffle.
+func (p *Placer) Rebalance() ([]PlacerEvent, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []PlacerEvent
+	var firstErr error
+	// Snapshot the pressured set before moving anything: a store that
+	// crosses the watermark only because it received this pass's move
+	// must not shed it right back (ping-pong within one pass).
+	pressured := make([]*StoreNode, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		if n.State() == StoreActive && n.usageFrac() >= p.cfg.highWater() {
+			pressured = append(pressured, n)
+		}
+	}
+	for _, n := range pressured {
+		// Heaviest resident lineage by referenced bytes.
+		var victim *Placement
+		var victimBytes int64
+		for _, pl := range p.placements {
+			if pl.primary != n || pl.lost || pl.evacuating {
+				continue
+			}
+			sz := n.SB.Store().LineageBytes(pl.g.ID)
+			if victim == nil || sz > victimBytes ||
+				(sz == victimBytes && pl.Lineage < victim.Lineage) {
+				victim, victimBytes = pl, sz
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		ev, err := p.migrateOffLocked(victim, n)
+		ev.Kind = "rebalanced"
+		if errors.Is(err, ErrNoFeasiblePlacement) {
+			// No anti-affine target exists right now (degraded fleet);
+			// pressure relief waits for capacity, it doesn't fail.
+			ev.Kind = "rebalance-skipped"
+			out = append(out, ev)
+			continue
+		}
+		out = append(out, ev)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	p.events = append(p.events, out...)
+	return out, firstErr
+}
+
+// AntiAffinityViolations audits every live placement against the hard
+// constraint: no two members (primary or replica) share a failure
+// domain. The heal-time acceptance gate asserts this returns nothing.
+func (p *Placer) AntiAffinityViolations() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, pl := range p.placements {
+		if pl.lost || pl.evacuating {
+			continue
+		}
+		seen := map[string]string{pl.primary.Domain: pl.primary.Name}
+		for _, r := range pl.replicas {
+			if other, dup := seen[r.Domain]; dup {
+				out = append(out, fmt.Sprintf("lineage %d: %s and %s share domain %s",
+					pl.Lineage, other, r.Name, r.Domain))
+			} else {
+				seen[r.Domain] = r.Name
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueueDepths reports the pending evacuation and repair backlogs (the
+// throttle's visible state).
+func (p *Placer) QueueDepths() (evac, repair int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.evacq), len(p.repairq)
+}

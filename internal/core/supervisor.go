@@ -68,6 +68,7 @@ type SupervisorEvent struct {
 	Restarts int    // restarts consumed in the current window, inclusive
 	GaveUp   bool   // crash loop: budget exhausted, watch dropped
 	Fenced   bool   // fenced elsewhere (migrated away): watch dropped, no restore
+	Exempt   bool   // evacuation-initiated: restored without charging the budget
 	Err      error  // non-nil when the restore itself failed
 }
 
@@ -87,6 +88,7 @@ type Supervisor struct {
 	mu      sync.Mutex
 	watches map[uint64]*watchState // keyed by the watched group's ID
 	events  []SupervisorEvent
+	exempt  func(*Group) bool // evacuation predicate; see ExemptEvacuations
 }
 
 // NewSupervisor creates a supervisor over the orchestrator's groups.
@@ -109,6 +111,21 @@ func (s *Supervisor) Watch(g *Group) {
 		windowStart: s.o.K.Clock.Now(),
 		backoff:     s.cfg.backoffBase(),
 	}
+}
+
+// ExemptEvacuations installs a predicate identifying groups whose
+// crash cause is a dying or draining *store* rather than the
+// application itself. Recoveries of exempt groups restore without
+// charging the crash-loop restart budget: the budget exists to stop a
+// deterministically re-crashing workload from burning the machine, and
+// an evacuation-initiated crash says nothing about the workload — a
+// mass evacuation that exhausted per-lineage budgets would strand
+// perfectly healthy groups in crash-loop give-up. The placement
+// control plane installs this when it adopts the store.
+func (s *Supervisor) ExemptEvacuations(pred func(*Group) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exempt = pred
 }
 
 // Unwatch drops a group from the supervised set.
@@ -229,19 +246,25 @@ func (s *Supervisor) recover(ws *watchState) SupervisorEvent {
 		ws.windowStart = now
 		ws.backoff = s.cfg.backoffBase()
 	}
-	if ws.restarts >= s.cfg.maxRestarts() {
-		ws.gaveUp = true
-		s.mu.Lock()
-		delete(s.watches, ws.g.ID)
-		s.mu.Unlock()
-		return SupervisorEvent{Group: ws.g.ID, Restarts: ws.restarts, GaveUp: true}
-	}
+	s.mu.Lock()
+	pred := s.exempt
+	s.mu.Unlock()
+	exempt := pred != nil && pred(ws.g)
+	if !exempt {
+		if ws.restarts >= s.cfg.maxRestarts() {
+			ws.gaveUp = true
+			s.mu.Lock()
+			delete(s.watches, ws.g.ID)
+			s.mu.Unlock()
+			return SupervisorEvent{Group: ws.g.ID, Restarts: ws.restarts, GaveUp: true}
+		}
 
-	// Crash-loop backoff, charged to virtual time: a hot-looping group
-	// pays increasing delay before each resurrection.
-	clock.Advance(ws.backoff)
-	ws.backoff *= 2
-	ws.restarts++
+		// Crash-loop backoff, charged to virtual time: a hot-looping
+		// group pays increasing delay before each resurrection.
+		clock.Advance(ws.backoff)
+		ws.backoff *= 2
+		ws.restarts++
+	}
 
 	// Re-check the fence after the backoff: a migration handover racing
 	// this recovery may have fenced the group between the Poll scan and
@@ -256,7 +279,7 @@ func (s *Supervisor) recover(ws *watchState) SupervisorEvent {
 	old := ws.g
 	ng, _, err := s.o.Restore(old, 0, s.cfg.Opts)
 	if err != nil {
-		return SupervisorEvent{Group: old.ID, Restarts: ws.restarts, Err: err}
+		return SupervisorEvent{Group: old.ID, Restarts: ws.restarts, Exempt: exempt, Err: err}
 	}
 	// Reap the corpse processes and follow the watch to the new group.
 	for _, pid := range old.PIDs() {
@@ -269,5 +292,5 @@ func (s *Supervisor) recover(ws *watchState) SupervisorEvent {
 	ws.g = ng
 	s.watches[ng.ID] = ws
 	s.mu.Unlock()
-	return SupervisorEvent{Group: old.ID, NewGroup: ng.ID, Restarts: ws.restarts}
+	return SupervisorEvent{Group: old.ID, NewGroup: ng.ID, Restarts: ws.restarts, Exempt: exempt}
 }

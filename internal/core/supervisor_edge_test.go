@@ -277,3 +277,66 @@ func TestSupervisorCrashLoopGiveUpAtFleetScale(t *testing.T) {
 		t.Fatalf("clock advanced %v during the storm, below the aggregate backoff floor %v", elapsed, minBackoff)
 	}
 }
+
+// TestSupervisorEvacuationExemption: recoveries the placer initiates
+// (the group's store is dying or draining) must not be charged against
+// the restart budget — evacuation is policy, not a crash loop. The
+// same crash cadence that exhausts an unexempted group's budget keeps
+// an exempted one alive indefinitely, with no backoff billed to the
+// virtual clock and every event flagged Exempt.
+func TestSupervisorEvacuationExemption(t *testing.T) {
+	r := newRig(t)
+	const budget = 2
+
+	run := func(name string, exempt bool) (gaveUp int, cycles int, backoff time.Duration) {
+		g, _ := supEdgeSpawn(t, r, name, func(p *kernel.Process) kernel.Program {
+			return &counter{addr: p.HeapBase()}
+		}, 10)
+		sup := NewSupervisor(r.o, SupervisorConfig{MaxRestarts: budget, Window: time.Hour})
+		sup.Watch(g)
+		if exempt {
+			sup.ExemptEvacuations(func(*Group) bool { return true })
+		}
+		start := r.clock.Now()
+		cur := g
+		for cycle := 0; cycle < budget*4; cycle++ {
+			p, err := r.k.Process(cur.PIDs()[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.k.Exit(p, 1)
+			evs := sup.Poll()
+			if len(evs) != 1 {
+				t.Fatalf("%s cycle %d: events = %+v", name, cycle, evs)
+			}
+			ev := evs[0]
+			if ev.Exempt != exempt {
+				t.Fatalf("%s cycle %d: Exempt = %v, want %v", name, cycle, ev.Exempt, exempt)
+			}
+			if ev.GaveUp {
+				gaveUp++
+				return gaveUp, cycle, r.clock.Now() - start
+			}
+			if exempt && ev.Restarts != 0 {
+				t.Fatalf("exempt cycle %d charged the budget: restarts = %d", cycle, ev.Restarts)
+			}
+			if ev.Err != nil {
+				t.Fatalf("%s cycle %d: %v", name, cycle, ev.Err)
+			}
+			cur, err = r.o.Group(ev.NewGroup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.k.Run(4)
+		}
+		return gaveUp, budget * 4, r.clock.Now() - start
+	}
+
+	if gaveUp, cycles, _ := run("exempted", true); gaveUp != 0 {
+		t.Fatalf("exempted group gave up after %d cycles", cycles)
+	}
+	gaveUp, cycles, _ := run("charged", false)
+	if gaveUp != 1 || cycles != budget {
+		t.Fatalf("unexempted group: gaveUp=%d at cycle %d, want crash-loop verdict at cycle %d", gaveUp, cycles, budget)
+	}
+}

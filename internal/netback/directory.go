@@ -1,0 +1,177 @@
+package netback
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"aurora/internal/core"
+)
+
+// Directory is the fleet's store directory and replication link pool:
+// the netback half of the placement control plane. The placer decides
+// *which* stores a lineage's stream should connect; the directory owns
+// *how* — one fault-injectable wire per (src, dst, stream), each with
+// its own receiver on the destination machine's memory and clock, and
+// a sender-side ReplicaBackend the placer attaches to the group. It
+// implements core.PlacerLinks.
+//
+// Every wire runs through a FaultLink built from the directory's fault
+// template, so the bench chaos engines inject link faults fleet-wide
+// by constructing the directory with non-zero rates; production-shaped
+// callers (the CLI) leave the template zero and get clean pipes with
+// the same code path.
+type Directory struct {
+	// Faults is the per-frame fault template stamped onto every wire.
+	// The Seed field is a base: each wire derives its own seed so two
+	// wires never replay the same fault schedule.
+	Faults LinkFaultConfig
+
+	mu    sync.Mutex
+	links map[dirKey]*dirLink
+	seq   int64
+}
+
+type dirKey struct {
+	src, dst *core.StoreNode
+	stream   uint64
+}
+
+// dirLink is one live wire: fault link, far-side receiver serving the
+// replica protocol, near-side acked backend.
+type dirLink struct {
+	link       *FaultLink
+	endA, endB io.ReadWriteCloser
+	rb         *ReplicaBackend
+	recv       *Receiver
+	serveDone  chan error
+	serving    bool
+}
+
+// NewDirectory creates a directory whose wires inject faults per the
+// template (zero template = clean wires).
+func NewDirectory(faults LinkFaultConfig) *Directory {
+	return &Directory{Faults: faults, links: make(map[dirKey]*dirLink)}
+}
+
+func (d *Directory) startServe(dl *dirLink) {
+	dl.serving = true
+	go func() {
+		_, err := dl.recv.ServeReplica(dl.endB)
+		// A dead serve loop is a hung-up peer. The one-shot loss error
+		// that killed it may have been stale (the transaction it
+		// belonged to completed off the queue) and the sender's copy
+		// scrubbed by its own writes — so without this, the next flush
+		// would block forever awaiting an ack nobody will send.
+		// Partition the wire so the sender fails fast; reset heals it.
+		dl.link.PartitionBoth()
+		dl.serveDone <- err
+	}()
+}
+
+// reset re-establishes a wire's connection: poison the serve loop,
+// reap it, drain in-flight frames, heal, re-handshake. Retried because
+// on a faulty wire the hello itself can be eaten.
+func (d *Directory) reset(dl *dirLink, stream uint64) error {
+	dl.link.PartitionBoth()
+	if dl.serving {
+		<-dl.serveDone
+		dl.serving = false
+	}
+	dl.rb.Disconnect()
+	var err error
+	for attempt := 0; attempt < 64; attempt++ {
+		if !dl.serving {
+			// A failed attempt leaves the wire poisoned (the dying
+			// serve loop partitions it) and littered with half-sent
+			// frames; scrub before re-handshaking.
+			dl.link.DrainPending()
+			dl.link.Heal()
+			d.startServe(dl)
+		}
+		if _, err = dl.rb.Connect(dl.endA, stream); err == nil {
+			return nil
+		}
+		<-dl.serveDone
+		dl.serving = false
+	}
+	return fmt.Errorf("netback: directory link did not recover: %w", err)
+}
+
+// Link establishes (or returns) the replication wire src→dst for one
+// stream, connected and serving. The returned backend is attached to
+// the group on src; the returned source is the dst-side receiver view
+// (floors, images, fences) that promotions read.
+func (d *Directory) Link(src, dst *core.StoreNode, stream uint64) (core.Backend, core.ReplicaSource, error) {
+	d.mu.Lock()
+	key := dirKey{src, dst, stream}
+	dl, ok := d.links[key]
+	if !ok {
+		d.seq++
+		cfg := d.Faults
+		cfg.Seed = d.Faults.Seed*1000003 + d.seq*7919
+		dl = &dirLink{serveDone: make(chan error, 1)}
+		dl.link = NewFaultLink(cfg, src.O.K.Clock)
+		dl.endA, dl.endB = dl.link.A(), dl.link.B()
+		dl.recv = NewReceiver(dst.O.K.Mem, dst.O.K.Clock)
+		dl.rb = NewReplicaBackend(src.O.K.Clock)
+		dl.rb.SetName(fmt.Sprintf("repl:%s->%s/%d", src.Name, dst.Name, stream))
+		d.links[key] = dl
+	}
+	d.mu.Unlock()
+
+	if !dl.serving {
+		d.startServe(dl)
+	}
+	if _, err := dl.rb.Connect(dl.endA, stream); err != nil {
+		if err := d.reset(dl, stream); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dl.rb, dl.recv, nil
+}
+
+// Reconnect re-establishes a dropped connection on an existing wire —
+// the migrator's retry hook after a link fault kills the session.
+func (d *Directory) Reconnect(src, dst *core.StoreNode, stream uint64) error {
+	d.mu.Lock()
+	dl, ok := d.links[dirKey{src, dst, stream}]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netback: no directory link %s->%s/%d: %w", src.Name, dst.Name, stream, ErrDisconnected)
+	}
+	return d.reset(dl, stream)
+}
+
+// Drop tears a wire down for good (the stream moved or the member
+// died). Unknown wires are a no-op: the placer drops liberally.
+func (d *Directory) Drop(src, dst *core.StoreNode, stream uint64) {
+	d.mu.Lock()
+	key := dirKey{src, dst, stream}
+	dl, ok := d.links[key]
+	if ok {
+		delete(d.links, key)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	dl.link.PartitionBoth()
+	if dl.serving {
+		<-dl.serveDone
+		dl.serving = false
+	}
+	dl.rb.Disconnect()
+	dl.link.DrainPending()
+	dl.link.Heal()
+}
+
+// Wires reports the live wire count (observability for tests and the
+// CLI).
+func (d *Directory) Wires() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.links)
+}
+
+var _ core.PlacerLinks = (*Directory)(nil)

@@ -138,10 +138,14 @@ func (e *linkEnd) Write(p []byte) (int, error) {
 	if l.closed {
 		return 0, io.ErrClosedPipe
 	}
-	// This side is alive and making progress: any loss it was due to
-	// observe is stale now (it re-handshakes by protocol), so scrub
-	// the one-shot error on the direction it reads.
-	l.dirs[e.readDir].pendingErr = false
+	// Note: writing must NOT scrub a pending loss error on the
+	// direction this side reads. It is tempting ("this side is alive
+	// and making progress, any loss it was due to observe is stale"),
+	// but a writer can be answering a *duplicated* frame while the
+	// pending error signals a *later* loss — scrubbing then leaves
+	// this side blocked forever on a read its peer already abandoned.
+	// Stale errors are cheap (one spurious reconnect) and Heal clears
+	// them on the re-handshake path; a lost wake-up deadlocks.
 	d := l.dirs[e.writeDir]
 	d.wpend = append(d.wpend, p...)
 	// Reassemble and process every complete frame.

@@ -1,0 +1,52 @@
+package objstore
+
+// Store placement labels. A fleet spreads group images across many
+// stores; the placer needs two facts about each one that the store
+// itself is the natural home for: a stable human-readable name and the
+// failure domain the backing device lives in (rack, host, AZ — the
+// granularity is the deployment's choice). Labels live on storeCore so
+// every clock-redirected view of a store reports the same identity.
+
+// SetLabels sets the store's placement identity: a stable name and the
+// failure domain of the backing device. Anti-affinity scheduling keeps
+// a lineage's quorum replicas on stores with distinct domains.
+func (s *Store) SetLabels(name, domain string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.label.name = name
+	s.label.domain = domain
+}
+
+// Name returns the store's placement name ("" if unlabeled).
+func (s *Store) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.label.name
+}
+
+// Domain returns the store's failure domain ("" if unlabeled).
+func (s *Store) Domain() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.label.domain
+}
+
+// LineageBytes estimates the store footprint of one lineage (group):
+// the bytes its retained records reference, pre-dedup. Cross-group
+// dedup means the physical cost of moving the lineage elsewhere can be
+// lower (shared blocks stay pinned by other residents) — but as a
+// rebalance heuristic for "which resident is heaviest" the referenced
+// size is the right order statistic, and it is O(records) to compute.
+func (s *Store) LineageBytes(group uint64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, m := range s.manifests[group] {
+		for _, k := range m.Records {
+			if rec, ok := s.records[k]; ok {
+				n += int64(len(rec.Pages))*BlockSize + int64(rec.metaLen)
+			}
+		}
+	}
+	return n
+}

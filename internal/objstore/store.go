@@ -184,6 +184,13 @@ type storeCore struct {
 	fences map[uint64]fenceEntry
 	sbGen  uint64 // superblock generation last published
 	stats  Stats
+	// label is the store's placement identity (see labels.go). In-memory
+	// only: the placer re-labels stores when it adopts them, and a store
+	// that moves hosts should take its new home's domain, not its old one.
+	label struct {
+		name   string
+		domain string
+	}
 
 	// Sub-block metadata packing: record metadata smaller than a block
 	// bump-allocates inside a shared pack block instead of consuming a
