@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck migratecheck placecheck
+.PHONY: check build vet test race bench faultcheck recoverycheck chaoscheck spacecheck fleetcheck quorumcheck migratecheck placecheck scalecheck
 
 ## check: full gate — build, vet, race-enabled tests, seeded fault
 ## matrix, crash-recovery harness, whole-system chaos sweep, space-
 ## pressure survival, fleet scale, quorum replication, live migration,
-## multi-store placement
+## multi-store placement, elastic autoscaling
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -18,6 +18,7 @@ check:
 	$(MAKE) quorumcheck
 	$(MAKE) migratecheck
 	$(MAKE) placecheck
+	$(MAKE) scalecheck
 
 build:
 	$(GO) build ./...
@@ -112,9 +113,24 @@ placecheck:
 		-run 'TestPlacer|TestPlacementChaos|TestSupervisorEvacuationExemption|TestCLIStores|TestCLIDrain|TestCLIBalance|TestPlacementBenchGate|TestEmitPlacementBench' \
 		./internal/core/ ./internal/netback/ ./cmd/sls/ .
 
+## scalecheck: elastic fleet autoscaling under the race detector —
+## the signal-window/hysteresis unit tests (scale-out, scale-in
+## completion, both rollback paths, rebalance pacing), the scale-storm
+## chaos gate at 48 lineages per cell (seeds 1, 7, 42 × fault rates
+## 0/1/5%, fleet ramping 2→6→2 with a dead warm spare mid-scale-out
+## and a store kill mid-scale-in), the directory wire-reset churn
+## test, the autoscale/signals CLI verbs, and the convergence-time
+## regression gate against the committed BENCH_autoscale.json
+## baseline. Plain `go test` runs the same chaos cells at smoke scale;
+## AURORA_SCALE_GROUPS overrides the cell size.
+scalecheck:
+	AURORA_SCALE_GROUPS=48 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestAutoscaler|TestAutoscaleChaos|TestRebalanceTickPacing|TestDirectoryConcurrentChurn|TestCLIAutoscale|TestCLISignals|TestAutoscaleBenchGate|TestEmitAutoscaleBench' \
+		./internal/core/ ./internal/netback/ ./cmd/sls/ .
+
 ## bench: run the paper-claim benchmarks (also refreshes BENCH_pipeline.json,
 ## BENCH_faults.json, BENCH_recovery.json, BENCH_chaos.json,
 ## BENCH_space.json, BENCH_fleet.json, BENCH_quorum.json,
-## BENCH_migrate.json, and BENCH_placement.json)
+## BENCH_migrate.json, BENCH_placement.json, and BENCH_autoscale.json)
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -997,3 +997,111 @@ func writePlacementJSON(pts []bench.PlacementPoint) error {
 	}
 	return os.WriteFile("BENCH_placement.json", append(data, '\n'), 0o644)
 }
+
+// --- Elastic autoscale matrix -----------------------------------------
+
+var autoscaleRates = []float64{0, 0.01, 0.05}
+
+const autoscaleSweepGroups = 24
+const autoscaleSweepSeed = 42
+
+// BenchmarkAutoscaleMatrix sweeps link/store fault rate over the full
+// scale-storm schedule (open-loop ramp 2→peak→2 with a dead warm
+// spare mid-scale-out and a store kill mid-scale-in), reporting
+// convergence times per cell.
+func BenchmarkAutoscaleMatrix(b *testing.B) {
+	var last []bench.AutoscalePoint
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AutoscaleSweep(autoscaleSweepGroups, autoscaleRates, autoscaleSweepSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+		for _, pt := range pts {
+			b.ReportMetric(pt.ConvergeOutUs, fmt.Sprintf("vus-converge-out-r%g", pt.LinkFaultPct))
+			b.ReportMetric(pt.ConvergeInUs, fmt.Sprintf("vus-converge-in-r%g", pt.LinkFaultPct))
+		}
+	}
+	if err := writeAutoscaleJSON(last); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestAutoscaleBenchGate is the convergence-time regression gate:
+// against the committed BENCH_autoscale.json baseline, a fresh sweep
+// may not take more than 2× the recorded ramp-up or ramp-down
+// convergence ticks in any cell. Ticks, not wall time: the control
+// loop runs on a simulated lane, so tick counts are the stable
+// currency across machines. Skipped when no baseline is committed.
+func TestAutoscaleBenchGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autoscale gate sweeps the full matrix; skipped in -short")
+	}
+	raw, err := os.ReadFile("BENCH_autoscale.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_autoscale.json baseline")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline struct {
+		Points []bench.AutoscalePoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing committed BENCH_autoscale.json: %v", err)
+	}
+	if len(baseline.Points) == 0 {
+		t.Skip("committed BENCH_autoscale.json has no points")
+	}
+	fresh, err := bench.AutoscaleSweep(autoscaleSweepGroups, autoscaleRates, autoscaleSweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[float64]bench.AutoscalePoint, len(fresh))
+	for _, pt := range fresh {
+		byCell[pt.LinkFaultPct] = pt
+	}
+	for _, base := range baseline.Points {
+		pt, ok := byCell[base.LinkFaultPct]
+		if !ok {
+			continue // baseline cell no longer in the sweep grid
+		}
+		if base.ConvergeOutTicks > 0 && pt.ConvergeOutTicks > 2*base.ConvergeOutTicks {
+			t.Errorf("cell r%g: ramp-up convergence %d ticks exceeds 2× committed baseline %d",
+				base.LinkFaultPct, pt.ConvergeOutTicks, base.ConvergeOutTicks)
+		}
+		if base.ConvergeInTicks > 0 && pt.ConvergeInTicks > 2*base.ConvergeInTicks {
+			t.Errorf("cell r%g: ramp-down convergence %d ticks exceeds 2× committed baseline %d",
+				base.LinkFaultPct, pt.ConvergeInTicks, base.ConvergeInTicks)
+		}
+	}
+}
+
+// TestEmitAutoscaleBench writes BENCH_autoscale.json on every plain
+// `go test` run, so the autoscale datapoint exists without -bench.
+func TestEmitAutoscaleBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("keep the committed full-matrix baseline in -short")
+	}
+	pts, err := bench.AutoscaleSweep(autoscaleSweepGroups, autoscaleRates, autoscaleSweepSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAutoscaleJSON(pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeAutoscaleJSON(pts []bench.AutoscalePoint) error {
+	out := map[string]any{
+		"benchmark": "autoscale-matrix",
+		"seed":      autoscaleSweepSeed,
+		"groups":    autoscaleSweepGroups,
+		"points":    pts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_autoscale.json", append(data, '\n'), 0o644)
+}

@@ -32,6 +32,8 @@
 //	stores                    list fleet stores (domain, state, usage)
 //	drain <store>             empty a fleet store, then fence it
 //	balance                   move lineages off stores past the watermark
+//	autoscale [sub]           elasticity loop: status|tick [n]|out|in [store]
+//	signals                   dump the autoscaler's utilization sample window
 //	boot <counter|redis>      spawn a demo application
 //	run <n>                   run the scheduler for n quanta
 //	stat <pid>                show one process
@@ -45,7 +47,9 @@
 // because the group was fenced by a newer generation, 8 `df` found a
 // backend at or above its emergency space watermark, 10 the operation
 // hit a draining store, 11 no feasible placement (anti-affinity,
-// liveness, or capacity has no satisfying store).
+// liveness, or capacity has no satisfying store), 12 a manual
+// `autoscale out`/`autoscale in` refused because another scale action
+// is already in flight.
 package main
 
 import (
@@ -88,6 +92,7 @@ type session struct {
 	// single-machine verbs stay untouched.
 	placer *core.Placer
 	placed map[string]*core.Placement // by application name
+	as     *core.Autoscaler           // elasticity loop over the fleet
 }
 
 func newSession(out *bufio.Writer) *session {
@@ -128,6 +133,11 @@ func (s *session) printf(format string, args ...any) {
 	fmt.Fprintf(s.out, format, args...)
 }
 
+// fleetPrimaryTarget is the resident-primary count each fleet store
+// is sized for: the denominator of the UTIL column and the load axis
+// of the autoscaler's composite utilization signal.
+const fleetPrimaryTarget = 4
+
 // fleet lazily boots the placement fleet: four independent store
 // machines across two failure domains, wired through a clean store
 // directory, under one placer.
@@ -135,25 +145,63 @@ func (s *session) fleet() *core.Placer {
 	if s.placer != nil {
 		return s.placer
 	}
-	s.placer = core.NewPlacer(netback.NewDirectory(netback.LinkFaultConfig{}), core.PlacerConfig{})
+	s.placer = core.NewPlacer(netback.NewDirectory(netback.LinkFaultConfig{}), core.PlacerConfig{
+		PrimaryTarget: fleetPrimaryTarget,
+	})
 	for i := 0; i < 4; i++ {
-		clock := storage.NewClock()
-		k := kernel.NewWith(clock, vm.NewPhysMem(0))
-		o := core.NewOrchestrator(k)
-		st := objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock)
-		n := &core.StoreNode{
-			Name:   fmt.Sprintf("store%d", i),
-			Domain: fmt.Sprintf("rack%d", i%2),
-			O:      o,
-			SB:     core.NewStoreBackend(st, k.Mem, clock),
-			Sup:    core.NewSupervisor(o, core.SupervisorConfig{}),
-		}
-		if err := s.placer.AddStore(n); err != nil {
+		if err := s.placer.AddStore(s.buildFleetStore(i)); err != nil {
 			panic(err) // static fleet: names and domains are well-formed
 		}
 	}
 	s.placed = make(map[string]*core.Placement)
 	return s.placer
+}
+
+// buildFleetStore constructs one independent store machine for the
+// fleet, alternating failure domains by index.
+func (s *session) buildFleetStore(i int) *core.StoreNode {
+	clock := storage.NewClock()
+	k := kernel.NewWith(clock, vm.NewPhysMem(0))
+	o := core.NewOrchestrator(k)
+	st := objstore.Create(storage.NewMemDevice(storage.ParamsOptaneNVMe, clock), clock)
+	return &core.StoreNode{
+		Name:   fmt.Sprintf("store%d", i),
+		Domain: fmt.Sprintf("rack%d", i%2),
+		O:      o,
+		SB:     core.NewStoreBackend(st, k.Mem, clock),
+		Sup:    core.NewSupervisor(o, core.SupervisorConfig{}),
+	}
+}
+
+// scaler lazily boots the elasticity loop over the fleet with a warm
+// pool of two provisioned spares (store4/store5, one per rack), so
+// `autoscale out` has somewhere to grow and `autoscale in` somewhere
+// to shrink back from.
+func (s *session) scaler() *core.Autoscaler {
+	if s.as != nil {
+		return s.as
+	}
+	p := s.fleet()
+	s.as = core.NewAutoscaler(p, core.AutoscalerConfig{
+		MinStores: 2,
+		MaxStores: 6,
+	})
+	for i := 4; i <= 5; i++ {
+		if err := s.as.AddWarmStore(s.buildFleetStore(i)); err != nil {
+			panic(err) // static pool: names and domains are well-formed
+		}
+	}
+	return s.as
+}
+
+// scaleExitCode maps a failed scale verb to the documented exit
+// codes: 12 = another scale action is already in flight, otherwise
+// the placement mapping (10/11/1) applies.
+func scaleExitCode(err error) int {
+	if errors.Is(err, core.ErrScalingInProgress) {
+		return 12
+	}
+	return placeExitCode(err)
 }
 
 // placeExitCode maps a failed placement operation to the documented
@@ -757,14 +805,20 @@ func (s *session) exec(line string) bool {
 		s.printf("group %d durable through epoch %d\n", g.ID, g.Durable())
 
 	case "ps":
-		s.printf("%-6s %-6s %-4s %-14s %-8s %-8s %-8s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "STORE", "DOMAIN", "DURABLE", "QUORUM", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
+		s.printf("%-6s %-6s %-4s %-14s %-8s %-8s %-6s %-5s %-8s %-8s %-6s %-5s %-18s %-10s %s\n", "GROUP", "EPOCH", "GEN", "NAME", "STORE", "DOMAIN", "TARGET", "UTIL", "DURABLE", "QUORUM", "QUEUE", "USE%", "HEALTH", "QUAR", "PIDS")
 		for _, g := range s.o.Groups() {
-			s.printf("%-6d %-6d %-4d %-14s %-8s %-8s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, "-", "-", g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
+			s.printf("%-6d %-6d %-4d %-14s %-8s %-8s %-6s %-5s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, "-", "-", "-", "-", g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
 		}
 		if s.placer != nil {
+			prim := make(map[*core.StoreNode]int)
+			for _, pl := range s.placer.Placements() {
+				prim[pl.Primary()]++
+			}
 			for _, pl := range s.placer.Placements() {
 				g, n := pl.Group(), pl.Primary()
-				s.printf("%-6d %-6d %-4d %-14s %-8s %-8s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, n.Name, n.Domain, g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
+				target := fmt.Sprintf("%d/%d", prim[n], fleetPrimaryTarget)
+				util := fmt.Sprintf("%.0f%%", s.placer.Utilization(n)*100)
+				s.printf("%-6d %-6d %-4d %-14s %-8s %-8s %-6s %-5s %-8d %-8s %-6d %-5s %-18s %-10s %v\n", g.ID, g.Epoch(), g.Generation(), g.Name, n.Name, n.Domain, target, util, g.Durable(), quorumColumn(g), g.QueueDepth(), useColumn(g), healthColumn(g), quarColumn(g), g.PIDs())
 			}
 		}
 		s.printf("%-6s %-6s %-14s %s\n", "PID", "STATE", "NAME", "FDS")
@@ -995,6 +1049,88 @@ func (s *session) exec(line string) bool {
 			s.printf("rebalanced %d lineage(s)\n", moved)
 		}
 
+	case "autoscale":
+		a := s.scaler()
+		sub := "status"
+		if len(args) > 0 {
+			sub = args[0]
+		}
+		switch sub {
+		case "status":
+			st := a.Status()
+			s.printf("phase=%s tick=%d active=%d target=%d pool=%d util=%.2f cooldown=%d\n",
+				st.Phase, st.Tick, st.Active, st.Target, st.Pool, st.Util, st.CooldownLeft)
+			if st.Seeding != "" {
+				s.printf("seeding %s via paced rebalance\n", st.Seeding)
+			}
+			if st.Draining != "" {
+				s.printf("draining %s via live migration\n", st.Draining)
+			}
+			if v := a.InvariantViolations(); len(v) > 0 {
+				for _, msg := range v {
+					s.printf("VIOLATION: %s\n", msg)
+				}
+			}
+		case "tick":
+			n := 1
+			if len(args) > 1 {
+				v, err := strconv.Atoi(args[1])
+				if err != nil || v < 1 {
+					s.printf("usage: autoscale tick [n]\n")
+					return true
+				}
+				n = v
+			}
+			for i := 0; i < n; i++ {
+				dec, _ := a.Tick()
+				line := fmt.Sprintf("tick %d: %s", dec.Tick, dec.Action)
+				if dec.Store != "" {
+					line += " " + dec.Store
+				}
+				if dec.Reason != "" {
+					line += " (" + dec.Reason + ")"
+				}
+				s.printf("%s util=%.2f backlog=%d moves=%d\n", line, dec.Util, dec.Backlog, dec.Moves)
+			}
+		case "out":
+			dec, err := a.ScaleOut()
+			if err != nil {
+				s.code = scaleExitCode(err)
+				return fail(err)
+			}
+			s.printf("scale-out: admitted %s from the warm pool; seeding via paced rebalance\n", dec.Store)
+		case "in":
+			name := ""
+			if len(args) > 1 {
+				name = args[1]
+			}
+			dec, err := a.ScaleIn(name)
+			if err != nil {
+				s.code = scaleExitCode(err)
+				return fail(err)
+			}
+			s.printf("scale-in: draining %s; drive it with `autoscale tick`\n", dec.Store)
+		default:
+			s.printf("usage: autoscale [status|tick [n]|out|in [store]]\n")
+		}
+
+	case "signals":
+		a := s.scaler()
+		win := a.Signals()
+		if len(win) == 0 {
+			s.printf("no samples yet: drive the loop with `autoscale tick`\n")
+			return true
+		}
+		s.printf("%-5s %-7s %-6s %-7s %-6s %s\n", "TICK", "ACTIVE", "UTIL", "MINUTIL", "SHEDS", "BACKLOG")
+		for _, sig := range win {
+			s.printf("%-5d %-7d %-6.2f %-7.2f %-6d %d\n", sig.Tick, sig.Active, sig.Util, sig.MinUtil, sig.Sheds, sig.Backlog)
+		}
+		last := win[len(win)-1]
+		s.printf("%-8s %-8s %-9s %-6s %-7s %s\n", "STORE", "DOMAIN", "STATE", "UTIL", "SPACE%", "PRIMARIES")
+		for _, ss := range last.PerStore {
+			s.printf("%-8s %-8s %-9s %-6.2f %-7.0f %d\n", ss.Store, ss.Domain, ss.State, ss.Util, ss.SpaceFrac*100, ss.Primaries)
+		}
+
 	case "send":
 		if len(args) < 2 {
 			s.printf("usage: send <group> <file>\n")
@@ -1182,6 +1318,26 @@ const helpText = `Aurora single level store (Table 1):
                              store past the high watermark moves its
                              heaviest lineage to the emptiest compatible
                              store
+  autoscale [status]         show the elasticity loop: phase, active vs
+                             target store count, warm-pool depth, fleet
+                             utilization, cooldown
+  autoscale tick [n]         drive the control loop n rounds (sample,
+                             decide, seed/drain one budgeted step,
+                             background rebalance)
+  autoscale out              admit a warm spare now and seed it via
+                             paced rebalance. exit codes: 0 admitted,
+                             11 pool empty or fleet at max, 12 another
+                             scale action is in flight
+  autoscale in [store]       drain a store (the autoscaler's pick when
+                             omitted) through live migration; later
+                             ticks advance it. exit codes: 0 draining,
+                             11 fleet at min stores, 12 another scale
+                             action is in flight
+  signals                    dump the autoscaler's sample window (fleet
+                             high/low-watermark utilization, admission
+                             sheds, healing backlog) and the latest
+                             per-store signal row (ps shows the same
+                             load as TARGET prim/target and UTIL)
   send <group> <file>        send an application to a file (or remote)
   recv <file>                receive an application and restore it
   scrub <backend> [source]   verify every block hash on a store backend,

@@ -173,7 +173,7 @@ func corruptEpoch(t *testing.T, s *session, backend string, group, epoch uint64)
 		if key.OID&(uint64(1)<<63) == 0 || key.Epoch != epoch {
 			continue
 		}
-		rec, err := sb.Store().GetRecord(key.OID, key.Epoch)
+		rec, err := sb.Store().GetRecord(key.Group, key.OID, key.Epoch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -645,6 +645,64 @@ func TestCLIBalance(t *testing.T) {
 	for _, want := range []string{"usage: place <name>", "usage: drain <store>"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("usage line missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCLIAutoscale: manual scale-out admits a warm spare and seeds it,
+// a second scale verb mid-flight refuses with exit code 12, ticks
+// finish the action, and ps grows TARGET/UTIL columns for fleet rows.
+func TestCLIAutoscale(t *testing.T) {
+	got, code := runSession(t,
+		"place app1; place app2; place app3; autoscale; autoscale out", nil,
+		"autoscale tick 8; autoscale status; ps; stores")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, got)
+	}
+	for _, want := range []string{
+		"phase=idle tick=0 active=4 target=4 pool=2",
+		"scale-out: admitted store4 from the warm pool",
+		"scale-out-done store4",
+		"TARGET", "UTIL", "/4",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A second scale verb while the first is still seeding: exit 12.
+	got, code = runSession(t, "place app1; autoscale out", nil, "autoscale in")
+	if code != 12 {
+		t.Fatalf("racing scale verbs: exit code = %d, want 12:\n%s", code, got)
+	}
+	if !strings.Contains(got, "already in progress") {
+		t.Fatalf("in-flight refusal not reported:\n%s", got)
+	}
+
+	// Scale-in below the floor: the fleet refuses with exit 11 once at
+	// min stores (drive two full drains down to the 2-store minimum).
+	got, code = runSession(t,
+		"autoscale in; autoscale tick 12; autoscale in; autoscale tick 12", nil,
+		"autoscale in")
+	if code != 11 {
+		t.Fatalf("scale-in at min stores: exit code = %d, want 11:\n%s", code, got)
+	}
+}
+
+// TestCLISignals: the sample window is empty before any tick, and
+// after ticks it carries fleet and per-store utilization rows.
+func TestCLISignals(t *testing.T) {
+	got := runScript(t, "signals")
+	if !strings.Contains(got, "no samples yet") {
+		t.Fatalf("empty window not reported:\n%s", got)
+	}
+	got, code := runSession(t, "place app1; place app2; autoscale tick 3", nil, "signals")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0:\n%s", code, got)
+	}
+	for _, want := range []string{"TICK", "ACTIVE", "MINUTIL", "BACKLOG", "STORE", "PRIMARIES", "store0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("signals output missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -526,7 +526,12 @@ func (r *placeRun) verifyLineage(pl *core.Placement, where string) error {
 		return fmt.Errorf("bench: placement seed %d %s: scratch restore of lineage %d: %w",
 			r.cfg.Seed, where, pl.Lineage, err)
 	}
-	sp, err := k.Process(ng.PIDs()[0])
+	npids := ng.PIDs()
+	if len(npids) == 0 {
+		return fmt.Errorf("bench: placement seed %d %s: scratch restore of lineage %d at epoch %d (group %d): image restored no processes",
+			r.cfg.Seed, where, pl.Lineage, img.Epoch, img.Group)
+	}
+	sp, err := k.Process(npids[0])
 	if err != nil {
 		return err
 	}

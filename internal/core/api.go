@@ -176,7 +176,7 @@ func (a *API) NTFlush(p *kernel.Process, data []byte) error {
 	g.ntSeq++
 	seq := g.ntSeq
 	g.mu.Unlock()
-	_, err = store.PutRecord(ntLogOID(g.ID), seq, uint16(kernel.KindNTLog), false, data, nil, nil)
+	_, err = store.PutRecord(g.ID, ntLogOID(g.ID), seq, uint16(kernel.KindNTLog), false, data, nil, nil)
 	return err
 }
 
@@ -187,7 +187,7 @@ func (a *API) NTEntries(g *Group) ([][]byte, error) {
 	if store == nil {
 		return nil, ErrNoNTLog
 	}
-	recs := store.RecordsOf(ntLogOID(g.ID))
+	recs := store.RecordsOf(g.ID, ntLogOID(g.ID))
 	out := make([][]byte, 0, len(recs))
 	for _, r := range recs {
 		out = append(out, r.Meta)
@@ -202,9 +202,9 @@ func (a *API) NTTruncate(g *Group, seq uint64) error {
 	if store == nil {
 		return ErrNoNTLog
 	}
-	for _, r := range store.RecordsOf(ntLogOID(g.ID)) {
+	for _, r := range store.RecordsOf(g.ID, ntLogOID(g.ID)) {
 		if r.Epoch <= seq {
-			store.DeleteRecord(ntLogOID(g.ID), r.Epoch)
+			store.DeleteRecord(g.ID, ntLogOID(g.ID), r.Epoch)
 		}
 	}
 	return nil

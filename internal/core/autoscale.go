@@ -1,0 +1,833 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aurora/internal/storage"
+)
+
+// This file implements elasticity on top of the PR 9 placement control
+// plane: the Autoscaler decides WHEN the fleet should grow or shrink,
+// the Placer decides WHERE everything lives. The autoscaler is a
+// control loop on its own detached clock lane that samples per-store
+// utilization signals — space use, resident-primary load, evacuation
+// backlog, checkpoint admission sheds — into a sliding window and
+// drives three actions:
+//
+//   - Scale-out: when the fleet-wide high-watermark utilization (or
+//     the shed rate) holds above the high target for the whole window,
+//     a provisioned StoreNode is admitted from the warm pool and
+//     seeded via paced rebalance. A pool node that fails its admission
+//     probe is skipped with a recorded decision — a warm spare can be
+//     dead on arrival.
+//   - Scale-in: when every store holds below the low target for the
+//     whole window, the emptiest store (from the best-populated
+//     failure domain, so shrinking never breaks anti-affinity
+//     feasibility) drains through the live-migration path one step per
+//     tick. A drain that hits ErrNoFeasiblePlacement, or a fleet that
+//     re-pressurizes mid-drain, rolls back: the store is re-admitted
+//     via Undrain with its wires re-handshaken, leaving zero fenced
+//     survivors.
+//   - Continuous rebalance: every idle tick runs one budgeted
+//     RebalanceTick, so drift heals in the background without an
+//     operator poke and without starving foreground checkpoints.
+//
+// Hysteresis comes from three mechanisms stacked: the window (a
+// trigger must hold for Window consecutive samples), the cooldown (no
+// new scale action for Cooldown ticks after one completes), and the
+// window reset (every completed action clears the sample history, so
+// the next decision is made from post-action evidence only). The
+// exactly-one-primary-at-max-gen and durable-monotone invariants are
+// audited every tick; violations are recorded and surface through
+// InvariantViolations for the chaos gate to assert empty.
+
+// ErrScalingInProgress refuses a manual scale verb while another scale
+// action is mid-flight (CLI exit code 12).
+var ErrScalingInProgress = errors.New("core: scale action already in progress")
+
+// ScaleDecision records one autoscaler tick's decision — the
+// observability trail the chaos gate and the CLI read.
+type ScaleDecision struct {
+	Tick    uint64
+	At      time.Duration // autoscaler lane time
+	Action  string        // "hold", "seeding", "draining", "scale-out", "scale-out-skipped", "scale-out-done", "scale-in-begin", "scale-in-done", "scale-in-rollback", "scale-in-stalled"
+	Store   string        // the store acted on, when any
+	Reason  string
+	Util    float64 // fleet high-watermark utilization at decision time
+	Sheds   int64   // checkpoint admissions shed since the previous tick
+	Backlog int     // evacuation + repair queue depth
+	Moves   int     // rebalance migrations performed this tick
+	Err     error
+}
+
+// StoreSignal is one store's slice of an autoscaler sample.
+type StoreSignal struct {
+	Store     string
+	Domain    string
+	State     StoreState
+	Util      float64 // composite utilization (space vs primary load)
+	SpaceFrac float64
+	Primaries int
+}
+
+// AutoscaleSignals is one control-loop sample of the fleet.
+type AutoscaleSignals struct {
+	Tick     uint64
+	At       time.Duration
+	Active   int     // stores in StoreActive
+	Util     float64 // max utilization over non-draining active stores
+	MinUtil  float64 // min utilization over active stores
+	Sheds    int64   // admission sheds since the previous sample
+	Backlog  int     // evacuation + repair queue depth
+	PerStore []StoreSignal
+}
+
+// AutoscalerConfig tunes the control loop. Zero values select
+// defaults.
+type AutoscalerConfig struct {
+	// HighUtil is the scale-out trigger: fleet high-watermark
+	// utilization at or above this for a full window admits a store
+	// (default 0.85).
+	HighUtil float64
+	// LowUtil is the scale-in trigger: every active store below this
+	// for a full window drains one (default 0.30).
+	LowUtil float64
+	// ShedRate is the alternate scale-out trigger: checkpoint
+	// admission sheds per tick at or above this for a full window
+	// (default 1; admission control actively refusing barriers is
+	// overload regardless of what utilization claims).
+	ShedRate float64
+	// Window is the sliding sample window a trigger must hold through
+	// (default 3 ticks).
+	Window int
+	// Cooldown is the tick count after a completed scale action during
+	// which no new action starts (default 2).
+	Cooldown int
+	// MinStores / MaxStores bound the active fleet (defaults 2 /
+	// unbounded).
+	MinStores int
+	MaxStores int
+	// RebalanceBudget caps background rebalance migrations per tick
+	// (default 1).
+	RebalanceBudget int
+	// DrainBudget caps scale-in migrations per tick (default 2).
+	DrainBudget int
+	// SeedTicksMax bounds the seeding phase after a scale-out before
+	// the autoscaler returns to idle regardless (default 16).
+	SeedTicksMax int
+	// TickInterval is the lane time one tick represents (default
+	// 500µs) — convergence times are measured in this virtual time.
+	TickInterval time.Duration
+	// Lane is the autoscaler's detached clock lane (default: a fresh
+	// clock). Pass a machine clock's Lane() to tie decisions to a
+	// topology's timebase.
+	Lane *storage.Clock
+}
+
+func (c AutoscalerConfig) highUtil() float64 {
+	if c.HighUtil > 0 {
+		return c.HighUtil
+	}
+	return 0.85
+}
+
+func (c AutoscalerConfig) lowUtil() float64 {
+	if c.LowUtil > 0 {
+		return c.LowUtil
+	}
+	return 0.30
+}
+
+func (c AutoscalerConfig) shedRate() float64 {
+	if c.ShedRate > 0 {
+		return c.ShedRate
+	}
+	return 1
+}
+
+func (c AutoscalerConfig) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 3
+}
+
+func (c AutoscalerConfig) cooldown() int {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 2
+}
+
+func (c AutoscalerConfig) minStores() int {
+	if c.MinStores > 0 {
+		return c.MinStores
+	}
+	return 2
+}
+
+func (c AutoscalerConfig) rebalanceBudget() int {
+	if c.RebalanceBudget > 0 {
+		return c.RebalanceBudget
+	}
+	return 1
+}
+
+func (c AutoscalerConfig) drainBudget() int {
+	if c.DrainBudget > 0 {
+		return c.DrainBudget
+	}
+	return 2
+}
+
+func (c AutoscalerConfig) seedTicksMax() int {
+	if c.SeedTicksMax > 0 {
+		return c.SeedTicksMax
+	}
+	return 16
+}
+
+func (c AutoscalerConfig) tickInterval() time.Duration {
+	if c.TickInterval > 0 {
+		return c.TickInterval
+	}
+	return 500 * time.Microsecond
+}
+
+type scalePhase int
+
+const (
+	scaleIdle scalePhase = iota
+	scaleSeeding
+	scaleDraining
+)
+
+func (ph scalePhase) String() string {
+	switch ph {
+	case scaleSeeding:
+		return "scaling-out"
+	case scaleDraining:
+		return "scaling-in"
+	default:
+		return "idle"
+	}
+}
+
+// AutoscaleStatus is the loop's visible state (the CLI's autoscale
+// status view).
+type AutoscaleStatus struct {
+	Phase        string
+	Tick         uint64
+	At           time.Duration
+	Active       int
+	Target       int // active count the current phase is converging to
+	Pool         int // warm spares remaining
+	Util         float64
+	Draining     string // store mid-scale-in, when any
+	Seeding      string // store mid-scale-out, when any
+	CooldownLeft int
+}
+
+// Autoscaler is the elasticity control loop over one Placer.
+type Autoscaler struct {
+	p   *Placer
+	cfg AutoscalerConfig
+
+	mu        sync.Mutex
+	lane      *storage.Clock
+	pool      []*StoreNode // warm spares, admission order
+	tick      uint64
+	phase     scalePhase
+	window    []AutoscaleSignals
+	decisions []ScaleDecision
+
+	cooldownUntil uint64
+	seedStore     *StoreNode
+	seedStart     uint64
+	drainStore    *StoreNode
+	drainRetries  int
+	skipUntil     map[*StoreNode]uint64 // rolled-back drainees, backoff
+
+	lastSheds   int64
+	lastDurable map[uint64]uint64 // lineage → high-water durable frontier
+	violations  []string
+}
+
+// NewAutoscaler builds the control loop over p. Warm spares are added
+// with AddWarmStore; nothing scales until Tick is driven.
+func NewAutoscaler(p *Placer, cfg AutoscalerConfig) *Autoscaler {
+	lane := cfg.Lane
+	if lane == nil {
+		lane = storage.NewClock()
+	}
+	return &Autoscaler{
+		p:           p,
+		cfg:         cfg,
+		lane:        lane,
+		skipUntil:   make(map[*StoreNode]uint64),
+		lastDurable: make(map[uint64]uint64),
+	}
+}
+
+// AddWarmStore provisions a spare: built and labeled but not admitted.
+// Scale-out pops spares in provisioning order.
+func (a *Autoscaler) AddWarmStore(n *StoreNode) error {
+	if n.Name == "" || n.Domain == "" {
+		return fmt.Errorf("core: warm store needs a name and a failure domain")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pool = append(a.pool, n)
+	return nil
+}
+
+// PoolSize reports the remaining warm spares.
+func (a *Autoscaler) PoolSize() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pool)
+}
+
+// Decisions returns every decision recorded so far.
+func (a *Autoscaler) Decisions() []ScaleDecision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]ScaleDecision(nil), a.decisions...)
+}
+
+// Signals returns the current sample window, oldest first.
+func (a *Autoscaler) Signals() []AutoscaleSignals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]AutoscaleSignals(nil), a.window...)
+}
+
+// InvariantViolations returns every invariant audit failure observed
+// across all ticks. The chaos gate asserts this stays empty.
+func (a *Autoscaler) InvariantViolations() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.violations...)
+}
+
+// Status reports the loop's visible state.
+func (a *Autoscaler) Status() AutoscaleStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := AutoscaleStatus{
+		Phase: a.phase.String(),
+		Tick:  a.tick,
+		At:    a.lane.Now(),
+		Pool:  len(a.pool),
+	}
+	active := a.activeStores()
+	st.Active = len(active)
+	st.Target = st.Active
+	for _, n := range active {
+		if u := a.p.Utilization(n); u > st.Util {
+			st.Util = u
+		}
+	}
+	switch a.phase {
+	case scaleSeeding:
+		st.Seeding = a.seedStore.Name
+	case scaleDraining:
+		st.Draining = a.drainStore.Name
+		st.Target = st.Active - 1
+	}
+	if a.cooldownUntil > a.tick {
+		st.CooldownLeft = int(a.cooldownUntil - a.tick)
+	}
+	return st
+}
+
+// activeStores lists StoreActive nodes. Caller holds a.mu; takes the
+// placer's lock via Stores/State only.
+func (a *Autoscaler) activeStores() []*StoreNode {
+	var out []*StoreNode
+	for _, n := range a.p.Stores() {
+		if n.State() == StoreActive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sample reads one AutoscaleSignals snapshot and appends it to the
+// window. Caller holds a.mu.
+func (a *Autoscaler) sample() AutoscaleSignals {
+	sig := AutoscaleSignals{Tick: a.tick, At: a.lane.Now(), MinUtil: -1}
+	evac, repair := a.p.QueueDepths()
+	sig.Backlog = evac + repair
+
+	var sheds int64
+	for _, pl := range a.p.Placements() {
+		if g := pl.Group(); g != nil {
+			t, _ := g.Sheds()
+			sheds += t
+		}
+	}
+	// Evacuations replace groups (resetting their shed counters), so
+	// clamp the delta at zero rather than reporting a negative rate.
+	if d := sheds - a.lastSheds; d > 0 {
+		sig.Sheds = d
+	}
+	a.lastSheds = sheds
+
+	for _, n := range a.p.Stores() {
+		st := n.State()
+		ss := StoreSignal{
+			Store:  n.Name,
+			Domain: n.Domain,
+			State:  st,
+			Util:   a.p.Utilization(n),
+		}
+		ss.SpaceFrac = n.usageFrac()
+		ss.Primaries = a.p.primaries(n)
+		sig.PerStore = append(sig.PerStore, ss)
+		if st != StoreActive {
+			continue
+		}
+		sig.Active++
+		if sig.MinUtil < 0 || ss.Util < sig.MinUtil {
+			sig.MinUtil = ss.Util
+		}
+		// The high-watermark excludes the drainee: a store being
+		// emptied reads hot while its residents leave, and that must
+		// not mask (or fake) fleet pressure.
+		if n != a.drainStore && ss.Util > sig.Util {
+			sig.Util = ss.Util
+		}
+	}
+	if sig.MinUtil < 0 {
+		sig.MinUtil = 0
+	}
+
+	a.window = append(a.window, sig)
+	if w := a.cfg.window(); len(a.window) > w {
+		a.window = a.window[len(a.window)-w:]
+	}
+	return sig
+}
+
+// primaries is the exported-to-package counter behind StoreSignal.
+func (p *Placer) primaries(n *StoreNode) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.primariesLocked(n)
+}
+
+// audit asserts the two PR 8 invariants across the fleet after this
+// tick's actions: durable never regresses along a lineage, and no two
+// stores claim the primary role for one lineage at the same max
+// generation. Caller holds a.mu.
+func (a *Autoscaler) audit() {
+	for _, pl := range a.p.Placements() {
+		g := pl.Group()
+		if g == nil {
+			continue
+		}
+		if _, err := a.p.Lookup(pl.Lineage); err != nil {
+			continue // mid-evacuation or lost: audited once re-homed
+		}
+		d := g.Durable()
+		if prev, ok := a.lastDurable[pl.Lineage]; ok && d < prev {
+			a.violations = append(a.violations,
+				fmt.Sprintf("tick %d: lineage %d durable regressed %d → %d", a.tick, pl.Lineage, prev, d))
+		}
+		a.lastDurable[pl.Lineage] = d
+
+		maxGen := uint64(0)
+		claims := 0
+		for _, n := range a.p.Stores() {
+			gen, ok := n.SB.Store().PrimaryGen(pl.Lineage)
+			if !ok {
+				continue
+			}
+			if gen > maxGen {
+				maxGen, claims = gen, 1
+			} else if gen == maxGen {
+				claims++
+			}
+		}
+		if maxGen > 0 && claims != 1 {
+			a.violations = append(a.violations,
+				fmt.Sprintf("tick %d: lineage %d has %d primary claims at max gen %d", a.tick, pl.Lineage, claims, maxGen))
+		}
+	}
+}
+
+// Tick runs one control-loop round: advance the lane, poll the placer
+// (deaths and evacuations feed the signals), sample, decide, and run
+// the background rebalance pacer. It returns this tick's decision and
+// every placer event the tick produced.
+func (a *Autoscaler) Tick() (ScaleDecision, []PlacerEvent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tick++
+	a.lane.Advance(a.cfg.tickInterval())
+
+	evs := a.p.Poll()
+	sig := a.sample()
+	dec := ScaleDecision{Tick: a.tick, At: sig.At, Util: sig.Util, Sheds: sig.Sheds, Backlog: sig.Backlog}
+
+	switch a.phase {
+	case scaleSeeding:
+		a.seedTick(&dec, sig)
+	case scaleDraining:
+		devs := a.drainTick(&dec, sig)
+		evs = append(evs, devs...)
+	default:
+		a.decide(&dec, sig)
+	}
+
+	// Background pacer: paced rebalance runs through idle and seeding
+	// ticks (seeding IS rebalance toward the fresh store) but stays
+	// out of a drain's way.
+	if a.phase != scaleDraining {
+		opts := RebalanceOpts{Budget: a.cfg.rebalanceBudget()}
+		if a.phase == scaleSeeding {
+			opts.HighWater = a.cfg.highUtil()
+		}
+		revs, _ := a.p.RebalanceTick(opts)
+		for _, ev := range revs {
+			if ev.Kind == "rebalanced" && ev.Err == nil {
+				dec.Moves++
+			}
+		}
+		evs = append(evs, revs...)
+	}
+
+	a.audit()
+	a.decisions = append(a.decisions, dec)
+	return dec, evs
+}
+
+// decide runs the idle-phase trigger logic. Caller holds a.mu.
+func (a *Autoscaler) decide(dec *ScaleDecision, sig AutoscaleSignals) {
+	dec.Action = "hold"
+	if a.tick < a.cooldownUntil {
+		dec.Reason = "cooldown"
+		return
+	}
+	w := a.cfg.window()
+	if len(a.window) < w {
+		dec.Reason = "window filling"
+		return
+	}
+	recent := a.window[len(a.window)-w:]
+
+	allHigh, allShed, allLow := true, true, true
+	for _, s := range recent {
+		if s.Util < a.cfg.highUtil() {
+			allHigh = false
+		}
+		if float64(s.Sheds) < a.cfg.shedRate() {
+			allShed = false
+		}
+		if s.Util >= a.cfg.lowUtil() {
+			allLow = false
+		}
+	}
+
+	if allHigh || allShed {
+		if a.cfg.MaxStores > 0 && sig.Active >= a.cfg.MaxStores {
+			dec.Reason = "at max stores"
+			return
+		}
+		reason := "high-watermark held above target"
+		if !allHigh {
+			reason = "shed rate held above target"
+		}
+		a.scaleOut(dec, reason)
+		return
+	}
+
+	if allLow {
+		if sig.Active <= a.cfg.minStores() {
+			dec.Reason = "at min stores"
+			return
+		}
+		if sig.Backlog > 0 {
+			dec.Reason = "evacuation backlog"
+			return
+		}
+		a.scaleIn(dec)
+		return
+	}
+	dec.Reason = "within band"
+}
+
+// scaleOut admits the first healthy warm spare. Dead spares are
+// skipped with their own recorded decisions — the chaos gate injects
+// one deliberately. Caller holds a.mu.
+func (a *Autoscaler) scaleOut(dec *ScaleDecision, reason string) {
+	for len(a.pool) > 0 {
+		n := a.pool[0]
+		a.pool = a.pool[1:]
+		// A flaky (fault-injected) spare may fail one probe without
+		// being dead; only a spare that fails every roll is discarded.
+		var perr error
+		for attempt := 0; attempt < 3; attempt++ {
+			if perr = a.p.probe(n); perr == nil {
+				break
+			}
+		}
+		if perr != nil {
+			a.decisions = append(a.decisions, ScaleDecision{
+				Tick: a.tick, At: a.lane.Now(), Action: "scale-out-skipped",
+				Store: n.Name, Reason: "warm spare failed admission probe", Err: perr,
+			})
+			continue
+		}
+		if err := a.p.AddStore(n); err != nil {
+			a.decisions = append(a.decisions, ScaleDecision{
+				Tick: a.tick, At: a.lane.Now(), Action: "scale-out-skipped",
+				Store: n.Name, Reason: "admission failed", Err: err,
+			})
+			continue
+		}
+		dec.Action = "scale-out"
+		dec.Store = n.Name
+		dec.Reason = reason
+		a.phase = scaleSeeding
+		a.seedStore = n
+		a.seedStart = a.tick
+		return
+	}
+	dec.Action = "hold"
+	dec.Reason = "warm pool empty"
+}
+
+// seedTick runs one scaling-out tick: the pacer (run by Tick after
+// this) shifts load toward the fresh store; seeding completes when the
+// fleet pressure is relieved, the new store carries its share, or the
+// seed budget runs out. Caller holds a.mu.
+func (a *Autoscaler) seedTick(dec *ScaleDecision, sig AutoscaleSignals) {
+	n := a.seedStore
+	dec.Store = n.Name
+	if n.State() != StoreActive {
+		// The fresh store died during seeding; Poll already queued its
+		// evacuations. Return to idle and let the window refill.
+		dec.Action = "scale-out-done"
+		dec.Reason = "seed store left active state"
+		a.finishAction()
+		return
+	}
+	share := 0
+	if sig.Active > 0 {
+		total := 0
+		for _, s := range sig.PerStore {
+			if s.State == StoreActive {
+				total += s.Primaries
+			}
+		}
+		share = total / sig.Active
+	}
+	switch {
+	case sig.Util < a.cfg.highUtil():
+		dec.Action = "scale-out-done"
+		dec.Reason = "pressure relieved"
+		a.finishAction()
+	case a.p.primaries(n) >= share && share > 0:
+		dec.Action = "scale-out-done"
+		dec.Reason = "seed store carries its share"
+		a.finishAction()
+	case a.tick-a.seedStart >= uint64(a.cfg.seedTicksMax()):
+		dec.Action = "scale-out-done"
+		dec.Reason = "seed budget exhausted"
+		a.finishAction()
+	default:
+		dec.Action = "seeding"
+	}
+}
+
+// scaleIn picks the drainee and begins the drain. The candidate is the
+// emptiest active store whose removal keeps at least Replicas distinct
+// failure domains alive, preferring the best-populated domain so
+// shrinking never strands anti-affinity. Caller holds a.mu.
+func (a *Autoscaler) scaleIn(dec *ScaleDecision) {
+	active := a.activeStores()
+	domains := make(map[string]int)
+	for _, n := range active {
+		domains[n.Domain]++
+	}
+	need := a.p.cfg.replicas()
+
+	var cands []*StoreNode
+	for _, n := range active {
+		if a.skipUntil[n] > a.tick {
+			continue
+		}
+		left := len(domains)
+		if domains[n.Domain] == 1 {
+			left--
+		}
+		if left < need {
+			continue
+		}
+		cands = append(cands, n)
+	}
+	if len(cands) == 0 {
+		dec.Action = "hold"
+		dec.Reason = "no drainable store (anti-affinity or backoff)"
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := domains[cands[i].Domain], domains[cands[j].Domain]
+		if di != dj {
+			return di > dj // best-populated domain first
+		}
+		ui, uj := a.p.Utilization(cands[i]), a.p.Utilization(cands[j])
+		if ui != uj {
+			return ui < uj // emptiest first
+		}
+		return cands[i].Name < cands[j].Name
+	})
+	n := cands[0]
+	if err := a.p.BeginDrain(n); err != nil {
+		dec.Action = "hold"
+		dec.Store = n.Name
+		dec.Reason = "drain refused"
+		dec.Err = err
+		return
+	}
+	dec.Action = "scale-in-begin"
+	dec.Store = n.Name
+	dec.Reason = "utilization held below target"
+	a.phase = scaleDraining
+	a.drainStore = n
+	a.drainRetries = 0
+}
+
+// drainTick advances (or rolls back) a scale-in by one step. Caller
+// holds a.mu.
+func (a *Autoscaler) drainTick(dec *ScaleDecision, sig AutoscaleSignals) []PlacerEvent {
+	n := a.drainStore
+	dec.Store = n.Name
+	if n.State() != StoreDraining {
+		// The drainee died (or was fenced externally) mid-drain; Poll
+		// already handles a dead store's residents.
+		dec.Action = "scale-in-done"
+		dec.Reason = fmt.Sprintf("drainee left draining state (%s)", n.State())
+		a.finishAction()
+		return nil
+	}
+	if sig.Util >= a.cfg.highUtil() {
+		// The fleet re-pressurized mid-drain (burst arrivals, or a
+		// store death re-homing load): removing capacity now is wrong.
+		// Roll back immediately — aborting a drain is cheap, so this
+		// uses the instantaneous signal, not the window.
+		err := a.p.Undrain(n)
+		dec.Action = "scale-in-rollback"
+		dec.Reason = "fleet re-pressurized mid-drain"
+		dec.Err = err
+		a.skipUntil[n] = a.tick + 4*uint64(a.cfg.cooldown())
+		a.finishAction()
+		return nil
+	}
+	evs, done, err := a.p.DrainStep(n, a.cfg.drainBudget())
+	switch {
+	case err != nil && errors.Is(err, ErrNoFeasiblePlacement):
+		uerr := a.p.Undrain(n)
+		dec.Action = "scale-in-rollback"
+		dec.Reason = "drain hit no-feasible-placement"
+		dec.Err = errors.Join(err, uerr)
+		a.skipUntil[n] = a.tick + 4*uint64(a.cfg.cooldown())
+		a.finishAction()
+	case err != nil && a.drainRetries >= 3:
+		uerr := a.p.Undrain(n)
+		dec.Action = "scale-in-rollback"
+		dec.Reason = "drain stalled past retry budget"
+		dec.Err = errors.Join(err, uerr)
+		a.skipUntil[n] = a.tick + 4*uint64(a.cfg.cooldown())
+		a.finishAction()
+	case err != nil:
+		a.drainRetries++
+		dec.Action = "scale-in-stalled"
+		dec.Reason = "drain step failed, retrying"
+		dec.Err = err
+	case done:
+		dec.Action = "scale-in-done"
+		dec.Reason = "store emptied and fenced"
+		a.finishAction()
+	default:
+		dec.Action = "draining"
+	}
+	return evs
+}
+
+// finishAction returns to idle, arms the cooldown, and clears the
+// sample window so the next decision is made from post-action
+// evidence only. Caller holds a.mu.
+func (a *Autoscaler) finishAction() {
+	a.phase = scaleIdle
+	a.seedStore = nil
+	a.drainStore = nil
+	a.drainRetries = 0
+	a.cooldownUntil = a.tick + uint64(a.cfg.cooldown())
+	a.window = nil
+}
+
+// ScaleOut manually admits one warm spare, bypassing the window but
+// not the phase machine: a scale action already in flight refuses with
+// ErrScalingInProgress.
+func (a *Autoscaler) ScaleOut() (ScaleDecision, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.phase != scaleIdle {
+		return ScaleDecision{}, fmt.Errorf("core: %s: %w", a.phase, ErrScalingInProgress)
+	}
+	dec := ScaleDecision{Tick: a.tick, At: a.lane.Now()}
+	if a.cfg.MaxStores > 0 && len(a.activeStores()) >= a.cfg.MaxStores {
+		return ScaleDecision{}, fmt.Errorf("core: fleet at max stores (%d): %w", a.cfg.MaxStores, ErrNoFeasiblePlacement)
+	}
+	a.scaleOut(&dec, "manual scale-out")
+	a.decisions = append(a.decisions, dec)
+	if dec.Action != "scale-out" {
+		return dec, fmt.Errorf("core: scale-out: %s: %w", dec.Reason, ErrNoFeasiblePlacement)
+	}
+	return dec, nil
+}
+
+// ScaleIn manually begins draining the named store (or the
+// autoscaler's own pick when name is empty). Refuses with
+// ErrScalingInProgress while another action is in flight; subsequent
+// Ticks advance the drain.
+func (a *Autoscaler) ScaleIn(name string) (ScaleDecision, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.phase != scaleIdle {
+		return ScaleDecision{}, fmt.Errorf("core: %s: %w", a.phase, ErrScalingInProgress)
+	}
+	dec := ScaleDecision{Tick: a.tick, At: a.lane.Now()}
+	if len(a.activeStores()) <= a.cfg.minStores() {
+		return ScaleDecision{}, fmt.Errorf("core: fleet at min stores (%d): %w", a.cfg.minStores(), ErrNoFeasiblePlacement)
+	}
+	if name == "" {
+		a.scaleIn(&dec)
+	} else {
+		n, err := a.p.Node(name)
+		if err != nil {
+			return ScaleDecision{}, err
+		}
+		if err := a.p.BeginDrain(n); err != nil {
+			return ScaleDecision{}, err
+		}
+		dec.Action = "scale-in-begin"
+		dec.Store = n.Name
+		dec.Reason = "manual scale-in"
+		a.phase = scaleDraining
+		a.drainStore = n
+		a.drainRetries = 0
+	}
+	a.decisions = append(a.decisions, dec)
+	if dec.Action != "scale-in-begin" {
+		return dec, fmt.Errorf("core: scale-in: %s: %w", dec.Reason, ErrNoFeasiblePlacement)
+	}
+	return dec, nil
+}

@@ -272,13 +272,13 @@ func (sb *StoreBackend) Flush(img *Image) (time.Duration, error) {
 		return 0, &FenceError{Gen: sb.store.FenceGen(img.Group), Floor: floor, Err: err}
 	}
 	for _, m := range img.Meta {
-		if _, err := sb.store.PutRecord(m.OID, img.Epoch, uint16(m.Kind), img.Full, m.Data, nil, nil); err != nil {
+		if _, err := sb.store.PutRecord(img.Group, m.OID, img.Epoch, uint16(m.Kind), img.Full, m.Data, nil, nil); err != nil {
 			return 0, err
 		}
 	}
 	var keys []objstore.RecordKey
 	for _, m := range img.Meta {
-		keys = append(keys, objstore.RecordKey{OID: m.OID, Epoch: img.Epoch})
+		keys = append(keys, objstore.RecordKey{Group: img.Group, OID: m.OID, Epoch: img.Epoch})
 	}
 	for id, mi := range img.Memory {
 		pages := make(map[int64][]byte, len(mi.Pages)+len(mi.SwapData))
@@ -289,10 +289,10 @@ func (sb *StoreBackend) Flush(img *Image) (time.Duration, error) {
 			pages[idx] = d
 		}
 		meta := encodeVMObjMeta(mi)
-		if _, err := sb.store.PutRecord(vmBit|id, img.Epoch, uint16(kernel.KindVMObject), img.Full, meta, pages, mi.Heat); err != nil {
+		if _, err := sb.store.PutRecord(img.Group, vmBit|id, img.Epoch, uint16(kernel.KindVMObject), img.Full, meta, pages, mi.Heat); err != nil {
 			return 0, err
 		}
-		keys = append(keys, objstore.RecordKey{OID: vmBit | id, Epoch: img.Epoch})
+		keys = append(keys, objstore.RecordKey{Group: img.Group, OID: vmBit | id, Epoch: img.Epoch})
 	}
 	var prev uint64
 	if img.Prev != nil {
@@ -364,7 +364,7 @@ func (sb *StoreBackend) load(group, epoch uint64, lazy bool) (*Image, time.Durat
 				continue
 			}
 			seen[key.OID] = true
-			rec, err := sb.store.GetRecord(key.OID, key.Epoch)
+			rec, err := sb.store.GetRecord(group, key.OID, key.Epoch)
 			if err != nil {
 				return nil, 0, err
 			}

@@ -161,6 +161,16 @@ type PlacerConfig struct {
 	// placement-driven move (0 keeps the migrator default). Chaos
 	// runs with injected faults need the headroom.
 	Retries int
+	// PrimaryTarget is the resident-primary count a store is sized for.
+	// When set, utilization is the max of device occupancy and
+	// primaries/PrimaryTarget, so load pressure (not just space
+	// pressure) drives pick ordering, rebalance, and the autoscaler's
+	// signals. Zero keeps the pre-elasticity space-only behaviour.
+	PrimaryTarget int
+	// MoveCooldownTicks is the paced-rebalance ping-pong guard: a
+	// lineage moved by RebalanceTick is ineligible to move again for
+	// this many ticks (default 4).
+	MoveCooldownTicks int
 	// Opts is applied to every promotion/migration restore.
 	Opts RestoreOpts
 }
@@ -200,6 +210,13 @@ func (c PlacerConfig) migrateRounds() int {
 	return 2
 }
 
+func (c PlacerConfig) moveCooldownTicks() uint64 {
+	if c.MoveCooldownTicks > 0 {
+		return uint64(c.MoveCooldownTicks)
+	}
+	return 4
+}
+
 // Placement is one lineage's current home: the primary node running
 // the group plus the replica nodes holding acked copies.
 type Placement struct {
@@ -229,7 +246,7 @@ func (pl *Placement) Replicas() []*StoreNode {
 
 // PlacerEvent records one control-plane action.
 type PlacerEvent struct {
-	Kind    string // "store-down", "evacuated", "repaired", "rebalanced", "drained", "evac-failed", ...
+	Kind    string // "store-down", "evacuated", "repaired", "rebalanced", "drained", "undrained", "unplaced", "evac-failed", ...
 	Store   string // the store acted on (down/drained)
 	Lineage uint64
 	From    string // previous home
@@ -251,11 +268,19 @@ type Placer struct {
 	evacq      []uint64 // lineages whose primary died, awaiting promotion
 	repairq    []uint64 // lineages that lost a replica, awaiting re-replication
 	events     []PlacerEvent
+
+	rebalTick uint64            // paced-rebalance tick counter
+	lastMoved map[uint64]uint64 // lineage → tick of its last rebalance move
 }
 
 // NewPlacer creates a placer wiring replication through links.
 func NewPlacer(links PlacerLinks, cfg PlacerConfig) *Placer {
-	return &Placer{links: links, cfg: cfg, placements: make(map[uint64]*Placement)}
+	return &Placer{
+		links:      links,
+		cfg:        cfg,
+		placements: make(map[uint64]*Placement),
+		lastMoved:  make(map[uint64]uint64),
+	}
 }
 
 // AddStore admits a store into the fleet and stamps its placement
@@ -373,8 +398,30 @@ func (p *Placer) primariesLocked(n *StoreNode) int {
 	return c
 }
 
+// utilLocked scores one store's composite utilization: device
+// occupancy, raised to primary load against PrimaryTarget when that
+// is configured. This is the signal the autoscaler samples and the
+// ordering key the picker minimizes. Caller holds p.mu.
+func (p *Placer) utilLocked(n *StoreNode) float64 {
+	u := n.usageFrac()
+	if t := p.cfg.PrimaryTarget; t > 0 {
+		if load := float64(p.primariesLocked(n)) / float64(t); load > u {
+			u = load
+		}
+	}
+	return u
+}
+
+// Utilization reports n's composite utilization (the max of device
+// occupancy and resident-primary load against PrimaryTarget).
+func (p *Placer) Utilization(n *StoreNode) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.utilLocked(n)
+}
+
 // pick chooses the best eligible node: active, not in `exclude`, and
-// in a failure domain not in `domains`. Lower occupancy wins, then
+// in a failure domain not in `domains`. Lower utilization wins, then
 // fewer resident primaries, then name (deterministic). Caller holds
 // p.mu.
 func (p *Placer) pickLocked(exclude map[*StoreNode]bool, domains map[string]bool) *StoreNode {
@@ -385,7 +432,7 @@ func (p *Placer) pickLocked(exclude map[*StoreNode]bool, domains map[string]bool
 		if n.State() != StoreActive || exclude[n] || domains[n.Domain] {
 			continue
 		}
-		frac := n.usageFrac()
+		frac := p.utilLocked(n)
 		prim := p.primariesLocked(n)
 		if best == nil ||
 			frac < bestFrac ||
@@ -886,41 +933,62 @@ func (p *Placer) SyncDurable(lineage uint64) error {
 	return p.syncLocked(pl)
 }
 
-// Drain decommissions a store: new placements are refused at once,
-// every resident primary live-migrates off (the lineage keeps running
-// — this is the PR 8 migrator, not a promotion), every replica role is
-// re-homed, and the emptied store is fenced. A partially drained store
-// stays draining on error so the operator can retry.
-func (p *Placer) Drain(n *StoreNode) ([]PlacerEvent, error) {
+// BeginDrain marks a store as decommissioning: new placements are
+// refused at once, but nothing moves yet. DrainStep advances the
+// decommission in bounded increments; Undrain aborts it. Drain wraps
+// all three for the synchronous one-call path.
+func (p *Placer) BeginDrain(n *StoreNode) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.beginDrainLocked(n)
+}
+
+func (p *Placer) beginDrainLocked(n *StoreNode) error {
 	switch n.State() {
 	case StoreDraining:
-		return nil, fmt.Errorf("core: store %s already draining: %w", n.Name, ErrDraining)
+		return fmt.Errorf("core: store %s already draining: %w", n.Name, ErrDraining)
 	case StoreDown, StoreFenced:
-		return nil, fmt.Errorf("core: store %s is %s, not drainable: %w", n.Name, n.State(), ErrNoFeasiblePlacement)
+		return fmt.Errorf("core: store %s is %s, not drainable: %w", n.Name, n.State(), ErrNoFeasiblePlacement)
 	}
 	n.setState(StoreDraining)
+	return nil
+}
 
+// DrainStep advances a decommission by a bounded amount: it settles
+// queued evacuation/repair work first (the drainee may hold the last
+// good copy of a lineage whose primary just died — election accepts
+// draining stores as standby sources for exactly this interleaving),
+// then live-migrates up to budget resident primaries off, then
+// re-homes replica roles, and fences the store once it holds nothing.
+// done reports whether the store is now fenced. On error the store
+// stays draining — the caller retries the step or rolls the drain
+// back with Undrain.
+func (p *Placer) DrainStep(n *StoreNode, budget int) ([]PlacerEvent, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	evs, done, err := p.drainStepLocked(n, budget)
+	p.events = append(p.events, evs...)
+	return evs, done, err
+}
+
+func (p *Placer) drainStepLocked(n *StoreNode, budget int) ([]PlacerEvent, bool, error) {
+	if n.State() != StoreDraining {
+		return nil, false, fmt.Errorf("core: store %s is %s, not draining: %w", n.Name, n.State(), ErrNoFeasiblePlacement)
+	}
+	if budget <= 0 {
+		budget = 1
+	}
 	var out []PlacerEvent
-	// Finish any in-flight evacuation storm before emptying the store:
-	// the drainee may hold the last good copy of a lineage whose
-	// primary just died, and fencing it before that promotion runs
-	// would lose the lineage. (Election accepts draining stores as
-	// standby sources for exactly this interleaving.)
-	for iter, limit := 0, 64+len(p.evacq)+len(p.repairq); ; iter++ {
-		evac, repair := len(p.evacq), len(p.repairq)
-		if evac == 0 && repair == 0 {
-			break
-		}
-		if iter >= limit {
-			p.events = append(p.events, out...)
-			return out, fmt.Errorf("core: draining %s: evacuation storm did not settle (evac %d, repair %d): %w",
-				n.Name, evac, repair, ErrEvacuating)
-		}
+	if len(p.evacq)+len(p.repairq) > 0 {
 		out = append(out, p.processQueuesLocked()...)
+		if len(p.evacq)+len(p.repairq) > 0 {
+			// Still storming: the step made progress but the store is
+			// not yet safe to empty.
+			return out, false, nil
+		}
 	}
 
+	moved := 0
 	var lins []uint64
 	for lin, pl := range p.placements {
 		if pl.primary == n && !pl.lost && !pl.evacuating {
@@ -929,34 +997,159 @@ func (p *Placer) Drain(n *StoreNode) ([]PlacerEvent, error) {
 	}
 	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
 	for _, lin := range lins {
+		if moved >= budget {
+			return out, false, nil
+		}
 		ev, err := p.migrateOffLocked(p.placements[lin], n)
 		out = append(out, ev)
+		moved++
 		if err != nil {
-			p.events = append(p.events, out...)
-			return out, err
+			return out, false, err
 		}
 	}
 	// Re-home replica roles parked on the draining store.
+	lins = lins[:0]
 	for lin, pl := range p.placements {
 		for _, r := range pl.replicas {
-			if r != n {
-				continue
+			if r == n {
+				lins = append(lins, lin)
+				break
 			}
-			if ev, acted := p.repairLocked(pl); acted {
-				out = append(out, ev)
-				if ev.Err != nil {
-					p.events = append(p.events, out...)
-					return out, ev.Err
-				}
+		}
+	}
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	for _, lin := range lins {
+		if moved >= budget {
+			return out, false, nil
+		}
+		if ev, acted := p.repairLocked(p.placements[lin]); acted {
+			out = append(out, ev)
+			moved++
+			if ev.Err != nil {
+				return out, false, ev.Err
 			}
-			_ = lin
-			break
 		}
 	}
 	n.setState(StoreFenced)
 	out = append(out, PlacerEvent{Kind: "drained", Store: n.Name})
+	return out, true, nil
+}
+
+// Undrain aborts a decommission and re-admits the store: Draining
+// flips back to Active with the store's labels, residents, and probe
+// ladder intact, and every directory wire the store participates in is
+// re-handshaken — a drain abandoned mid-migration can leave replica
+// sessions poisoned, and a re-admitted store must replicate again
+// immediately. Only a draining store can be undrained; fenced and down
+// stores re-enter the fleet through their own paths.
+func (p *Placer) Undrain(n *StoreNode) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n.State() != StoreDraining {
+		return fmt.Errorf("core: store %s is %s, not draining: %w", n.Name, n.State(), ErrNoFeasiblePlacement)
+	}
+	n.setState(StoreActive)
+	n.mu.Lock()
+	n.probeFails = 0
+	n.mu.Unlock()
+
+	var firstErr error
+	var lins []uint64
+	for lin := range p.placements {
+		lins = append(lins, lin)
+	}
+	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	for _, lin := range lins {
+		pl := p.placements[lin]
+		if pl.lost || pl.evacuating {
+			continue
+		}
+		if pl.primary == n {
+			for _, r := range pl.replicas {
+				if st := r.State(); st != StoreActive && st != StoreDraining {
+					continue
+				}
+				if err := p.links.Reconnect(n, r, pl.g.ID); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		for _, r := range pl.replicas {
+			if r != n {
+				continue
+			}
+			if st := pl.primary.State(); st == StoreActive || st == StoreDraining {
+				if err := p.links.Reconnect(pl.primary, n, pl.g.ID); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			break
+		}
+	}
+	p.events = append(p.events, PlacerEvent{Kind: "undrained", Store: n.Name, Err: firstErr})
+	return firstErr
+}
+
+// Drain decommissions a store synchronously: new placements are
+// refused at once, every resident primary live-migrates off (the
+// lineage keeps running — this is the PR 8 migrator, not a promotion),
+// every replica role is re-homed, and the emptied store is fenced. A
+// partially drained store stays draining on error so the operator can
+// retry (or roll back with Undrain).
+func (p *Placer) Drain(n *StoreNode) ([]PlacerEvent, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.beginDrainLocked(n); err != nil {
+		return nil, err
+	}
+	var out []PlacerEvent
+	limit := 64 + len(p.evacq) + len(p.repairq) + len(p.placements)
+	for iter := 0; iter < limit; iter++ {
+		evs, done, err := p.drainStepLocked(n, len(p.placements)+1)
+		out = append(out, evs...)
+		if err != nil || done {
+			p.events = append(p.events, out...)
+			return out, err
+		}
+	}
 	p.events = append(p.events, out...)
-	return out, nil
+	evac, repair := len(p.evacq), len(p.repairq)
+	return out, fmt.Errorf("core: draining %s: evacuation storm did not settle (evac %d, repair %d): %w",
+		n.Name, evac, repair, ErrEvacuating)
+}
+
+// Unplace retires a lineage from the fleet: replica wires are dropped,
+// the group stops persisting on its primary, and the placement is
+// forgotten. Stored epochs stay behind for retention GC — retirement
+// is a routing decision, not an erase. This is the load-decay half of
+// elasticity: scale-in needs lineages to leave as well as arrive.
+func (p *Placer) Unplace(lineage uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl, ok := p.placements[lineage]
+	if !ok {
+		return fmt.Errorf("core: lineage %d: %w", lineage, ErrUnknownLineage)
+	}
+	if pl.evacuating {
+		return fmt.Errorf("core: lineage %d: %w", lineage, ErrEvacuating)
+	}
+	if !pl.lost {
+		for _, r := range pl.replicas {
+			if w := pl.wires[r]; w != nil {
+				_ = pl.primary.O.Detach(pl.g, w.Name())
+			}
+			p.links.Drop(pl.primary, r, pl.g.ID)
+		}
+		if pl.primary.Sup != nil {
+			pl.primary.Sup.Unwatch(pl.g)
+		}
+		pl.primary.O.Unpersist(pl.g)
+	}
+	delete(p.placements, lineage)
+	delete(p.lastMoved, lineage)
+	p.events = append(p.events, PlacerEvent{Kind: "unplaced", Lineage: lineage, From: pl.primary.Name})
+	return nil
 }
 
 // migrateOffLocked live-migrates one resident lineage off node n to
@@ -1016,6 +1209,10 @@ func (p *Placer) migrateOffLocked(pl *Placement, n *StoreNode) (PlacerEvent, err
 	}
 	rep, err := mig.Run(func() error { return nil })
 	if err != nil {
+		// The source keeps running this lineage: detach the migration
+		// backend Start attached, or every later sync stalls on a wire
+		// whose directory entry is about to disappear.
+		mig.Abandon()
 		p.links.Drop(n, dst, stream)
 		ev.Err = err
 		return ev, err
@@ -1047,30 +1244,81 @@ func (p *Placer) migrateOffLocked(pl *Placement, n *StoreNode) (PlacerEvent, err
 	return ev, nil
 }
 
-// Rebalance runs one pressure-driven pass: every store at or above the
-// high watermark moves its heaviest resident lineage to the emptiest
-// compatible store. One move per pressured store per call — rebalance
-// is a background relief valve, not a reshuffle.
-func (p *Placer) Rebalance() ([]PlacerEvent, error) {
+// RebalanceOpts tunes one paced rebalance tick.
+type RebalanceOpts struct {
+	// Budget caps migrations performed this tick (default 1) — the
+	// rate limit that keeps background churn from starving foreground
+	// checkpoint traffic.
+	Budget int
+	// HighWater overrides the pressure threshold for this tick (0
+	// keeps the placer default). The autoscaler seeds a fresh store by
+	// ticking with its own scale-out threshold.
+	HighWater float64
+}
+
+// RebalanceTick runs one paced rebalance round: the pressured set is
+// re-snapshotted NOW — a lineage placed since the previous tick is an
+// eligible mover, closing the stale-snapshot blind spot of the old
+// one-pass Rebalance — and the most pressured stores shed their
+// heaviest eligible lineage toward the emptiest compatible store,
+// bounded by Budget. A lineage moved within the last MoveCooldownTicks
+// ticks is ineligible (ping-pong protection across ticks).
+func (p *Placer) RebalanceTick(opts RebalanceOpts) ([]PlacerEvent, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []PlacerEvent
-	var firstErr error
-	// Snapshot the pressured set before moving anything: a store that
-	// crosses the watermark only because it received this pass's move
-	// must not shed it right back (ping-pong within one pass).
-	pressured := make([]*StoreNode, 0, len(p.nodes))
+	evs, err := p.rebalanceTickLocked(opts)
+	p.events = append(p.events, evs...)
+	return evs, err
+}
+
+func (p *Placer) rebalanceTickLocked(opts RebalanceOpts) ([]PlacerEvent, error) {
+	p.rebalTick++
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = 1
+	}
+	high := opts.HighWater
+	if high <= 0 {
+		high = p.cfg.highWater()
+	}
+	cool := p.cfg.moveCooldownTicks()
+
+	// Fresh pressure snapshot, most pressured first (ties by name).
+	type pressure struct {
+		n    *StoreNode
+		util float64
+	}
+	var pressured []pressure
 	for _, n := range p.nodes {
-		if n.State() == StoreActive && n.usageFrac() >= p.cfg.highWater() {
-			pressured = append(pressured, n)
+		if n.State() != StoreActive {
+			continue
+		}
+		if u := p.utilLocked(n); u >= high {
+			pressured = append(pressured, pressure{n, u})
 		}
 	}
-	for _, n := range pressured {
-		// Heaviest resident lineage by referenced bytes.
+	sort.Slice(pressured, func(i, j int) bool {
+		if pressured[i].util != pressured[j].util {
+			return pressured[i].util > pressured[j].util
+		}
+		return pressured[i].n.Name < pressured[j].n.Name
+	})
+
+	var out []PlacerEvent
+	var firstErr error
+	for _, pr := range pressured {
+		if budget <= 0 {
+			break
+		}
+		n := pr.n
+		// Heaviest eligible resident lineage by referenced bytes.
 		var victim *Placement
 		var victimBytes int64
 		for _, pl := range p.placements {
 			if pl.primary != n || pl.lost || pl.evacuating {
+				continue
+			}
+			if moved, ok := p.lastMoved[pl.Lineage]; ok && p.rebalTick < moved+cool {
 				continue
 			}
 			sz := n.SB.Store().LineageBytes(pl.g.ID)
@@ -1091,9 +1339,48 @@ func (p *Placer) Rebalance() ([]PlacerEvent, error) {
 			out = append(out, ev)
 			continue
 		}
+		if err == nil {
+			p.lastMoved[victim.Lineage] = p.rebalTick
+		}
+		budget--
 		out = append(out, ev)
 		if err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
+// Rebalance runs paced ticks until a tick moves nothing (or errors):
+// the synchronous relief-valve call for operators and tests. The
+// background pacer path is RebalanceTick, driven by the autoscaler
+// with a per-tick budget.
+func (p *Placer) Rebalance() ([]PlacerEvent, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []PlacerEvent
+	var firstErr error
+	skipped := make(map[uint64]bool)
+	for iter := 0; iter < 64; iter++ {
+		evs, err := p.rebalanceTickLocked(RebalanceOpts{Budget: len(p.nodes) + 1})
+		moved := 0
+		for _, ev := range evs {
+			if ev.Kind == "rebalance-skipped" {
+				// Report each stuck lineage once per call, not per tick.
+				if skipped[ev.Lineage] {
+					continue
+				}
+				skipped[ev.Lineage] = true
+			} else if ev.Err == nil {
+				moved++
+			}
+			out = append(out, ev)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if moved == 0 || firstErr != nil {
+			break
 		}
 	}
 	p.events = append(p.events, out...)

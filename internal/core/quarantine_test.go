@@ -48,7 +48,7 @@ func corruptEpochBlock(t *testing.T, sb *StoreBackend, group, epoch uint64) {
 		if key.OID&vmBit == 0 || key.Epoch != epoch {
 			continue
 		}
-		rec, err := sb.store.GetRecord(key.OID, key.Epoch)
+		rec, err := sb.store.GetRecord(key.Group, key.OID, key.Epoch)
 		if err != nil {
 			t.Fatal(err)
 		}

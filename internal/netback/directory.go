@@ -38,8 +38,15 @@ type dirKey struct {
 }
 
 // dirLink is one live wire: fault link, far-side receiver serving the
-// replica protocol, near-side acked backend.
+// replica protocol, near-side acked backend. The per-wire mutex
+// serializes connect/reset/teardown — scale churn (an autoscaler
+// admitting one store while another drains) hits the pool from
+// multiple control paths at once, and the serve-loop handshake dance
+// must never interleave on one wire. The directory's own mutex guards
+// only the map; holding d.mu while waiting out a serve loop would
+// stall every other wire in the fleet.
 type dirLink struct {
+	mu         sync.Mutex
 	link       *FaultLink
 	endA, endB io.ReadWriteCloser
 	rb         *ReplicaBackend
@@ -71,7 +78,7 @@ func (d *Directory) startServe(dl *dirLink) {
 
 // reset re-establishes a wire's connection: poison the serve loop,
 // reap it, drain in-flight frames, heal, re-handshake. Retried because
-// on a faulty wire the hello itself can be eaten.
+// on a faulty wire the hello itself can be eaten. Caller holds dl.mu.
 func (d *Directory) reset(dl *dirLink, stream uint64) error {
 	dl.link.PartitionBoth()
 	if dl.serving {
@@ -120,6 +127,8 @@ func (d *Directory) Link(src, dst *core.StoreNode, stream uint64) (core.Backend,
 	}
 	d.mu.Unlock()
 
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
 	if !dl.serving {
 		d.startServe(dl)
 	}
@@ -140,6 +149,8 @@ func (d *Directory) Reconnect(src, dst *core.StoreNode, stream uint64) error {
 	if !ok {
 		return fmt.Errorf("netback: no directory link %s->%s/%d: %w", src.Name, dst.Name, stream, ErrDisconnected)
 	}
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
 	return d.reset(dl, stream)
 }
 
@@ -156,6 +167,8 @@ func (d *Directory) Drop(src, dst *core.StoreNode, stream uint64) {
 	if !ok {
 		return
 	}
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
 	dl.link.PartitionBoth()
 	if dl.serving {
 		<-dl.serveDone

@@ -1,0 +1,111 @@
+package netback
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aurora/internal/core"
+)
+
+// Scale-churn coverage for the directory's per-(src,dst,stream) wire
+// pool: an autoscaler admitting one store while another drains drives
+// Link, Reconnect, and Drop against the same wires from concurrent
+// control paths. The per-wire mutex must keep every handshake dance
+// whole — run under -race, this is the regression net for the
+// previously placer-serialized pool.
+
+func dirNode(name string) *core.StoreNode {
+	m := newMachine()
+	return &core.StoreNode{Name: name, Domain: "rack-" + name, O: m.o}
+}
+
+// TestDirectoryConcurrentChurn hammers a small fleet's wire pool from
+// many goroutines: per-key linkers and reconnecters race a dropper,
+// mimicking AddStore/RemoveStore churn. Every Link must return a
+// usable wire or a clean error, no handshake may interleave with a
+// teardown, and the pool must end functional for every key.
+func TestDirectoryConcurrentChurn(t *testing.T) {
+	d := NewDirectory(LinkFaultConfig{})
+	nodes := []*core.StoreNode{dirNode("s0"), dirNode("s1"), dirNode("s2"), dirNode("s3")}
+
+	type key struct {
+		src, dst *core.StoreNode
+		stream   uint64
+	}
+	var keys []key
+	for i, src := range nodes {
+		for j, dst := range nodes {
+			if i == j {
+				continue
+			}
+			keys = append(keys, key{src, dst, uint64(100 + i*10 + j)})
+		}
+	}
+
+	errc := make(chan error, 1024)
+	var wg sync.WaitGroup
+	const rounds = 20
+	for _, k := range keys {
+		k := k
+		// Two linkers, one reconnecter, one dropper per wire: the
+		// worst interleaving scale churn produces.
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					if _, _, err := d.Link(k.src, k.dst, k.stream); err != nil {
+						errc <- fmt.Errorf("link %s->%s/%d: %w", k.src.Name, k.dst.Name, k.stream, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := d.Reconnect(k.src, k.dst, k.stream)
+				// A reconnect racing a drop legitimately finds no wire;
+				// any other failure is a broken handshake.
+				if err != nil && !errors.Is(err, ErrDisconnected) {
+					errc <- fmt.Errorf("reconnect %s->%s/%d: %w", k.src.Name, k.dst.Name, k.stream, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds/4; i++ {
+				d.Drop(k.src, k.dst, k.stream)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The pool must end functional: every key links and serves.
+	for _, k := range keys {
+		if _, _, err := d.Link(k.src, k.dst, k.stream); err != nil {
+			t.Fatalf("post-churn link %s->%s/%d: %v", k.src.Name, k.dst.Name, k.stream, err)
+		}
+	}
+	if got := d.Wires(); got != len(keys) {
+		t.Fatalf("pool holds %d wires after churn, want %d", got, len(keys))
+	}
+	for _, k := range keys {
+		d.Drop(k.src, k.dst, k.stream)
+	}
+	if got := d.Wires(); got != 0 {
+		t.Fatalf("pool holds %d wires after teardown, want 0", got)
+	}
+}

@@ -35,11 +35,11 @@ func TestCompactPacksFreesSparseBlocks(t *testing.T) {
 		var keys []RecordKey
 		for i := 0; i < oids; i++ {
 			oid := uint64(100 + i)
-			if _, err := s.PutRecord(oid, e, 1, true, meta(oid, e),
+			if _, err := s.PutRecord(group, oid, e, 1, true, meta(oid, e),
 				map[int64][]byte{0: page(byte(i))}, nil); err != nil {
 				t.Fatal(err)
 			}
-			keys = append(keys, RecordKey{oid, e})
+			keys = append(keys, RecordKey{group, oid, e})
 		}
 		s.PutManifest(&Manifest{Group: group, Epoch: e, Records: keys,
 			Roots: []uint64{100}, Prev: e - 1})
@@ -81,7 +81,7 @@ func TestCompactPacksFreesSparseBlocks(t *testing.T) {
 	}
 	for i := 0; i < oids; i++ {
 		oid := uint64(100 + i)
-		rec, err := s2.GetRecord(oid, epochs)
+		rec, err := s2.GetRecord(group, oid, epochs)
 		if err != nil {
 			t.Fatalf("oid %d after reopen: %v", oid, err)
 		}

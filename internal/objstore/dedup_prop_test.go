@@ -60,10 +60,10 @@ func TestDedupCrossGroupGCInterleaving(t *testing.T) {
 				want[pg] = fill
 			}
 			oid := uint64(oidOf + g)
-			if _, err := s.PutRecord(oid, epoch, 1, full, []byte{byte(g), byte(epoch)}, dirty, nil); err != nil {
+			if _, err := s.PutRecord(uint64(g+1), oid, epoch, 1, full, []byte{byte(g), byte(epoch)}, dirty, nil); err != nil {
 				t.Fatalf("seed %d: put g%d e%d: %v", seed, g, epoch, err)
 			}
-			m := &Manifest{Group: uint64(g + 1), Epoch: epoch, Records: []RecordKey{{oid, epoch}}, Roots: []uint64{oid}}
+			m := &Manifest{Group: uint64(g + 1), Epoch: epoch, Records: []RecordKey{{uint64(g + 1), oid, epoch}}, Roots: []uint64{oid}}
 			if epoch > 1 {
 				m.Prev = epoch - 1
 			}

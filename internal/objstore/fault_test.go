@@ -25,7 +25,7 @@ func onePage(b byte) []byte {
 // Sync returns.
 func TestSyncBarrierOrdering(t *testing.T) {
 	s, fd := faultStore(storage.FaultConfig{Seed: 1})
-	if _, err := s.PutRecord(1, 1, 0, true, []byte("meta"), map[int64][]byte{0: onePage(0xaa)}, nil); err != nil {
+	if _, err := s.PutRecord(1, 1, 1, 0, true, []byte("meta"), map[int64][]byte{0: onePage(0xaa)}, nil); err != nil {
 		t.Fatal(err)
 	}
 	fd.SetLogging(true)
@@ -81,13 +81,13 @@ func TestSyncAlternatesSlots(t *testing.T) {
 // acknowledged generation in full.
 func TestTornSuperblockRecovery(t *testing.T) {
 	s, fd := faultStore(storage.FaultConfig{Seed: 2})
-	if _, err := s.PutRecord(1, 1, 0, true, []byte("epoch1"), map[int64][]byte{0: onePage(0x11)}, nil); err != nil {
+	if _, err := s.PutRecord(1, 1, 1, 0, true, []byte("epoch1"), map[int64][]byte{0: onePage(0x11)}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Sync(); err != nil { // generation 1: acknowledged
 		t.Fatal(err)
 	}
-	if _, err := s.PutRecord(1, 2, 0, false, []byte("epoch2"), map[int64][]byte{0: onePage(0x22)}, nil); err != nil {
+	if _, err := s.PutRecord(1, 1, 2, 0, false, []byte("epoch2"), map[int64][]byte{0: onePage(0x22)}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Generation 2's Sync: op +1 writes the index, +2 syncs it, +3
@@ -106,7 +106,7 @@ func TestTornSuperblockRecovery(t *testing.T) {
 		t.Fatalf("reopened generation = %d, want rollback to 1", re.Generation())
 	}
 	// Everything acknowledged by generation 1 is intact.
-	rec, err := re.GetRecord(1, 1)
+	rec, err := re.GetRecord(1, 1, 1)
 	if err != nil {
 		t.Fatalf("acknowledged record lost: %v", err)
 	}
@@ -118,7 +118,7 @@ func TestTornSuperblockRecovery(t *testing.T) {
 		t.Fatal("acknowledged page diverged after rollback")
 	}
 	// The unacknowledged epoch-2 record is simply absent.
-	if _, err := re.GetRecord(1, 2); !errors.Is(err, ErrNoRecord) {
+	if _, err := re.GetRecord(1, 1, 2); !errors.Is(err, ErrNoRecord) {
 		t.Fatalf("unacknowledged record should be rolled back, got %v", err)
 	}
 }
@@ -127,7 +127,7 @@ func TestTornSuperblockRecovery(t *testing.T) {
 // was never touched, so rollback is immediate.
 func TestTornIndexRecovery(t *testing.T) {
 	s, fd := faultStore(storage.FaultConfig{Seed: 3})
-	if _, err := s.PutRecord(1, 1, 0, true, nil, map[int64][]byte{0: onePage(0x33)}, nil); err != nil {
+	if _, err := s.PutRecord(1, 1, 1, 0, true, nil, map[int64][]byte{0: onePage(0x33)}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Sync(); err != nil {
@@ -155,7 +155,7 @@ func TestCrashTornSlotFallsBack(t *testing.T) {
 	if err := s.Sync(); err != nil { // gen 1 -> slot1
 		t.Fatal(err)
 	}
-	if _, err := s.PutRecord(9, 9, 0, true, nil, map[int64][]byte{0: onePage(0x99)}, nil); err != nil {
+	if _, err := s.PutRecord(1, 9, 9, 0, true, nil, map[int64][]byte{0: onePage(0x99)}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Sync(); err != nil { // gen 2 -> slot0
@@ -172,7 +172,7 @@ func TestCrashTornSlotFallsBack(t *testing.T) {
 	if re.Generation() != 1 {
 		t.Fatalf("generation = %d, want fallback to 1", re.Generation())
 	}
-	if _, err := re.GetRecord(9, 9); !errors.Is(err, ErrNoRecord) {
+	if _, err := re.GetRecord(1, 9, 9); !errors.Is(err, ErrNoRecord) {
 		t.Fatalf("gen-2 record should be gone after fallback, got %v", err)
 	}
 }
@@ -181,7 +181,7 @@ func TestCrashTornSlotFallsBack(t *testing.T) {
 // corruption of a block's device contents.
 func TestReadVerifiesBlockHash(t *testing.T) {
 	s, fd := faultStore(storage.FaultConfig{Seed: 5})
-	rec, err := s.PutRecord(1, 1, 0, true, nil, map[int64][]byte{0: onePage(0x44)}, nil)
+	rec, err := s.PutRecord(1, 1, 1, 0, true, nil, map[int64][]byte{0: onePage(0x44)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestReadVerifiesBlockHash(t *testing.T) {
 // into the verified read path.
 func TestReadCatchesInjectedBitRot(t *testing.T) {
 	s, _ := faultStore(storage.FaultConfig{Seed: 6, BitRot: 1.0})
-	rec, err := s.PutRecord(1, 1, 0, true, nil, map[int64][]byte{0: onePage(0x55)}, nil)
+	rec, err := s.PutRecord(1, 1, 1, 0, true, nil, map[int64][]byte{0: onePage(0x55)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +220,11 @@ func TestScrubDetectsAndRepairs(t *testing.T) {
 	s, fd := faultStore(storage.FaultConfig{Seed: 7})
 	peer, _ := faultStore(storage.FaultConfig{Seed: 8})
 	pages := map[int64][]byte{0: onePage(0x66), 1: onePage(0x77)}
-	rec, err := s.PutRecord(1, 1, 0, true, nil, pages, nil)
+	rec, err := s.PutRecord(1, 1, 1, 0, true, nil, pages, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := peer.PutRecord(1, 1, 0, true, nil, pages, nil); err != nil {
+	if _, err := peer.PutRecord(1, 1, 1, 0, true, nil, pages, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Clean pass first.
@@ -260,7 +260,7 @@ func TestScrubDetectsAndRepairs(t *testing.T) {
 // checks the affected record is named.
 func TestScrubReportsLoss(t *testing.T) {
 	s, fd := faultStore(storage.FaultConfig{Seed: 9})
-	rec, err := s.PutRecord(4, 2, 0, true, nil, map[int64][]byte{0: onePage(0x88)}, nil)
+	rec, err := s.PutRecord(1, 4, 2, 0, true, nil, map[int64][]byte{0: onePage(0x88)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestScrubReportsLoss(t *testing.T) {
 	if rep.Corrupt != 1 || rep.Lost != 1 || rep.Repaired != 0 {
 		t.Fatalf("lossy scrub: %+v", rep)
 	}
-	if len(rep.LostRecords) != 1 || rep.LostRecords[0] != (RecordKey{OID: 4, Epoch: 2}) {
+	if len(rep.LostRecords) != 1 || rep.LostRecords[0] != (RecordKey{Group: 1, OID: 4, Epoch: 2}) {
 		t.Fatalf("lost records: %+v", rep.LostRecords)
 	}
 }

@@ -78,7 +78,7 @@ func (s *Store) DropEpoch(group, epoch uint64) error {
 // reports whether the record itself was adopted as the next epoch's
 // record (in which case its metadata stays live).
 func (s *Store) mergeForwardLocked(rec *Record, next *Manifest) bool {
-	key := RecordKey{rec.OID, next.Epoch}
+	key := RecordKey{next.Group, rec.OID, next.Epoch}
 	heir, ok := s.records[key]
 	if !ok {
 		// The object has no record at the next epoch (it was idle):

@@ -118,6 +118,7 @@ func (s *Store) Sync() error {
 	// Records.
 	e.U64(uint64(len(s.records)))
 	for key, rec := range s.records {
+		e.U64(key.Group)
 		e.U64(key.OID)
 		e.U64(key.Epoch)
 		e.U64(uint64(rec.Kind))
@@ -153,6 +154,7 @@ func (s *Store) Sync() error {
 			e.U64(m.Prev)
 			e.U64(uint64(len(m.Records)))
 			for _, rk := range m.Records {
+				e.U64(rk.Group)
 				e.U64(rk.OID)
 				e.U64(rk.Epoch)
 			}
@@ -318,8 +320,9 @@ func decodeIndex(dev storage.Device, clock *storage.Clock, idx []byte) (*Store, 
 	}
 	nRecs := d.U64()
 	for i := uint64(0); i < nRecs && d.Err() == nil; i++ {
-		key := RecordKey{OID: d.U64(), Epoch: d.U64()}
+		key := RecordKey{Group: d.U64(), OID: d.U64(), Epoch: d.U64()}
 		rec := &Record{
+			Group: key.Group,
 			OID:   key.OID,
 			Epoch: key.Epoch,
 			Kind:  uint16(d.U64()),
@@ -361,7 +364,7 @@ func decodeIndex(dev storage.Device, clock *storage.Clock, idx []byte) (*Store, 
 			m := &Manifest{Group: g, Epoch: d.U64(), Name: d.Str(), Prev: d.U64()}
 			nRks := d.U64()
 			for r := uint64(0); r < nRks && d.Err() == nil; r++ {
-				m.Records = append(m.Records, RecordKey{OID: d.U64(), Epoch: d.U64()})
+				m.Records = append(m.Records, RecordKey{Group: d.U64(), OID: d.U64(), Epoch: d.U64()})
 			}
 			m.Roots = d.U64Slice()
 			s.manifests[g] = append(s.manifests[g], m)

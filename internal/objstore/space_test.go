@@ -45,10 +45,10 @@ func TestGCInterleavingProperty(t *testing.T) {
 						// epochs often share block content.
 						pages[int64(pg)] = page(byte(rng.Intn(6)))
 					}
-					if _, err := s.PutRecord(oid, epoch, 1, full, []byte{byte(oid)}, pages, nil); err != nil {
+					if _, err := s.PutRecord(group, oid, epoch, 1, full, []byte{byte(oid)}, pages, nil); err != nil {
 						t.Fatalf("put oid %d epoch %d: %v", oid, epoch, err)
 					}
-					keys = append(keys, RecordKey{oid, epoch})
+					keys = append(keys, RecordKey{group, oid, epoch})
 				}
 				prev := epoch - 1
 				if len(s.Manifests(group)) == 0 {
@@ -115,10 +115,10 @@ func TestGCInterleavingProperty(t *testing.T) {
 // ReleaseSpace TRIMs them back to the device.
 func TestStatsLiveAndReclaimable(t *testing.T) {
 	s := testStore(t)
-	s.PutRecord(1, 1, 1, true, []byte("meta"), map[int64][]byte{0: page(1), 1: page(2)}, nil)
-	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1}}})
-	s.PutRecord(1, 2, 1, false, []byte("meta"), map[int64][]byte{1: page(3)}, nil)
-	s.PutManifest(&Manifest{Group: 1, Epoch: 2, Prev: 1, Records: []RecordKey{{1, 2}}})
+	s.PutRecord(1, 1, 1, 1, true, []byte("meta"), map[int64][]byte{0: page(1), 1: page(2)}, nil)
+	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1, 1}}})
+	s.PutRecord(1, 1, 2, 1, false, []byte("meta"), map[int64][]byte{1: page(3)}, nil)
+	s.PutManifest(&Manifest{Group: 1, Epoch: 2, Prev: 1, Records: []RecordKey{{1, 1, 2}}})
 
 	st := s.Stats()
 	if st.LiveBytes != st.BlockBytes+st.MetaBytes {
@@ -163,13 +163,13 @@ func TestControlPlaneReserve(t *testing.T) {
 	epoch := uint64(0)
 	for epoch < 256 {
 		epoch++
-		_, putErr = s.PutRecord(1, epoch, 1, epoch == 1, nil,
+		_, putErr = s.PutRecord(1, 1, epoch, 1, epoch == 1, nil,
 			map[int64][]byte{0: page(byte(epoch)), 1: page(byte(epoch + 100))}, nil)
 		if putErr != nil {
 			break
 		}
 		prev := epoch - 1
-		s.PutManifest(&Manifest{Group: 1, Epoch: epoch, Prev: prev, Records: []RecordKey{{1, epoch}}})
+		s.PutManifest(&Manifest{Group: 1, Epoch: epoch, Prev: prev, Records: []RecordKey{{1, 1, epoch}}})
 	}
 	if putErr == nil {
 		t.Fatal("device never filled")
@@ -192,7 +192,7 @@ func TestControlPlaneReserve(t *testing.T) {
 		}
 	}
 	s.ReleaseSpace()
-	if _, err := s.PutRecord(1, epoch, 1, true, nil, map[int64][]byte{0: page(200)}, nil); err != nil {
+	if _, err := s.PutRecord(1, 1, epoch, 1, true, nil, map[int64][]byte{0: page(200)}, nil); err != nil {
 		t.Fatalf("put after reclamation: %v", err)
 	}
 }

@@ -65,7 +65,7 @@ const BlockSize = vm.PageSize
 // previous good generation (see persist.go).
 const (
 	magic     = 0x41555253 // "AURS"
-	sbVersion = 4          // adds the fencing table + superblock fence high-water
+	sbVersion = 5          // adds group scoping to record keys
 	sbSize    = 64         // one superblock slot
 	sbSlot0   = 0          // even generations
 	sbSlot1   = 512        // odd generations
@@ -81,14 +81,21 @@ type BlockRef struct {
 	Hash Hash
 }
 
-// RecordKey identifies a record: one object at one checkpoint epoch.
+// RecordKey identifies a record: one object of one persistence group
+// at one checkpoint epoch. Group scoping matters on shared stores —
+// a store holding both its own primaries and backfilled chains from
+// other machines sees the same small kernel OIDs and epoch numbers
+// from unrelated lineages, and an unscoped key would let one group's
+// flush silently overwrite another's records.
 type RecordKey struct {
+	Group uint64
 	OID   uint64
 	Epoch uint64
 }
 
 // Record is the persisted form of one kernel object at one epoch.
 type Record struct {
+	Group uint64
 	OID   uint64
 	Epoch uint64
 	Kind  uint16
@@ -517,7 +524,7 @@ func (s *Store) CompactPacks() int64 {
 		}
 		victims[base] = true
 		for _, rec := range recs {
-			moves = append(moves, move{RecordKey{rec.OID, rec.Epoch}, base})
+			moves = append(moves, move{RecordKey{rec.Group, rec.OID, rec.Epoch}, base})
 		}
 	}
 	s.mu.Unlock()
@@ -525,6 +532,9 @@ func (s *Store) CompactPacks() int64 {
 		a, b := moves[i], moves[j]
 		if a.base != b.base {
 			return a.base < b.base
+		}
+		if a.key.Group != b.key.Group {
+			return a.key.Group < b.key.Group
 		}
 		if a.key.OID != b.key.OID {
 			return a.key.OID < b.key.OID
@@ -710,8 +720,8 @@ func (s *Store) ReadBlocks(refs []BlockRef) ([][]byte, error) {
 // PutRecord writes one object's record for an epoch: metadata plus the
 // given pages (complete set when full, dirty set otherwise). Page data
 // is deduplicated block by block.
-func (s *Store) PutRecord(oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, heat map[int64]uint32) (*Record, error) {
-	return s.putRecord(oid, epoch, kind, full, meta, pages, nil, heat)
+func (s *Store) PutRecord(group, oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, heat map[int64]uint32) (*Record, error) {
+	return s.putRecord(group, oid, epoch, kind, full, meta, pages, nil, heat)
 }
 
 // PutRecordRefs writes a record whose pages are existing blocks,
@@ -719,19 +729,20 @@ func (s *Store) PutRecord(oid, epoch uint64, kind uint16, full bool, meta []byte
 // what makes snapshots and clones zero-copy: a clone's first full
 // record in a new group references every block of the source image
 // without moving a byte.
-func (s *Store) PutRecordRefs(oid, epoch uint64, kind uint16, full bool, meta []byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
-	return s.putRecord(oid, epoch, kind, full, meta, nil, refs, heat)
+func (s *Store) PutRecordRefs(group, oid, epoch uint64, kind uint16, full bool, meta []byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
+	return s.putRecord(group, oid, epoch, kind, full, meta, nil, refs, heat)
 }
 
 // PutRecordMixed writes a record combining freshly written pages with
 // zero-copy references to existing blocks (the snapshot fast path:
 // dirty pages written, clean pages re-referenced).
-func (s *Store) PutRecordMixed(oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
-	return s.putRecord(oid, epoch, kind, full, meta, pages, refs, heat)
+func (s *Store) PutRecordMixed(group, oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
+	return s.putRecord(group, oid, epoch, kind, full, meta, pages, refs, heat)
 }
 
-func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
+func (s *Store) putRecord(group, oid, epoch uint64, kind uint16, full bool, meta []byte, pages map[int64][]byte, refs map[int64]BlockRef, heat map[int64]uint32) (*Record, error) {
 	rec := &Record{
+		Group: group,
 		OID:   oid,
 		Epoch: epoch,
 		Kind:  kind,
@@ -830,7 +841,7 @@ func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte
 			return nil, wrapSpace(err)
 		}
 	}
-	key := RecordKey{oid, epoch}
+	key := RecordKey{group, oid, epoch}
 	s.mu.Lock()
 	if old, ok := s.records[key]; ok && old != rec {
 		// Re-delivery (a flush retried after a partial failure):
@@ -849,11 +860,11 @@ func (s *Store) putRecord(oid, epoch uint64, kind uint16, full bool, meta []byte
 	return rec, nil
 }
 
-// GetRecord returns the record of an object at an exact epoch.
-func (s *Store) GetRecord(oid, epoch uint64) (*Record, error) {
+// GetRecord returns the record of a group's object at an exact epoch.
+func (s *Store) GetRecord(group, oid, epoch uint64) (*Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.records[RecordKey{oid, epoch}]
+	rec, ok := s.records[RecordKey{group, oid, epoch}]
 	if !ok {
 		return nil, ErrNoRecord
 	}
@@ -950,7 +961,7 @@ func (s *Store) resolvePagesLocked(group, oid, epoch uint64) (map[int64]BlockRef
 		if m == nil {
 			return nil, nil, fmt.Errorf("%w: group %d epoch %d", ErrNoManifest, group, cur)
 		}
-		if rec, ok := s.records[RecordKey{oid, cur}]; ok {
+		if rec, ok := s.records[RecordKey{group, oid, cur}]; ok {
 			chain = append(chain, rec)
 			if rec.Full {
 				break
@@ -980,7 +991,7 @@ func (s *Store) ResolveMeta(group, oid, epoch uint64) ([]byte, uint16, error) {
 	defer s.mu.Unlock()
 	cur := epoch
 	for cur != 0 {
-		if rec, ok := s.records[RecordKey{oid, cur}]; ok {
+		if rec, ok := s.records[RecordKey{group, oid, cur}]; ok {
 			return rec.Meta, rec.Kind, nil
 		}
 		m := s.findManifestLocked(group, cur)
@@ -1001,14 +1012,15 @@ func (s *Store) findManifestLocked(group, epoch uint64) *Manifest {
 	return nil
 }
 
-// RecordsOf lists every epoch's record for one OID, oldest first.
-// The NT-log uses this to replay its append-only entries at recovery.
-func (s *Store) RecordsOf(oid uint64) []*Record {
+// RecordsOf lists every epoch's record for one group's OID, oldest
+// first. The NT-log uses this to replay its append-only entries at
+// recovery.
+func (s *Store) RecordsOf(group, oid uint64) []*Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []*Record
 	for key, rec := range s.records {
-		if key.OID == oid {
+		if key.Group == group && key.OID == oid {
 			out = append(out, rec)
 		}
 	}
@@ -1019,14 +1031,14 @@ func (s *Store) RecordsOf(oid uint64) []*Record {
 // DeleteRecord removes one record outside the manifest-driven GC path
 // (used by the NT log, whose records do not belong to any manifest).
 // Its blocks are released in place.
-func (s *Store) DeleteRecord(oid, epoch uint64) {
+func (s *Store) DeleteRecord(group, oid, epoch uint64) {
 	s.mu.Lock()
-	rec, ok := s.records[RecordKey{oid, epoch}]
+	rec, ok := s.records[RecordKey{group, oid, epoch}]
 	if !ok {
 		s.mu.Unlock()
 		return
 	}
-	delete(s.records, RecordKey{oid, epoch})
+	delete(s.records, RecordKey{group, oid, epoch})
 	s.stats.MetaBytes -= int64(rec.metaLen)
 	s.freeExtentLocked(rec.metaOff, rec.metaLen+1)
 	for _, ref := range rec.Pages {

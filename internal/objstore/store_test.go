@@ -28,21 +28,21 @@ func TestPutGetRecord(t *testing.T) {
 	s := testStore(t)
 	meta := []byte("process metadata")
 	pages := map[int64][]byte{0: page(1), 3: page(2)}
-	rec, err := s.PutRecord(100, 1, 7, true, meta, pages, nil)
+	rec, err := s.PutRecord(1, 100, 1, 7, true, meta, pages, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rec.Pages) != 2 {
 		t.Fatalf("pages = %d", len(rec.Pages))
 	}
-	got, err := s.GetRecord(100, 1)
+	got, err := s.GetRecord(1, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Meta, meta) || got.Kind != 7 || !got.Full {
 		t.Fatalf("record = %+v", got)
 	}
-	if _, err := s.GetRecord(100, 2); err != ErrNoRecord {
+	if _, err := s.GetRecord(1, 100, 2); err != ErrNoRecord {
 		t.Fatalf("missing record err = %v", err)
 	}
 	// Blocks read back exactly.
@@ -58,8 +58,8 @@ func TestPutGetRecord(t *testing.T) {
 func TestDedupAcrossRecords(t *testing.T) {
 	s := testStore(t)
 	shared := page(0xaa)
-	s.PutRecord(1, 1, 1, true, nil, map[int64][]byte{0: shared, 1: page(1)}, nil)
-	s.PutRecord(2, 1, 1, true, nil, map[int64][]byte{0: shared, 1: page(2)}, nil)
+	s.PutRecord(1, 1, 1, 1, true, nil, map[int64][]byte{0: shared, 1: page(1)}, nil)
+	s.PutRecord(1, 2, 1, 1, true, nil, map[int64][]byte{0: shared, 1: page(2)}, nil)
 	st := s.Stats()
 	if st.Blocks != 3 {
 		t.Fatalf("blocks = %d, want 3 (one shared)", st.Blocks)
@@ -77,17 +77,17 @@ func TestManifestChainAndResolve(t *testing.T) {
 	const group, oid = 5, 42
 
 	// Epoch 1: full checkpoint with pages 0,1,2.
-	s.PutRecord(oid, 1, 1, true, []byte("m1"),
+	s.PutRecord(group, oid, 1, 1, true, []byte("m1"),
 		map[int64][]byte{0: page(10), 1: page(11), 2: page(12)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{oid, 1}}, Roots: []uint64{oid}})
+	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{group, oid, 1}}, Roots: []uint64{oid}})
 
 	// Epoch 2: incremental, page 1 dirtied.
-	s.PutRecord(oid, 2, 1, false, []byte("m2"), map[int64][]byte{1: page(21)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 2, Prev: 1, Records: []RecordKey{{oid, 2}}, Roots: []uint64{oid}})
+	s.PutRecord(group, oid, 2, 1, false, []byte("m2"), map[int64][]byte{1: page(21)}, nil)
+	s.PutManifest(&Manifest{Group: group, Epoch: 2, Prev: 1, Records: []RecordKey{{group, oid, 2}}, Roots: []uint64{oid}})
 
 	// Epoch 3: incremental, pages 0 and 3 dirtied.
-	s.PutRecord(oid, 3, 1, false, []byte("m3"), map[int64][]byte{0: page(30), 3: page(33)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 3, Prev: 2, Records: []RecordKey{{oid, 3}}, Roots: []uint64{oid}})
+	s.PutRecord(group, oid, 3, 1, false, []byte("m3"), map[int64][]byte{0: page(30), 3: page(33)}, nil)
+	s.PutManifest(&Manifest{Group: group, Epoch: 3, Prev: 2, Records: []RecordKey{{group, oid, 3}}, Roots: []uint64{oid}})
 
 	pages, _, err := s.ResolvePages(group, oid, 3)
 	if err != nil {
@@ -171,11 +171,11 @@ func TestLatestManifestAndGroups(t *testing.T) {
 func TestGCDropOldestMergesForward(t *testing.T) {
 	s := testStore(t)
 	const group, oid = 1, 7
-	s.PutRecord(oid, 1, 1, true, []byte("m1"),
+	s.PutRecord(group, oid, 1, 1, true, []byte("m1"),
 		map[int64][]byte{0: page(1), 1: page(2), 2: page(3)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{oid, 1}}})
-	s.PutRecord(oid, 2, 1, false, []byte("m2"), map[int64][]byte{1: page(9)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 2, Prev: 1, Records: []RecordKey{{oid, 2}}})
+	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{group, oid, 1}}})
+	s.PutRecord(group, oid, 2, 1, false, []byte("m2"), map[int64][]byte{1: page(9)}, nil)
+	s.PutManifest(&Manifest{Group: group, Epoch: 2, Prev: 1, Records: []RecordKey{{group, oid, 2}}})
 
 	if err := s.DropEpoch(group, 1); err != nil {
 		t.Fatal(err)
@@ -210,8 +210,8 @@ func TestGCIdleObjectMovesForward(t *testing.T) {
 	const group = 1
 	// Object 7 only has a record at epoch 1; epoch 2 checkpoint didn't
 	// touch it (idle).
-	s.PutRecord(7, 1, 1, true, []byte("m"), map[int64][]byte{0: page(5)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{7, 1}}})
+	s.PutRecord(group, 7, 1, 1, true, []byte("m"), map[int64][]byte{0: page(5)}, nil)
+	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{group, 7, 1}}})
 	s.PutManifest(&Manifest{Group: group, Epoch: 2, Prev: 1})
 
 	if err := s.DropEpoch(group, 1); err != nil {
@@ -229,8 +229,8 @@ func TestGCIdleObjectMovesForward(t *testing.T) {
 
 func TestGCDropLastEpochFreesEverything(t *testing.T) {
 	s := testStore(t)
-	s.PutRecord(1, 1, 1, true, nil, map[int64][]byte{0: page(1), 1: page(2)}, nil)
-	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1}}})
+	s.PutRecord(1, 1, 1, 1, true, nil, map[int64][]byte{0: page(1), 1: page(2)}, nil)
+	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1, 1}}})
 	if err := s.DropEpoch(1, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -242,9 +242,9 @@ func TestGCDropLastEpochFreesEverything(t *testing.T) {
 
 func TestGCFreedSpaceReusedInPlace(t *testing.T) {
 	s := testStore(t)
-	s.PutRecord(1, 1, 1, true, nil, map[int64][]byte{0: page(1)}, nil)
-	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1}}})
-	rec, _ := s.GetRecord(1, 1)
+	s.PutRecord(1, 1, 1, 1, true, nil, map[int64][]byte{0: page(1)}, nil)
+	s.PutManifest(&Manifest{Group: 1, Epoch: 1, Records: []RecordKey{{1, 1, 1}}})
+	rec, _ := s.GetRecord(1, 1, 1)
 	freed := map[int64]bool{rec.Pages[0].Off: true, rec.metaOff: true}
 	s.DropEpoch(1, 1)
 	s.mu.Lock()
@@ -253,7 +253,7 @@ func TestGCFreedSpaceReusedInPlace(t *testing.T) {
 
 	// The next record's allocations (page block and metadata extent)
 	// land on the freed space instead of growing the device.
-	rec2, _ := s.PutRecord(2, 1, 1, true, nil, map[int64][]byte{0: page(99)}, nil)
+	rec2, _ := s.PutRecord(1, 2, 1, 1, true, nil, map[int64][]byte{0: page(99)}, nil)
 	if !freed[rec2.Pages[0].Off] {
 		t.Fatalf("new block at %d, want a reused offset from %v", rec2.Pages[0].Off, freed)
 	}
@@ -268,11 +268,11 @@ func TestGCFreedSpaceReusedInPlace(t *testing.T) {
 func TestTrimHistory(t *testing.T) {
 	s := testStore(t)
 	const group, oid = 1, 3
-	s.PutRecord(oid, 1, 1, true, nil, map[int64][]byte{0: page(1)}, nil)
-	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{oid, 1}}})
+	s.PutRecord(group, oid, 1, 1, true, nil, map[int64][]byte{0: page(1)}, nil)
+	s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{group, oid, 1}}})
 	for e := uint64(2); e <= 6; e++ {
-		s.PutRecord(oid, e, 1, false, nil, map[int64][]byte{int64(e): page(byte(e))}, nil)
-		s.PutManifest(&Manifest{Group: group, Epoch: e, Prev: e - 1, Records: []RecordKey{{oid, e}}})
+		s.PutRecord(group, oid, e, 1, false, nil, map[int64][]byte{int64(e): page(byte(e))}, nil)
+		s.PutManifest(&Manifest{Group: group, Epoch: e, Prev: e - 1, Records: []RecordKey{{group, oid, e}}})
 	}
 	if err := s.TrimHistory(group, 2); err != nil {
 		t.Fatal(err)
@@ -295,8 +295,8 @@ func TestSyncOpenRoundTrip(t *testing.T) {
 	clock := storage.NewClock()
 	dev := storage.NewMemDevice(storage.ParamsOptaneNVMe, clock)
 	s := Create(dev, clock)
-	s.PutRecord(10, 1, 2, true, []byte("meta-a"), map[int64][]byte{0: page(1), 5: page(7)}, map[int64]uint32{0: 3})
-	s.PutManifest(&Manifest{Group: 4, Epoch: 1, Name: "boot", Records: []RecordKey{{10, 1}}, Roots: []uint64{10}})
+	s.PutRecord(4, 10, 1, 2, true, []byte("meta-a"), map[int64][]byte{0: page(1), 5: page(7)}, map[int64]uint32{0: 3})
+	s.PutManifest(&Manifest{Group: 4, Epoch: 1, Name: "boot", Records: []RecordKey{{4, 10, 1}}, Roots: []uint64{10}})
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestSyncOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := s2.GetRecord(10, 1)
+	rec, err := s2.GetRecord(4, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestSyncOpenRoundTrip(t *testing.T) {
 	}
 	// Dedup index survives: rewriting the same page is a hit.
 	before := s2.Stats().Blocks
-	s2.PutRecord(11, 1, 2, true, nil, map[int64][]byte{0: page(1)}, nil)
+	s2.PutRecord(4, 11, 1, 2, true, nil, map[int64][]byte{0: page(1)}, nil)
 	if s2.Stats().Blocks != before {
 		t.Fatal("dedup index lost across reopen")
 	}
@@ -346,7 +346,7 @@ func TestOpenRejectsGarbage(t *testing.T) {
 
 func TestShortPagesArePadded(t *testing.T) {
 	s := testStore(t)
-	rec, err := s.PutRecord(1, 1, 1, true, nil, map[int64][]byte{0: []byte("short")}, nil)
+	rec, err := s.PutRecord(1, 1, 1, 1, true, nil, map[int64][]byte{0: []byte("short")}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,8 +365,8 @@ func TestQuickIncrementalResolution(t *testing.T) {
 		model := map[int64]byte{}
 
 		// Epoch 1 is always a full checkpoint of page 0.
-		s.PutRecord(oid, 1, 1, true, nil, map[int64][]byte{0: page(0)}, nil)
-		s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{oid, 1}}})
+		s.PutRecord(group, oid, 1, 1, true, nil, map[int64][]byte{0: page(0)}, nil)
+		s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{group, oid, 1}}})
 		model[0] = 0
 
 		epoch := uint64(1)
@@ -375,9 +375,9 @@ func TestQuickIncrementalResolution(t *testing.T) {
 			idx := int64(w % 16)
 			fill := byte(w >> 8)
 			model[idx] = fill
-			s.PutRecord(oid, epoch, 1, false, nil, map[int64][]byte{idx: page(fill)}, nil)
+			s.PutRecord(group, oid, epoch, 1, false, nil, map[int64][]byte{idx: page(fill)}, nil)
 			s.PutManifest(&Manifest{Group: group, Epoch: epoch, Prev: epoch - 1,
-				Records: []RecordKey{{oid, epoch}}})
+				Records: []RecordKey{{group, oid, epoch}}})
 		}
 		pages, _, err := s.ResolvePages(group, oid, epoch)
 		if err != nil {
@@ -405,15 +405,15 @@ func TestQuickGCPreservesLatestView(t *testing.T) {
 	f := func(writes []uint16, drops uint8) bool {
 		s := testStore(nil)
 		const group, oid = 1, 2
-		s.PutRecord(oid, 1, 1, true, nil, map[int64][]byte{0: page(0)}, nil)
-		s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{oid, 1}}})
+		s.PutRecord(group, oid, 1, 1, true, nil, map[int64][]byte{0: page(0)}, nil)
+		s.PutManifest(&Manifest{Group: group, Epoch: 1, Records: []RecordKey{{group, oid, 1}}})
 		epoch := uint64(1)
 		for _, w := range writes {
 			epoch++
-			s.PutRecord(oid, epoch, 1, false, nil,
+			s.PutRecord(group, oid, epoch, 1, false, nil,
 				map[int64][]byte{int64(w % 8): page(byte(w >> 8))}, nil)
 			s.PutManifest(&Manifest{Group: group, Epoch: epoch, Prev: epoch - 1,
-				Records: []RecordKey{{oid, epoch}}})
+				Records: []RecordKey{{group, oid, epoch}}})
 		}
 		before := snapshotView(s, group, oid, epoch)
 		if before == nil {

@@ -84,10 +84,10 @@ func (fs *FS) SnapshotOn(store *objstore.Store, name string) (uint64, error) {
 	// Namespace record: always written, it is small and anchors the
 	// epoch.
 	nsMeta := fs.encodeNamespace()
-	if _, err := store.PutRecord(nsOID, epoch, uint16(KindFSNamespace), true, nsMeta, nil, nil); err != nil {
+	if _, err := store.PutRecord(fs.group, nsOID, epoch, uint16(KindFSNamespace), true, nsMeta, nil, nil); err != nil {
 		return 0, err
 	}
-	recs = append(recs, objstore.RecordKey{OID: nsOID, Epoch: epoch})
+	recs = append(recs, objstore.RecordKey{Group: fs.group, OID: nsOID, Epoch: epoch})
 
 	m := &objstore.Manifest{
 		Group:   fs.group,
@@ -108,7 +108,7 @@ func (fs *FS) SnapshotOn(store *objstore.Store, name string) (uint64, error) {
 // + re-referenced backing); later records are deltas carrying only
 // dirty pages.
 func (fs *FS) flushInodeOn(store *objstore.Store, in *Inode, epoch uint64) (objstore.RecordKey, bool, error) {
-	key := objstore.RecordKey{OID: in.Ino, Epoch: epoch}
+	key := objstore.RecordKey{Group: fs.group, OID: in.Ino, Epoch: epoch}
 
 	in.mu.Lock()
 	everFlushed := in.flushedEpoch != 0
@@ -135,11 +135,11 @@ func (fs *FS) flushInodeOn(store *objstore.Store, in *Inode, epoch uint64) (objs
 				clean[idx] = ref
 			}
 		}
-		if _, err := store.PutRecordMixed(in.Ino, epoch, uint16(KindFSFile), true, meta, dirtyPages, clean, nil); err != nil {
+		if _, err := store.PutRecordMixed(fs.group, in.Ino, epoch, uint16(KindFSFile), true, meta, dirtyPages, clean, nil); err != nil {
 			return key, false, err
 		}
 	} else {
-		if _, err := store.PutRecord(in.Ino, epoch, uint16(KindFSFile), false, meta, dirtyPages, nil); err != nil {
+		if _, err := store.PutRecord(fs.group, in.Ino, epoch, uint16(KindFSFile), false, meta, dirtyPages, nil); err != nil {
 			return key, false, err
 		}
 	}
